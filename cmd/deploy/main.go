@@ -1,0 +1,154 @@
+// Command deploy solves a task deployment instance from JSON and writes
+// the resulting deployment (with metrics) as JSON.
+//
+// Usage:
+//
+//	deploy -in instance.json [-method heuristic|optimal] [-objective be|me]
+//	       [-single] [-timeout 30s] [-seed 1] [-out deployment.json]
+//
+// The instance format is documented in internal/spec; cmd/taskgen
+// generates compatible instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/render"
+	"nocdeploy/internal/sim"
+	"nocdeploy/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deploy: ")
+	var (
+		in        = flag.String("in", "-", "instance JSON file (- for stdin)")
+		out       = flag.String("out", "-", "deployment JSON output (- for stdout)")
+		method    = flag.String("method", "heuristic", "solver: heuristic, repair, anneal or optimal")
+		objective = flag.String("objective", "be", "objective: be (balance) or me (minimize total)")
+		single    = flag.Bool("single", false, "single-path routing baseline")
+		timeout   = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
+		seed      = flag.Int64("seed", 1, "heuristic tie-break seed")
+		quiet     = flag.Bool("q", false, "suppress the metrics summary on stderr")
+		gantt     = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
+		simulate  = flag.Int("simulate", 0, "run N fault-injection trials and report survival rates")
+	)
+	flag.Parse()
+
+	inst, err := spec.ReadInstance(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := inst.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.Options{SinglePath: *single}
+	switch *objective {
+	case "be":
+		opts.Objective = core.BalanceEnergy
+	case "me":
+		opts.Objective = core.MinimizeEnergy
+	default:
+		log.Fatalf("unknown objective %q (want be or me)", *objective)
+	}
+
+	var d *core.Deployment
+	var info *core.SolveInfo
+	switch *method {
+	case "heuristic":
+		d, info, err = core.Heuristic(sys, opts, *seed)
+	case "repair":
+		d, info, err = core.HeuristicWithRepair(sys, opts, *seed, 0)
+	case "anneal":
+		d, info, err = core.Anneal(sys, opts, core.AnnealOptions{Seed: *seed})
+	case "optimal":
+		// Warm-start branch & bound from the heuristic when it is feasible.
+		var hd *core.Deployment
+		var hinfo *core.SolveInfo
+		hd, hinfo, err = core.Heuristic(sys, opts, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		oo := core.OptimalOptions{TimeLimit: *timeout, RelGap: 0.01}
+		if hinfo.Feasible {
+			oo.WarmDeployment = hd
+		}
+		d, info, err = core.Optimal(sys, opts, oo)
+	default:
+		log.Fatalf("unknown method %q (want heuristic or optimal)", *method)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	if d == nil {
+		log.Fatal("no deployment found (infeasible or solver limits hit)")
+	}
+	m, err := core.ComputeMetrics(sys, d)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		printSummary(sys, d, m, info)
+	}
+	if *gantt {
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, render.Gantt(sys, d, 72))
+		fmt.Fprintln(os.Stderr)
+		fmt.Fprint(os.Stderr, render.EnergyBars(sys, m, 40))
+	}
+	if *simulate > 0 {
+		stats, err := sim.InjectFaults(sys, d, *simulate, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "\nfault injection (%d runs): system survival %.6f\n", stats.Runs, stats.SystemRate())
+		for i := 0; i < sys.Graph.M(); i++ {
+			fmt.Fprintf(os.Stderr, "  task %2d: observed %.6f  analytic %.6f  (threshold %.6f)\n",
+				i, stats.SurvivalRate(i), sim.AnalyticTaskReliability(sys, d, i), sys.Rel.Rth)
+		}
+	}
+	if err := spec.WriteJSON(*out, spec.FromDeployment(d, m, info)); err != nil {
+		log.Fatal(err)
+	}
+	if !info.Feasible {
+		os.Exit(2)
+	}
+}
+
+func printSummary(sys *core.System, d *core.Deployment, m *core.Metrics, info *core.SolveInfo) {
+	w := os.Stderr
+	fmt.Fprintf(w, "feasible:       %v\n", info.Feasible)
+	fmt.Fprintf(w, "objective:      %.6g J\n", info.Objective)
+	fmt.Fprintf(w, "max energy:     %.6g J\n", m.MaxEnergy)
+	fmt.Fprintf(w, "total energy:   %.6g J\n", m.SumEnergy)
+	fmt.Fprintf(w, "balance phi:    %.4g\n", m.Phi)
+	fmt.Fprintf(w, "duplicates:     %d of %d tasks\n", m.Dups, sys.Graph.M())
+	fmt.Fprintf(w, "makespan:       %.6g s (horizon %.6g s)\n", m.Makespan, sys.H)
+	fmt.Fprintf(w, "runtime:        %v\n", info.Runtime)
+	if info.Nodes > 0 {
+		fmt.Fprintf(w, "b&b nodes:      %d (gap %.2f%%)\n", info.Nodes, 100*info.Gap)
+	}
+	fmt.Fprintf(w, "allocation:\n")
+	exp := sys.Expanded()
+	for i := 0; i < exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		name := sys.Graph.Tasks[exp.Orig(i)].Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", exp.Orig(i))
+		}
+		if exp.IsCopy(i) {
+			name += "'"
+		}
+		fmt.Fprintf(w, "  %-10s proc %2d  level %d (%.2g GHz)  start %.4g ms\n",
+			name, d.Proc[i], d.Level[i],
+			sys.Plat.Levels[d.Level[i]].Freq/1e9, 1000*d.Start[i])
+	}
+}

@@ -1,0 +1,67 @@
+// Command experiments regenerates the paper's evaluation figures as
+// tables (Fig. 2(a)–(h) of Mo et al., DATE 2022).
+//
+// Usage:
+//
+//	experiments [-fig all|2a|2b|2c|2d|2e|2f|2g|2h] [-quick] [-seed 1] [-timeout 45s]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nocdeploy/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig     = flag.String("fig", "all", "figure to regenerate (all, 2a..2h)")
+		quick   = flag.Bool("quick", false, "reduced repetitions and time limits")
+		seed    = flag.Int64("seed", 1, "base seed for instance generation")
+		timeout = flag.Duration("timeout", 0, "per-solve time limit (0 = mode default)")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick, TimeLimit: *timeout}
+	ran := 0
+	runners := append(exp.Runners(), exp.ExtensionRunners()...)
+	match := func(name string) bool {
+		switch *fig {
+		case "all":
+			return true
+		case "ext":
+			return len(name) > 4 && name[:4] == "ext-"
+		default:
+			return *fig == name
+		}
+	}
+	for _, r := range runners {
+		if !match(r.Name) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		tbl, err := r.Run(cfg)
+		if err != nil {
+			log.Fatalf("figure %s: %v", r.Name, err)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Printf("  [%v]\n\n", time.Since(start).Round(time.Millisecond))
+		if *csvDir != "" {
+			path := filepath.Join(*csvDir, "fig"+r.Name+".csv")
+			if err := os.WriteFile(path, []byte(tbl.CSV()), 0o644); err != nil {
+				log.Fatalf("writing %s: %v", path, err)
+			}
+		}
+	}
+	if ran == 0 {
+		log.Fatalf("unknown figure %q", *fig)
+	}
+}

@@ -1,0 +1,82 @@
+// Command nocsim pushes the NoC traffic of a deployment through the
+// flit-level wormhole simulator and reports per-packet latencies, link
+// utilization and the comparison against the analytic communication-time
+// budget the deployment's schedule reserved.
+//
+// Usage:
+//
+//	nocsim -instance inst.json -deployment dep.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"nocdeploy/internal/nocsim"
+	"nocdeploy/internal/sim"
+	"nocdeploy/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocsim: ")
+	var (
+		instPath = flag.String("instance", "", "instance JSON file")
+		depPath  = flag.String("deployment", "", "deployment JSON file")
+	)
+	flag.Parse()
+	if *instPath == "" || *depPath == "" {
+		log.Fatal("both -instance and -deployment are required")
+	}
+	inst, err := spec.ReadInstance(*instPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := inst.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	dspec, err := spec.ReadDeployment(*depPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d := dspec.ToDeployment()
+
+	pkts := sim.NetworkTraffic(sys, d)
+	if len(pkts) == 0 {
+		fmt.Println("deployment co-locates all dependent tasks: no NoC traffic")
+		return
+	}
+	st, err := nocsim.Simulate(sys.Mesh, pkts, nocsim.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("packets: %d\n", len(pkts))
+	fmt.Printf("%-4s %-6s %-5s %-12s %-12s %-12s\n", "id", "bytes", "hops", "inject(ms)", "latency(us)", "budget(us)")
+	for _, r := range st.Results {
+		p := pkts[r.ID]
+		src, dst := p.Route[0], p.Route[len(p.Route)-1]
+		budget := 0.0
+		for rho := 0; rho < 2; rho++ {
+			route := sys.Mesh.PathOf(src, dst, rho).Nodes
+			if len(route) == len(p.Route) && equal(route, p.Route) {
+				budget = p.Bytes * sys.Mesh.TimePerByte(src, dst, rho)
+				break
+			}
+		}
+		fmt.Printf("%-4d %-6.0f %-5d %-12.4g %-12.4g %-12.4g\n",
+			r.ID, p.Bytes, r.Hops, 1000*p.Inject, 1e6*r.Latency, 1e6*budget)
+	}
+	fmt.Printf("max link utilization: %.1f%%\n", 100*st.MaxLinkUtilization())
+	fmt.Printf("network busy span:    %.4g ms\n", 1000*st.Span)
+}
+
+func equal(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

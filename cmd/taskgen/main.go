@@ -1,0 +1,63 @@
+// Command taskgen generates a random problem instance (task graph plus
+// platform/mesh/reliability defaults) as JSON for cmd/deploy.
+//
+// Usage:
+//
+//	taskgen -m 20 -shape layered [-w 4 -h 4] [-alpha 1.0] [-seed 1] [-out inst.json]
+package main
+
+import (
+	"flag"
+	"log"
+
+	"nocdeploy/internal/spec"
+	"nocdeploy/internal/task"
+	"nocdeploy/internal/taskgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("taskgen: ")
+	var (
+		m     = flag.Int("m", 20, "number of tasks")
+		shape = flag.String("shape", "layered", "graph shape: layered, forkjoin, sp, gnp")
+		w     = flag.Int("w", 4, "mesh width")
+		h     = flag.Int("h", 4, "mesh height")
+		alpha = flag.Float64("alpha", 1.0, "horizon scale (critical-path rule)")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		prob  = flag.Float64("p", 0.25, "edge probability for -shape gnp")
+		out   = flag.String("out", "-", "output JSON file (- for stdout)")
+	)
+	flag.Parse()
+
+	p := taskgen.DefaultParams(*m, *seed)
+	var g *task.Graph
+	var err error
+	switch *shape {
+	case "layered":
+		g, err = taskgen.Layered(p, 4, 3)
+	case "forkjoin":
+		g, err = taskgen.ForkJoin(p)
+	case "sp":
+		g, err = taskgen.SeriesParallel(p)
+	case "gnp":
+		g, err = taskgen.GNP(p, *prob)
+	default:
+		log.Fatalf("unknown shape %q", *shape)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst := spec.Instance{
+		Mesh:  spec.Mesh{W: *w, H: *h},
+		Graph: spec.FromGraph(g),
+		Alpha: *alpha,
+	}
+	// Sanity: the instance must build.
+	if _, err := inst.Build(); err != nil {
+		log.Fatalf("generated instance does not build: %v", err)
+	}
+	if err := spec.WriteJSON(*out, inst); err != nil {
+		log.Fatal(err)
+	}
+}

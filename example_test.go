@@ -1,0 +1,41 @@
+package nocdeploy_test
+
+import (
+	"fmt"
+
+	"nocdeploy"
+)
+
+// Example deploys a two-stage pipeline and prints whether the deployment
+// is feasible and how many reliability replicas were created.
+func Example() {
+	plat := nocdeploy.DefaultPlatform(16)
+	mesh := nocdeploy.DefaultMesh(4, 4)
+	g := nocdeploy.NewTaskGraph()
+	producer := g.AddTask("producer", 1.2e6, 0.004)
+	consumer := g.AddTask("consumer", 0.8e6, 0.004)
+	g.AddEdge(producer, consumer, 4096)
+
+	rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+	h, err := nocdeploy.Horizon(plat, mesh, g, rel, 1.5)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sys, err := nocdeploy.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	d, info, err := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	if _, err := nocdeploy.Validate(sys, d); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("feasible: %v, replicas: %d\n", info.Feasible, d.DupCount())
+	// Output: feasible: true, replicas: 2
+}

@@ -1,0 +1,67 @@
+// Quickstart: deploy a four-stage sensing pipeline on a 4×4 NoC multicore
+// with the heuristic solver, validate the result and print the decisions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocdeploy"
+)
+
+func main() {
+	// Platform: 16 DVFS cores on a 4×4 mesh.
+	plat := nocdeploy.DefaultPlatform(16)
+	mesh := nocdeploy.DefaultMesh(4, 4)
+
+	// Application: sense → filter → plan → act, with a side logger.
+	g := nocdeploy.NewTaskGraph()
+	sense := g.AddTask("sense", 1.2e6, 0.004)
+	filter := g.AddTask("filter", 2.0e6, 0.005)
+	plan := g.AddTask("plan", 1.6e6, 0.005)
+	act := g.AddTask("act", 0.8e6, 0.004)
+	logger := g.AddTask("log", 0.6e6, 0.006)
+	g.AddEdge(sense, filter, 16<<10)
+	g.AddEdge(filter, plan, 8<<10)
+	g.AddEdge(plan, act, 2<<10)
+	g.AddEdge(filter, logger, 4<<10)
+
+	// Reliability model and scheduling horizon (critical-path rule).
+	rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+	h, err := nocdeploy.Horizon(plat, mesh, g, rel, 1.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err := nocdeploy.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Solve with the three-phase heuristic and validate.
+	d, info, err := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := nocdeploy.Validate(sys, d)
+	if err != nil {
+		log.Fatalf("deployment failed validation: %v", err)
+	}
+
+	fmt.Printf("feasible:     %v (solved in %v)\n", info.Feasible, info.Runtime)
+	fmt.Printf("max core energy: %.4g mJ  total: %.4g mJ  balance phi: %.3g\n",
+		1000*m.MaxEnergy, 1000*m.SumEnergy, m.Phi)
+	fmt.Printf("duplicated tasks: %d   makespan: %.3g ms (horizon %.3g ms)\n\n",
+		m.Dups, 1000*m.Makespan, 1000*sys.H)
+
+	names := []string{"sense", "filter", "plan", "act", "log"}
+	fmt.Println("task      core  freq(GHz)  start(ms)")
+	for i, n := range names {
+		fmt.Printf("%-8s  %4d  %9.2g  %9.3g\n",
+			n, d.Proc[i], sys.Plat.Levels[d.Level[i]].Freq/1e9, 1000*d.Start[i])
+		if d.Exists[i+g.M()] {
+			fmt.Printf("%-8s  %4d  %9.2g  %9.3g   (reliability replica)\n",
+				n+"'", d.Proc[i+g.M()], sys.Plat.Levels[d.Level[i+g.M()]].Freq/1e9,
+				1000*d.Start[i+g.M()])
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Scaling: the decomposition heuristic at growing problem sizes — the
+// scalability claim the paper makes against the exact solver. Sweeps task
+// counts and mesh sizes and reports runtime, objective and feasibility.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocdeploy"
+)
+
+func main() {
+	fmt.Println("mesh   M    feasible  runtime     maxE(mJ)  phi    dups")
+	for _, mesh := range []struct{ w, h int }{{4, 4}, {6, 6}, {8, 8}} {
+		for _, m := range []int{10, 20, 40, 60} {
+			plat := nocdeploy.DefaultPlatform(mesh.w * mesh.h)
+			nw := nocdeploy.DefaultMesh(mesh.w, mesh.h)
+			g, err := nocdeploy.LayeredGraph(nocdeploy.DefaultGenParams(m, int64(m)), 6, 3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+			h, err := nocdeploy.Horizon(plat, nw, g, rel, 1.3)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sys, err := nocdeploy.NewSystem(plat, nw, g, rel, h)
+			if err != nil {
+				log.Fatal(err)
+			}
+			d, info, err := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			met, err := nocdeploy.ComputeMetrics(sys, d)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%dx%d  %3d  %-8v  %-10v  %-8.3g  %-5.3g  %d\n",
+				mesh.w, mesh.h, m, info.Feasible, info.Runtime.Round(10_000),
+				1000*met.MaxEnergy, met.Phi, met.Dups)
+		}
+	}
+}

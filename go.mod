@@ -1,0 +1,3 @@
+module nocdeploy
+
+go 1.22

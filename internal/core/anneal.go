@@ -1,0 +1,206 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"nocdeploy/internal/reliability"
+)
+
+// AnnealOptions tunes the simulated-annealing solver.
+type AnnealOptions struct {
+	Iters int     // move attempts; 0 means 2000·M
+	T0    float64 // initial temperature (fraction of the initial objective); 0 means 0.2
+	T1    float64 // final temperature fraction; 0 means 1e-4
+	Seed  int64
+}
+
+func (o AnnealOptions) withDefaults(m int) AnnealOptions {
+	if o.Iters == 0 {
+		o.Iters = 2000 * m
+	}
+	if o.T0 == 0 {
+		o.T0 = 0.2
+	}
+	if o.T1 == 0 {
+		o.T1 = 1e-4
+	}
+	return o
+}
+
+// annealEval scores one candidate deployment.
+type annealEval struct {
+	okStruct bool // every constraint except the horizon
+	okFull   bool // including the horizon (9)
+	obj      float64
+	makespan float64
+}
+
+// Anneal is a simulated-annealing deployment solver — a metaheuristic
+// baseline of the kind the paper's related-work table classifies as
+// "Heur.". It searches the joint space of levels, duplication (driven by
+// rule (4)), allocation and path selection with Metropolis acceptance,
+// starting from the repaired three-phase heuristic. Horizon-infeasible
+// states pay a large makespan-driven penalty, so a chain that starts
+// infeasible first anneals toward schedulability, then optimizes the
+// objective.
+func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
+	startT := time.Now()
+	ao = ao.withDefaults(s.Graph.M())
+	rng := rand.New(rand.NewSource(ao.Seed))
+
+	cur, _, err := HeuristicWithRepair(s, opts, ao.Seed, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	cur = cloneDeploymentCore(cur)
+
+	// relaxed ignores the horizon so infeasible states still score.
+	relaxed := *s
+	relaxed.H = math.Inf(1)
+
+	evaluate := func(d *Deployment) annealEval {
+		order := scheduleOrder(s, d)
+		mk := scheduleExisting(s, d, order, func(i int) float64 { return d.CommTime(s, i) })
+		if CheckConstraints(&relaxed, d) != nil {
+			return annealEval{}
+		}
+		return annealEval{
+			okStruct: true,
+			okFull:   mk <= s.H+timeTol,
+			obj:      objectiveOf(s, d, opts),
+			makespan: mk,
+		}
+	}
+
+	curEval := evaluate(cur)
+	best := cloneDeploymentCore(cur)
+	bestEval := curEval
+	scale := math.Max(curEval.obj, 1e-12)
+
+	// scalarEnergy maps an evaluation onto one annealed axis: feasible
+	// states score by normalized objective, infeasible ones by makespan
+	// plus an offset larger than any feasible score.
+	scalarEnergy := func(e annealEval) float64 {
+		if !e.okStruct {
+			return math.Inf(1)
+		}
+		if !e.okFull {
+			return 10 + e.makespan/math.Max(s.H, 1e-12)
+		}
+		return e.obj / scale
+	}
+
+	cool := math.Pow(ao.T1/ao.T0, 1/float64(ao.Iters))
+	temp := ao.T0
+	L := s.Plat.L()
+	M := s.Graph.M()
+
+	// propose mutates a clone of cur with one random move; nil means the
+	// move was structurally inadmissible and costs nothing.
+	propose := func() *Deployment {
+		d := cloneDeploymentCore(cur)
+		switch rng.Intn(4) {
+		case 0: // reassign a random existing slot
+			slot := randomExisting(rng, d)
+			d.Proc[slot] = rng.Intn(s.Mesh.N())
+		case 1: // flip a random pair's path selection
+			b := rng.Intn(s.Mesh.N())
+			g := rng.Intn(s.Mesh.N())
+			if b == g {
+				return nil
+			}
+			d.PathSel[b][g] = 1 - d.PathSel[b][g]
+		case 2: // move a random original's level and re-apply rule (4)
+			i := rng.Intn(M)
+			l := d.Level[i] + 1 - 2*rng.Intn(2)
+			if l < 0 || l >= L || s.ExecTime(i, l) > s.exp.Deadline(i) {
+				return nil
+			}
+			d.Level[i] = l
+			ri := s.Reliability(i, l)
+			dup := i + M
+			if ri >= s.Rel.Rth {
+				d.Exists[dup] = false
+				return d
+			}
+			// Needs a replica: cheapest level satisfying (5) and (8).
+			found, bestE := -1, math.Inf(1)
+			for l2 := 0; l2 < L; l2++ {
+				if s.ExecTime(dup, l2) > s.exp.Deadline(dup) {
+					continue
+				}
+				if reliability.Combined(ri, s.Reliability(dup, l2)) < s.Rel.Rth {
+					continue
+				}
+				if e := s.ExecEnergy(dup, l2); e < bestE {
+					found, bestE = l2, e
+				}
+			}
+			if found < 0 {
+				return nil
+			}
+			if !d.Exists[dup] {
+				d.Exists[dup] = true
+				d.Proc[dup] = rng.Intn(s.Mesh.N())
+			}
+			d.Level[dup] = found
+		default: // move an existing replica's level under (5) and (8)
+			dup := -1
+			for attempt := 0; attempt < 4; attempt++ {
+				if c := M + rng.Intn(M); d.Exists[c] {
+					dup = c
+					break
+				}
+			}
+			if dup < 0 {
+				return nil
+			}
+			l2 := d.Level[dup] + 1 - 2*rng.Intn(2)
+			if l2 < 0 || l2 >= L || s.ExecTime(dup, l2) > s.exp.Deadline(dup) {
+				return nil
+			}
+			orig := s.exp.Orig(dup)
+			if reliability.Combined(s.Reliability(orig, d.Level[orig]), s.Reliability(dup, l2)) < s.Rel.Rth {
+				return nil
+			}
+			d.Level[dup] = l2
+		}
+		return d
+	}
+
+	for it := 0; it < ao.Iters; it++ {
+		temp *= cool
+		cand := propose()
+		if cand == nil {
+			continue
+		}
+		ce := evaluate(cand)
+		if !ce.okStruct {
+			continue
+		}
+		dE := scalarEnergy(ce) - scalarEnergy(curEval)
+		if dE <= 0 || rng.Float64() < math.Exp(-dE/math.Max(temp, 1e-12)) {
+			cur, curEval = cand, ce
+			if ce.okFull && (!bestEval.okFull || ce.obj < bestEval.obj) {
+				best = cloneDeploymentCore(cand)
+				bestEval = ce
+			}
+		}
+	}
+
+	return best, &SolveInfo{
+		Runtime:   time.Since(startT),
+		Feasible:  bestEval.okFull && CheckConstraints(s, best) == nil,
+		Objective: objectiveOf(s, best, opts),
+	}, nil
+}
+
+func randomExisting(rng *rand.Rand, d *Deployment) int {
+	for {
+		if i := rng.Intn(len(d.Exists)); d.Exists[i] {
+			return i
+		}
+	}
+}

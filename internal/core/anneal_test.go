@@ -1,0 +1,98 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Annealing starts from the repaired heuristic, so it must never end up
+// worse, and its result must validate.
+func TestAnnealNeverWorseThanHeuristic(t *testing.T) {
+	for seed := int64(0); seed < 3; seed++ {
+		s := systemAtAlpha(t, 12, seed, 1.4)
+		_, href, err := HeuristicWithRepair(s, Options{}, seed, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, info, err := Anneal(s, Options{}, AnnealOptions{Iters: 4000, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if href.Feasible {
+			if !info.Feasible {
+				t.Errorf("seed %d: annealing lost feasibility", seed)
+				continue
+			}
+			if info.Objective > href.Objective*(1+1e-12) {
+				t.Errorf("seed %d: anneal %g worse than heuristic %g",
+					seed, info.Objective, href.Objective)
+			}
+		}
+		if info.Feasible {
+			if _, err := Validate(s, d); err != nil {
+				t.Errorf("seed %d: annealed deployment invalid: %v", seed, err)
+			}
+		}
+	}
+}
+
+// Annealing often improves on the heuristic — verify it does so on at
+// least one seed, otherwise the move set is dead.
+func TestAnnealImprovesSomewhere(t *testing.T) {
+	improved := false
+	for seed := int64(0); seed < 5 && !improved; seed++ {
+		s := systemAtAlpha(t, 14, seed, 1.4)
+		_, href, err := HeuristicWithRepair(s, Options{}, 1, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !href.Feasible {
+			continue
+		}
+		_, info, err := Anneal(s, Options{}, AnnealOptions{Iters: 8000, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Feasible && info.Objective < href.Objective*(1-1e-6) {
+			improved = true
+		}
+	}
+	if !improved {
+		t.Error("annealing never improved the heuristic on any seed")
+	}
+}
+
+// Determinism: the same seed yields the same deployment.
+func TestAnnealDeterministic(t *testing.T) {
+	s := systemAtAlpha(t, 10, 3, 1.5)
+	d1, _, err := Anneal(s, Options{}, AnnealOptions{Iters: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _, err := Anneal(s, Options{}, AnnealOptions{Iters: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d1, d2) {
+		t.Error("same seed produced different annealed deployments")
+	}
+}
+
+// The tiny-instance oracle: annealing can never beat the exact optimum.
+func TestAnnealBoundedByOptimal(t *testing.T) {
+	s := tinySystem(t, 2, 3.0)
+	_, oinfo, err := Optimal(s, Options{}, OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oinfo.Feasible {
+		t.Fatal("tiny instance should be feasible")
+	}
+	_, ainfo, err := Anneal(s, Options{}, AnnealOptions{Iters: 6000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ainfo.Feasible && ainfo.Objective < oinfo.Objective*(1-1e-6) {
+		t.Errorf("anneal %g beats proven optimum %g", ainfo.Objective, oinfo.Objective)
+	}
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"nocdeploy/internal/lp"
+	"nocdeploy/internal/milp"
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/taskgen"
+)
+
+func TestDbgEmbed2(t *testing.T) {
+	if os.Getenv("PROBE") == "" {
+		t.Skip()
+	}
+	seedRaw, mRaw, wRaw := uint16(0x4806), uint8(0x7e), uint8(0xe3)
+	m := 2 + int(mRaw%8)
+	w := 2 + int(wRaw%2)
+	seed := int64(seedRaw)
+	plat := platform.Default(w * 2)
+	mesh := noc.Default(w, 2)
+	g, _ := taskgen.Layered(taskgen.DefaultParams(m, seed), 3, 2)
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	h, _ := Horizon(plat, mesh, g, rel, 1.0+float64(seedRaw%16)/8)
+	s, _ := NewSystem(plat, mesh, g, rel, h)
+	d, _, _ := Heuristic(s, Options{}, seed)
+	f := BuildFormulation(s, Options{})
+
+	try := func(name string, fix map[milp.VarID]float64) {
+		x, err := f.Model.Complete(fix, lp.Options{})
+		fmt.Printf("%-12s feasible=%v err=%v\n", name, x != nil, err)
+	}
+	M2 := s.Expanded().Size()
+	fx := map[milp.VarID]float64{}
+	setB := func(v milp.VarID, on bool) {
+		if on {
+			fx[v] = 1
+		} else {
+			fx[v] = 0
+		}
+	}
+	// h only
+	for i := 0; i < M2; i++ {
+		setB(f.h[i], d.Exists[i])
+	}
+	try("h", copyMap(fx))
+	for i := 0; i < M2; i++ {
+		for l := range f.y[i] {
+			setB(f.y[i][l], d.Level[i] == l)
+		}
+	}
+	try("h+y", copyMap(fx))
+	for i := 0; i < M2; i++ {
+		for k := range f.x[i] {
+			setB(f.x[i][k], d.Exists[i] && d.Proc[i] == k)
+		}
+	}
+	try("h+y+x", copyMap(fx))
+	for b := range f.c {
+		for gg := range f.c[b] {
+			if b == gg || f.c[b][gg] == nil {
+				continue
+			}
+			for rho := range f.c[b][gg] {
+				setB(f.c[b][gg][rho], d.PathSel[b][gg] == rho)
+			}
+		}
+	}
+	try("h+y+x+c", copyMap(fx))
+	before := func(i, j int) bool {
+		if d.Start[i] != d.Start[j] {
+			return d.Start[i] < d.Start[j]
+		}
+		return i < j
+	}
+	for key, v := range f.u {
+		setB(v, before(key[0], key[1]))
+	}
+	try("all(+u)", copyMap(fx))
+}
+
+func copyMap(m map[milp.VarID]float64) map[milp.VarID]float64 {
+	o := map[milp.VarID]float64{}
+	for k, v := range m {
+		o[k] = v
+	}
+	return o
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/taskgen"
+)
+
+// The MILP objective evaluated at an embedded heuristic deployment must
+// equal the deployment's true metrics (up to the tiny product-pressure
+// term) — this pins down the whole linearization chain: products, comm
+// energy, comp energy and epigraph.
+func TestFormulationObjectiveMatchesMetrics(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		s := tinySystem(t, 3, 6.0)
+		d, info, err := Heuristic(s, Options{}, seed+1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Feasible {
+			continue
+		}
+		f := BuildFormulation(s, Options{})
+		x, err := f.IncumbentVector(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if x == nil {
+			t.Fatal("feasible deployment did not embed into the MILP")
+		}
+		m, err := ComputeMetrics(s, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := f.Model.Eval(x)
+		if rel := math.Abs(got-m.MaxEnergy) / m.MaxEnergy; rel > 1e-4 {
+			t.Errorf("seed %d: MILP objective %g vs metrics max energy %g (rel %g)",
+				seed, got, m.MaxEnergy, rel)
+		}
+	}
+}
+
+// Same consistency for the ME objective.
+func TestFormulationMEObjectiveMatchesMetrics(t *testing.T) {
+	s := tinySystem(t, 3, 6.0)
+	opts := Options{Objective: MinimizeEnergy}
+	d, info, err := Heuristic(s, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Skip("infeasible instance")
+	}
+	f := BuildFormulation(s, opts)
+	x, err := f.IncumbentVector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == nil {
+		t.Fatal("deployment did not embed")
+	}
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Model.Eval(x)
+	if rel := math.Abs(got-m.SumEnergy) / m.SumEnergy; rel > 1e-4 {
+		t.Errorf("ME objective %g vs metrics total %g", got, m.SumEnergy)
+	}
+}
+
+// Extract followed by IncumbentVector must round-trip: re-embedding the
+// extracted optimal deployment gives the same objective.
+func TestExtractEmbedRoundTrip(t *testing.T) {
+	s := tinySystem(t, 2, 3.0)
+	f := BuildFormulation(s, Options{})
+	d, info, err := Optimal(s, Options{}, OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("tiny instance should be feasible")
+	}
+	x, err := f.IncumbentVector(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x == nil {
+		t.Fatal("optimal deployment did not embed into a fresh formulation")
+	}
+	if rel := math.Abs(f.Model.Eval(x)-info.Objective) / info.Objective; rel > 1e-4 {
+		t.Errorf("re-embedded objective %g vs optimal %g", f.Model.Eval(x), info.Objective)
+	}
+}
+
+// Model size should scale as documented: singlepath fixes c but keeps the
+// variable count, and larger M strictly grows the model.
+func TestFormulationSizes(t *testing.T) {
+	s3 := tinySystem(t, 3, 5.0)
+	s2 := tinySystem(t, 2, 5.0)
+	f3 := BuildFormulation(s3, Options{})
+	f2 := BuildFormulation(s2, Options{})
+	if f3.Model.NumVars() <= f2.Model.NumVars() || f3.Model.NumCons() <= f2.Model.NumCons() {
+		t.Errorf("model does not grow with M: M=2 (%d,%d) vs M=3 (%d,%d)",
+			f2.Model.NumVars(), f2.Model.NumCons(), f3.Model.NumVars(), f3.Model.NumCons())
+	}
+	fs := BuildFormulation(s2, Options{SinglePath: true})
+	if fs.Model.NumVars() != f2.Model.NumVars() {
+		t.Errorf("single-path changed variable count: %d vs %d",
+			fs.Model.NumVars(), f2.Model.NumVars())
+	}
+}
+
+// Property: over random small systems, the heuristic always produces a
+// structurally valid deployment whose metrics are internally consistent,
+// and the deployment embeds into the MILP whenever it passes the checker.
+func TestHeuristicAlwaysStructurallyValid(t *testing.T) {
+	f := func(seedRaw uint16, mRaw, wRaw uint8) bool {
+		m := 2 + int(mRaw%8)
+		w := 2 + int(wRaw%2) // 2x2 or 3x2 mesh
+		seed := int64(seedRaw)
+		plat := platform.Default(w * 2)
+		mesh := noc.Default(w, 2)
+		g, err := taskgen.Layered(taskgen.DefaultParams(m, seed), 3, 2)
+		if err != nil {
+			return false
+		}
+		rel := reliability.Default(plat.Fmin(), plat.Fmax())
+		h, err := Horizon(plat, mesh, g, rel, 1.0+float64(seedRaw%16)/8)
+		if err != nil {
+			return false
+		}
+		s, err := NewSystem(plat, mesh, g, rel, h)
+		if err != nil {
+			return false
+		}
+		d, info, err := Heuristic(s, Options{}, seed)
+		if err != nil {
+			return false
+		}
+		met, err := ComputeMetrics(s, d)
+		if err != nil {
+			return false
+		}
+		if met.SumEnergy < met.MaxEnergy-1e-15 || met.MaxEnergy <= 0 {
+			return false
+		}
+		if info.Feasible && CheckConstraints(s, d) != nil {
+			return false
+		}
+		// A feasible deployment must embed into the exact formulation.
+		if info.Feasible {
+			form := BuildFormulation(s, Options{})
+			x, err := form.IncumbentVector(d)
+			if err != nil || x == nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The duplication indicator (4) must hold in every optimal MILP solution:
+// h_{i+M} = 1 exactly when the chosen original level is below threshold.
+func TestOptimalDuplicationRuleHolds(t *testing.T) {
+	s := tinySystem(t, 2, 3.0)
+	d, info, err := Optimal(s, Options{}, OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("expected feasible")
+	}
+	for i := 0; i < s.Graph.M(); i++ {
+		needs := s.Reliability(i, d.Level[i]) < s.Rel.Rth
+		if needs != d.Exists[i+s.Graph.M()] {
+			t.Errorf("task %d: r<Rth=%v but duplicate exists=%v",
+				i, needs, d.Exists[i+s.Graph.M()])
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/reliability"
+)
+
+// SolveInfo reports how a solve went.
+type SolveInfo struct {
+	Runtime   time.Duration
+	Feasible  bool
+	Objective float64 // value of the chosen objective (BE: max_k, ME: Σ_k)
+	// MILP-only fields; zero for the heuristic.
+	Nodes int
+	Iters int
+	Gap   float64
+}
+
+// Heuristic runs the paper's three-phase decomposition (Algorithms 1–3)
+// and returns the deployment together with solve information. The returned
+// error is non-nil only for malformed inputs; an infeasible outcome is
+// reported via SolveInfo.Feasible with the best-effort deployment attached.
+func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
+	startT := time.Now()
+	d := NewDeployment(s)
+
+	ok1 := phase1FrequencyAndDuplication(s, d)
+	ok23 := deployGivenLevels(s, d, seed, opts)
+
+	info := &SolveInfo{Runtime: time.Since(startT)}
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	if opts.Objective == MinimizeEnergy {
+		info.Objective = m.SumEnergy
+	} else {
+		info.Objective = m.MaxEnergy
+	}
+	info.Feasible = ok1 && ok23 && CheckConstraints(s, d) == nil
+	return d, info, nil
+}
+
+// deployGivenLevels runs phases 2 and 3 for a deployment whose levels and
+// duplication flags are already decided, reporting horizon feasibility.
+func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) bool {
+	order := phase2Allocation(s, d, seed, opts)
+	return phase3PathSelection(s, d, order, opts)
+}
+
+// phase1FrequencyAndDuplication implements Algorithm 1: greedy V/F level
+// assignment minimizing the running maximum per-task computation energy
+// (problem P2), then duplication per the reliability rule (4) and level
+// assignment for the copies under the combined-reliability constraint (5).
+func phase1FrequencyAndDuplication(s *System, d *Deployment) bool {
+	M := s.Graph.M()
+	L := s.Plat.L()
+	feasible := true
+	var runningMax float64
+
+	// pickLevel selects the level minimizing the increase of the running
+	// maximum computation energy; admissible filters candidate levels.
+	pickLevel := func(slot int, admissible func(l int) bool) int {
+		best, bestMax, bestE, bestF := -1, math.Inf(1), math.Inf(1), -1.0
+		for l := 0; l < L; l++ {
+			if s.ExecTime(slot, l) > s.exp.Deadline(slot) {
+				continue // real-time constraint (8)
+			}
+			if !admissible(l) {
+				continue
+			}
+			e := s.ExecEnergy(slot, l)
+			emax := math.Max(runningMax, e)
+			f := s.Plat.Levels[l].Freq
+			// Primary: smallest resulting maximum; secondary: cheapest;
+			// tertiary: fastest (more reliable).
+			if emax < bestMax-1e-15 ||
+				(emax <= bestMax+1e-15 && (e < bestE-1e-15 ||
+					(e <= bestE+1e-15 && f > bestF))) {
+				best, bestMax, bestE, bestF = l, emax, e, f
+			}
+		}
+		return best
+	}
+
+	for i := 0; i < M; i++ {
+		l := pickLevel(i, func(int) bool { return true })
+		if l < 0 {
+			// No level meets the deadline: record an arbitrary level and
+			// mark the whole run infeasible.
+			feasible = false
+			l = L - 1
+		}
+		d.Level[i] = l
+		ri := s.Reliability(i, l)
+		dup := i + M
+
+		// Duplication rule (4): duplicate iff r_i < Rth.
+		if ri >= s.Rel.Rth {
+			runningMax = math.Max(runningMax, s.ExecEnergy(i, l))
+			continue
+		}
+		d.Exists[dup] = true
+		l2 := pickLevel(dup, func(cand int) bool {
+			return reliability.Combined(ri, s.Reliability(dup, cand)) >= s.Rel.Rth
+		})
+		if l2 < 0 {
+			// No copy level rescues the greedy original level: repair by
+			// jointly re-picking both levels for the minimum increase of
+			// the running maximum ("minimum energy increase", Alg. 1c).
+			l, l2 = jointLevels(s, i, runningMax)
+			if l < 0 {
+				feasible = false
+				l, l2 = L-1, L-1
+			}
+			d.Level[i] = l
+			ri = s.Reliability(i, l)
+			if ri >= s.Rel.Rth {
+				// The repaired original is reliable on its own.
+				d.Exists[dup] = false
+				runningMax = math.Max(runningMax, s.ExecEnergy(i, l))
+				continue
+			}
+		}
+		d.Level[dup] = l2
+		runningMax = math.Max(runningMax, s.ExecEnergy(i, l))
+		runningMax = math.Max(runningMax, s.ExecEnergy(dup, l2))
+	}
+	return feasible
+}
+
+// jointLevels searches all (original, copy) level pairs — and the
+// no-duplication options — for the reliability- and deadline-feasible
+// choice minimizing the increase of the running maximum energy, breaking
+// ties toward lower total energy. It returns (-1, -1) if nothing works;
+// the copy level is -1 when the original alone suffices.
+func jointLevels(s *System, i int, runningMax float64) (orig, copyLevel int) {
+	M := s.Graph.M()
+	L := s.Plat.L()
+	best1, best2 := -1, -1
+	bestMax, bestTot := math.Inf(1), math.Inf(1)
+	consider := func(l1, l2 int) {
+		e := s.ExecEnergy(i, l1)
+		tot := e
+		if l2 >= 0 {
+			e2 := s.ExecEnergy(i+M, l2)
+			tot += e2
+			e = math.Max(e, e2)
+		}
+		emax := math.Max(runningMax, e)
+		if emax < bestMax-1e-15 || (emax <= bestMax+1e-15 && tot < bestTot-1e-15) {
+			best1, best2, bestMax, bestTot = l1, l2, emax, tot
+		}
+	}
+	for l1 := 0; l1 < L; l1++ {
+		if s.ExecTime(i, l1) > s.exp.Deadline(i) {
+			continue
+		}
+		r1 := s.Reliability(i, l1)
+		if r1 >= s.Rel.Rth {
+			consider(l1, -1)
+			continue
+		}
+		for l2 := 0; l2 < L; l2++ {
+			if s.ExecTime(i+M, l2) > s.exp.Deadline(i+M) {
+				continue
+			}
+			if reliability.Combined(r1, s.Reliability(i+M, l2)) >= s.Rel.Rth {
+				consider(l1, l2)
+			}
+		}
+	}
+	return best1, best2
+}
+
+// phase2Allocation implements Algorithm 2: existing tasks are layered by
+// dependency depth, sorted within a layer by descending cycle count
+// (random tie-break), then greedily allocated to the processor minimizing
+// the objective increase — the maximum per-processor energy for BE, the
+// total energy for ME — with communication costs estimated by the ρ-average
+// of the real path matrices. It returns the slot order used, which is a
+// topological order of the existing subgraph.
+func phase2Allocation(s *System, d *Deployment, seed int64, opts Options) []int {
+	sub, slots := s.exp.ExistingGraph(d.Exists)
+	rng := rand.New(rand.NewSource(seed))
+
+	var order []int // in sub-graph ids
+	for _, layer := range sub.Layers() {
+		layer = append([]int(nil), layer...)
+		// Shuffle first so equal-cycle ties are broken randomly, then a
+		// stable sort by descending WCEC preserves that random tie order.
+		rng.Shuffle(len(layer), func(i, j int) { layer[i], layer[j] = layer[j], layer[i] })
+		sort.SliceStable(layer, func(a, b int) bool {
+			return sub.Tasks[layer[a]].WCEC > sub.Tasks[layer[b]].WCEC
+		})
+		order = append(order, layer...)
+	}
+
+	n := s.Mesh.N()
+	comp := make([]float64, n)
+	comm := make([]float64, n)
+	procFree := make([]float64, n)     // estimated per-processor finish time
+	estEnd := make(map[int]float64, n) // estimated end time per sub-task id
+	commDelta := make([]float64, n)
+	for _, ti := range order {
+		slot := slots[ti]
+		eComp := s.ExecEnergy(slot, d.Level[slot])
+		tComp := s.ExecTime(slot, d.Level[slot])
+		bestK, bestMax := -1, math.Inf(1)
+		// Schedule-aware capacity filter (constraint (9) during
+		// allocation): estimate the slot's end time on each candidate —
+		// predecessors already have estimated ends — and skip processors
+		// where the slot would overrun the horizon; if every processor
+		// overruns, fall back to all of them.
+		// Mirrors scheduleExisting: ready = max predecessor end + summed
+		// communication time. Under the paper's constant estimate the
+		// per-edge time is the global midpoint regardless of placement.
+		tLo, tHi := s.Mesh.TimeBounds()
+		estEndOn := func(k int) float64 {
+			ready, commSum := 0.0, 0.0
+			for _, pa := range sub.Pred(ti) {
+				if e := estEnd[pa]; e > ready {
+					ready = e
+				}
+				if opts.CommEstimate == EstimateConstant {
+					commSum += sub.Data(pa, ti) * (tLo + tHi) / 2
+					continue
+				}
+				if g := d.Proc[slots[pa]]; g != k {
+					var avg float64
+					for rho := 0; rho < noc.NumPaths; rho++ {
+						avg += s.Mesh.TimePerByte(g, k, rho)
+					}
+					commSum += sub.Data(pa, ti) * avg / noc.NumPaths
+				}
+			}
+			return math.Max(ready+commSum, procFree[k]) + tComp
+		}
+		fits := func(k int) bool { return estEndOn(k) <= s.H }
+		anyFits := false
+		for k := 0; k < n; k++ {
+			if fits(k) {
+				anyFits = true
+				break
+			}
+		}
+		for k := 0; k < n; k++ {
+			if anyFits && !fits(k) {
+				continue
+			}
+			// Communication estimate: predecessors are already placed; the
+			// path is unknown at this phase, so average over ρ (zero when
+			// co-located), as discussed in DESIGN.md. The paper's constant
+			// estimate is allocation-independent, so it contributes no
+			// delta and the allocation becomes communication-blind.
+			for kp := range commDelta {
+				commDelta[kp] = 0
+			}
+			if opts.CommEstimate == EstimateConstant {
+				scoreConstant(s, d, opts, comp, comm, eComp, k, &bestK, &bestMax)
+				continue
+			}
+			for _, pa := range sub.Pred(ti) {
+				g := d.Proc[slots[pa]]
+				if g == k {
+					continue
+				}
+				bytes := sub.Data(pa, ti)
+				for kp := 0; kp < n; kp++ {
+					var avg float64
+					for rho := 0; rho < noc.NumPaths; rho++ {
+						avg += s.Mesh.EnergyPerByte(g, k, kp, rho)
+					}
+					commDelta[kp] += bytes * avg / noc.NumPaths
+				}
+			}
+			score := 0.0
+			for kp := 0; kp < n; kp++ {
+				e := comp[kp] + comm[kp] + commDelta[kp]
+				if kp == k {
+					e += eComp
+				}
+				if opts.Objective == MinimizeEnergy {
+					score += e
+				} else if e > score {
+					score = e
+				}
+			}
+			if score < bestMax-1e-15 {
+				bestK, bestMax = k, score
+			}
+		}
+		d.Proc[slot] = bestK
+		comp[bestK] += eComp
+		end := estEndOn(bestK)
+		estEnd[ti] = end
+		procFree[bestK] = end
+		if opts.CommEstimate == EstimateConstant {
+			continue // the paper's constant E_k^comm carries no placement info
+		}
+		for _, pa := range sub.Pred(ti) {
+			g := d.Proc[slots[pa]]
+			if g == bestK {
+				continue
+			}
+			bytes := sub.Data(pa, ti)
+			for kp := 0; kp < n; kp++ {
+				var avg float64
+				for rho := 0; rho < noc.NumPaths; rho++ {
+					avg += s.Mesh.EnergyPerByte(g, bestK, kp, rho)
+				}
+				comm[kp] += bytes * avg / noc.NumPaths
+			}
+		}
+	}
+
+	slotOrder := make([]int, len(order))
+	for i, ti := range order {
+		slotOrder[i] = slots[ti]
+	}
+	// Initial schedule (t^s, and implicitly u) with ρ-averaged comm times.
+	scheduleExisting(s, d, slotOrder, func(i int) float64 {
+		return avgCommTime(s, d, i)
+	})
+	return slotOrder
+}
+
+// scoreConstant evaluates candidate k under the paper's constant
+// communication estimate: comm contributes equally everywhere, so only
+// computation energy differentiates processors.
+func scoreConstant(s *System, d *Deployment, opts Options, comp, comm []float64, eComp float64, k int, bestK *int, bestMax *float64) {
+	score := 0.0
+	for kp := range comp {
+		e := comp[kp] + comm[kp]
+		if kp == k {
+			e += eComp
+		}
+		if opts.Objective == MinimizeEnergy {
+			score += e
+		} else if e > score {
+			score = e
+		}
+	}
+	if score < *bestMax-1e-15 {
+		*bestK, *bestMax = k, score
+	}
+}
+
+// avgCommTime is t_i^comm with per-pair times averaged over the candidate
+// paths (used before Phase 3 fixes the routes).
+func avgCommTime(s *System, d *Deployment, i int) float64 {
+	var t float64
+	for _, pair := range s.exp.DepEdges() {
+		a, b := pair[0], pair[1]
+		if b != i || !d.Exists[a] {
+			continue
+		}
+		beta, gamma := d.Proc[a], d.Proc[b]
+		if beta == gamma {
+			continue
+		}
+		var avg float64
+		for rho := 0; rho < noc.NumPaths; rho++ {
+			avg += s.Mesh.TimePerByte(beta, gamma, rho)
+		}
+		t += s.exp.Data(a, b) * avg / noc.NumPaths
+	}
+	return t
+}
+
+// scheduleExisting list-schedules existing slots in the given topological
+// order on their assigned processors: a slot starts when its processor is
+// free and every predecessor has finished and its input data has arrived
+// (constraints (6) and (7)). It returns the makespan.
+func scheduleExisting(s *System, d *Deployment, order []int, commTime func(i int) float64) float64 {
+	procFree := make([]float64, s.Mesh.N())
+	var makespan float64
+	for _, i := range order {
+		ready := 0.0
+		for _, pair := range s.exp.DepEdges() {
+			a, b := pair[0], pair[1]
+			if b != i || !d.Exists[a] {
+				continue
+			}
+			if e := d.End(s, a); e > ready {
+				ready = e
+			}
+		}
+		ready += commTime(i)
+		k := d.Proc[i]
+		start := math.Max(ready, procFree[k])
+		d.Start[i] = start
+		end := start + s.ExecTime(i, d.Level[i])
+		procFree[k] = end
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan
+}
+
+// phase3PathSelection implements Algorithm 3: for every processor pair with
+// traffic, greedily pick the candidate path minimizing the maximum
+// per-processor energy subject to the horizon (9), starting from the
+// energy-oriented default. It reports whether the final schedule meets the
+// horizon.
+func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) bool {
+	realComm := func(i int) float64 { return d.CommTime(s, i) }
+
+	if opts.SinglePath {
+		// Baseline: every route pinned to the energy-oriented path.
+		makespan := scheduleExisting(s, d, order, realComm)
+		return makespan <= s.H+timeTol
+	}
+
+	// Collect pairs carrying traffic, in deterministic order.
+	n := s.Mesh.N()
+	used := make([][]bool, n)
+	for b := range used {
+		used[b] = make([]bool, n)
+	}
+	for _, pair := range s.exp.DepEdges() {
+		a, b := pair[0], pair[1]
+		if !d.Exists[a] || !d.Exists[b] {
+			continue
+		}
+		if d.Proc[a] != d.Proc[b] {
+			used[d.Proc[a]][d.Proc[b]] = true
+		}
+	}
+
+	evaluate := func() (maxCost, makespan float64) {
+		makespan = scheduleExisting(s, d, order, realComm)
+		m, err := ComputeMetrics(s, d)
+		if err != nil {
+			// Structure was validated before Phase 3; this cannot happen.
+			panic("core: metrics failed during path selection: " + err.Error())
+		}
+		if opts.Objective == MinimizeEnergy {
+			return m.SumEnergy, makespan
+		}
+		return m.MaxEnergy, makespan
+	}
+
+	for beta := 0; beta < n; beta++ {
+		for gamma := 0; gamma < n; gamma++ {
+			if !used[beta][gamma] {
+				continue
+			}
+			bestRho, bestCost := -1, math.Inf(1)
+			fallbackRho, fallbackSpan := 0, math.Inf(1)
+			for rho := 0; rho < noc.NumPaths; rho++ {
+				d.PathSel[beta][gamma] = rho
+				cost, span := evaluate()
+				if span < fallbackSpan {
+					fallbackRho, fallbackSpan = rho, span
+				}
+				if span > s.H+timeTol {
+					continue // violates (9)
+				}
+				if cost < bestCost-1e-15 {
+					bestRho, bestCost = rho, cost
+				}
+			}
+			if bestRho < 0 {
+				// Neither path meets the horizon: keep the faster one; the
+				// run will be reported infeasible.
+				bestRho = fallbackRho
+			}
+			d.PathSel[beta][gamma] = bestRho
+		}
+	}
+	makespan := scheduleExisting(s, d, order, realComm)
+	return makespan <= s.H+timeTol
+}

@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/task"
+)
+
+// Phase 1 must obey the duplication rule (4) exactly: a replica exists iff
+// the original's chosen level is below threshold, and when it exists the
+// combined reliability meets the threshold (5).
+func TestPhase1DuplicationRule(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		s := systemAtAlpha(t, 12, seed, 2.0)
+		d := NewDeployment(s)
+		phase1FrequencyAndDuplication(s, d)
+		M := s.Graph.M()
+		for i := 0; i < M; i++ {
+			ri := s.Reliability(i, d.Level[i])
+			needs := ri < s.Rel.Rth
+			if needs != d.Exists[i+M] {
+				t.Errorf("seed %d task %d: r=%.8f needs=%v exists=%v",
+					seed, i, ri, needs, d.Exists[i+M])
+			}
+			if d.Exists[i+M] {
+				if c := reliability.Combined(ri, s.Reliability(i+M, d.Level[i+M])); c < s.Rel.Rth {
+					t.Errorf("seed %d task %d: combined %.8f < Rth", seed, i, c)
+				}
+			}
+		}
+	}
+}
+
+// Phase 1 must respect the per-task deadline (8) whenever any level does.
+func TestPhase1Deadlines(t *testing.T) {
+	s := systemAtAlpha(t, 14, 2, 2.0)
+	d := NewDeployment(s)
+	ok := phase1FrequencyAndDuplication(s, d)
+	if !ok {
+		t.Fatal("phase 1 infeasible on default workload")
+	}
+	for i := 0; i < s.exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		if et := s.ExecTime(i, d.Level[i]); et > s.exp.Deadline(i)+1e-12 {
+			t.Errorf("slot %d: exec %g > deadline %g", i, et, s.exp.Deadline(i))
+		}
+	}
+}
+
+// Phase 1 reports infeasibility when no level can meet a deadline.
+func TestPhase1ImpossibleDeadline(t *testing.T) {
+	plat := platform.Default(4)
+	mesh := noc.Default(2, 2)
+	g := task.New()
+	g.AddTask("hopeless", 1e9, 1e-6) // 1 Gcycle in a microsecond
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	s, err := NewSystem(plat, mesh, g, rel, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDeployment(s)
+	if phase1FrequencyAndDuplication(s, d) {
+		t.Error("phase 1 claims feasibility for an impossible deadline")
+	}
+}
+
+// The BE allocation must spread load: with identical independent tasks and
+// enough processors, no processor should receive two tasks.
+func TestPhase2SpreadsIndependentTasks(t *testing.T) {
+	plat := platform.Default(16)
+	mesh := noc.Default(4, 4)
+	g := task.New()
+	for i := 0; i < 8; i++ {
+		g.AddTask("", 2e6, 0.9*2e6/0.5e9)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	// Loose horizon: capacity is not the driver, balance is.
+	s, err := NewSystem(plat, mesh, g, rel, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := Heuristic(s, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MMax != 1 {
+		t.Errorf("M_max = %d with 16 processors and ≤16 existing tasks", m.MMax)
+	}
+}
+
+// The ME allocation must co-locate a communicating pair when communication
+// is expensive.
+func TestPhase2MEClusters(t *testing.T) {
+	plat := platform.Default(4)
+	mesh := noc.Default(2, 2)
+	mesh.ScaleEnergy(1e4) // communication dominates
+	g := task.New()
+	a := g.AddTask("", 1e6, 0.9*1e6/0.5e9)
+	b := g.AddTask("", 1e6, 0.9*1e6/0.5e9)
+	g.AddEdge(a, b, 64<<10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	s, err := NewSystem(plat, mesh, g, rel, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := Heuristic(s, Options{Objective: MinimizeEnergy}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Proc[a] != d.Proc[b] {
+		t.Errorf("ME left an expensive edge split across processors %d and %d",
+			d.Proc[a], d.Proc[b])
+	}
+}
+
+// Schedules produced by the heuristic are left-justified: some task starts
+// at time zero.
+func TestScheduleStartsAtZero(t *testing.T) {
+	s := systemAtAlpha(t, 12, 4, 1.8)
+	d, info, err := Heuristic(s, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Skip("infeasible instance")
+	}
+	min := math.Inf(1)
+	for i := range d.Start {
+		if d.Exists[i] && d.Start[i] < min {
+			min = d.Start[i]
+		}
+	}
+	if min != 0 {
+		t.Errorf("earliest start %g, want 0", min)
+	}
+}
+
+// Objective monotonicity across the two routing variants holds for every
+// seed (phase 3 starts from the single-path default).
+func TestSinglePathSkipsPhase3(t *testing.T) {
+	s := systemAtAlpha(t, 12, 9, 1.6)
+	d, _, err := Heuristic(s, Options{SinglePath: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := range d.PathSel {
+		for g, rho := range d.PathSel[b] {
+			if b == g {
+				continue
+			}
+			if rho != noc.PathEnergy {
+				t.Fatalf("single-path deployment selected ρ=%d for %d→%d", rho, b, g)
+			}
+		}
+	}
+}
+
+// Under the paper's constant communication estimate, phase 2 must be
+// communication-blind: with an expensive edge and the ME objective it can
+// no longer see the co-location benefit the path-averaged variant exploits.
+func TestCommEstimateVariantsDiffer(t *testing.T) {
+	plat := platform.Default(4)
+	mesh := noc.Default(2, 2)
+	mesh.ScaleEnergy(1e4)
+	g := task.New()
+	a := g.AddTask("", 1e6, 0.9*1e6/0.5e9)
+	b := g.AddTask("", 1e6, 0.9*1e6/0.5e9)
+	g.AddEdge(a, b, 64<<10)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	s, err := NewSystem(plat, mesh, g, rel, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dOurs, _, err := Heuristic(s, Options{Objective: MinimizeEnergy}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dOurs.Proc[a] != dOurs.Proc[b] {
+		t.Fatal("path-averaged ME should co-locate the expensive edge")
+	}
+	mOurs, err := ComputeMetrics(s, dOurs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPaper, _, err := Heuristic(s, Options{Objective: MinimizeEnergy, CommEstimate: EstimateConstant}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mPaper, err := ComputeMetrics(s, dPaper)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mPaper.SumEnergy < mOurs.SumEnergy-1e-15 {
+		t.Errorf("comm-blind variant beat the comm-aware one: %g < %g",
+			mPaper.SumEnergy, mOurs.SumEnergy)
+	}
+}

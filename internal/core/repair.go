@@ -1,0 +1,236 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// HeuristicWithRepair is an extension beyond the paper: it runs the
+// three-phase heuristic and, when the resulting schedule misses the
+// horizon (constraint (9)), iteratively raises the V/F level of the
+// latest-finishing tasks — re-applying the duplication rule (4), which may
+// drop a replica that a faster original no longer needs — and redoes
+// phases 2 and 3. This recovers much of the feasibility gap between the
+// paper's heuristic and the exact solver (Fig. 2(h)) at negligible cost.
+//
+// maxRounds bounds the repair iterations; 0 picks 4·M.
+func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
+	startT := time.Now()
+	d, info, err := Heuristic(s, opts, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	if info.Feasible {
+		info.Runtime = time.Since(startT)
+		return d, info, nil
+	}
+	if maxRounds <= 0 {
+		maxRounds = 4 * s.Graph.M()
+	}
+	L := s.Plat.L()
+	M := s.Graph.M()
+	for round := 0; round < maxRounds; round++ {
+		// Raise the level of the latest finisher that can still go faster.
+		cand := -1
+		candEnd := -1.0
+		for i := 0; i < s.exp.Size(); i++ {
+			if !d.Exists[i] || d.Level[i] >= L-1 {
+				continue
+			}
+			if e := d.End(s, i); e > candEnd {
+				cand, candEnd = i, e
+			}
+		}
+		if cand < 0 {
+			break // everything is already at the top level
+		}
+		d.Level[cand]++
+		// Re-apply the duplication rule for the affected original: a
+		// faster original may clear the threshold on its own (h must drop
+		// to 0 per rule (4)); a still-unreliable one keeps its replica,
+		// whose level must continue to satisfy (5) — raising the original
+		// only helps, so no replica change is needed there.
+		orig := s.exp.Orig(cand)
+		if !s.exp.IsCopy(cand) {
+			dup := orig + M
+			needs := s.Reliability(orig, d.Level[orig]) < s.Rel.Rth
+			if needs && !d.Exists[dup] {
+				// Raising a level never reduces reliability, so this can
+				// only happen if the task was unreliable all along; keep
+				// the replica machinery consistent anyway.
+				d.Exists[dup] = true
+				d.Level[dup] = L - 1
+			}
+			if !needs && d.Exists[dup] {
+				d.Exists[dup] = false
+			}
+		}
+		if deployGivenLevels(s, d, seed, opts) && CheckConstraints(s, d) == nil {
+			m, err := ComputeMetrics(s, d)
+			if err != nil {
+				return nil, nil, err
+			}
+			obj := m.MaxEnergy
+			if opts.Objective == MinimizeEnergy {
+				obj = m.SumEnergy
+			}
+			return d, &SolveInfo{
+				Runtime:   time.Since(startT),
+				Feasible:  true,
+				Objective: obj,
+			}, nil
+		}
+	}
+	// Repair failed; report the (infeasible) best effort.
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		return nil, nil, err
+	}
+	obj := m.MaxEnergy
+	if opts.Objective == MinimizeEnergy {
+		obj = m.SumEnergy
+	}
+	return d, &SolveInfo{Runtime: time.Since(startT), Feasible: false, Objective: obj}, nil
+}
+
+// Improve is an extension beyond the paper: first-improvement local search
+// over a feasible deployment. Moves are (a) reassigning one task to a
+// different processor and (b) flipping one pair's path selection; a move
+// is accepted when the rescheduled deployment stays feasible and the
+// objective strictly improves. It returns the improved deployment, its
+// objective, and the number of accepted moves.
+func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment, float64, int) {
+	if maxMoves <= 0 {
+		maxMoves = 8 * s.Graph.M()
+	}
+	best := cloneDeploymentCore(d)
+	bestObj := objectiveOf(s, best, opts)
+	accepted := 0
+
+	order := scheduleOrder(s, best)
+	reschedule := func(cand *Deployment) bool {
+		scheduleExisting(s, cand, order, func(i int) float64 { return cand.CommTime(s, i) })
+		return CheckConstraints(s, cand) == nil
+	}
+
+	for accepted < maxMoves {
+		improved := false
+	moves:
+		for i := 0; i < s.exp.Size(); i++ {
+			if !best.Exists[i] {
+				continue
+			}
+			for k := 0; k < s.Mesh.N(); k++ {
+				if k == best.Proc[i] {
+					continue
+				}
+				cand := cloneDeploymentCore(best)
+				cand.Proc[i] = k
+				if !reschedule(cand) {
+					continue
+				}
+				if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+					best, bestObj = cand, obj
+					accepted++
+					improved = true
+					break moves
+				}
+			}
+		}
+		if !improved {
+			// Path flips.
+			for b := 0; b < s.Mesh.N() && !improved; b++ {
+				for g := 0; g < s.Mesh.N(); g++ {
+					if b == g {
+						continue
+					}
+					cand := cloneDeploymentCore(best)
+					cand.PathSel[b][g] = 1 - cand.PathSel[b][g]
+					if !reschedule(cand) {
+						continue
+					}
+					if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+						best, bestObj = cand, obj
+						accepted++
+						improved = true
+						break
+					}
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return best, bestObj, accepted
+}
+
+// ImprovePaths is path-flip-only local search: starting from a feasible
+// deployment (typically single-path), it greedily flips individual pairs'
+// path selections while feasibility holds and the objective improves. By
+// construction the result is never worse than the input, which makes it
+// the fair per-instance "multi-path vs single-path" comparison.
+func ImprovePaths(s *System, d *Deployment, opts Options) (*Deployment, float64) {
+	best := cloneDeploymentCore(d)
+	bestObj := objectiveOf(s, best, opts)
+	order := scheduleOrder(s, best)
+	for changed := true; changed; {
+		changed = false
+		for b := 0; b < s.Mesh.N(); b++ {
+			for g := 0; g < s.Mesh.N(); g++ {
+				if b == g {
+					continue
+				}
+				cand := cloneDeploymentCore(best)
+				cand.PathSel[b][g] = 1 - cand.PathSel[b][g]
+				scheduleExisting(s, cand, order, func(i int) float64 { return cand.CommTime(s, i) })
+				if CheckConstraints(s, cand) != nil {
+					continue
+				}
+				if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+					best, bestObj = cand, obj
+					changed = true
+				}
+			}
+		}
+	}
+	return best, bestObj
+}
+
+// scheduleOrder returns a topological order of the existing slots (the
+// order the list scheduler replays moves in).
+func scheduleOrder(s *System, d *Deployment) []int {
+	sub, slots := s.exp.ExistingGraph(d.Exists)
+	var order []int
+	for _, layer := range sub.Layers() {
+		for _, t := range layer {
+			order = append(order, slots[t])
+		}
+	}
+	return order
+}
+
+func objectiveOf(s *System, d *Deployment, opts Options) float64 {
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		return math.Inf(1)
+	}
+	if opts.Objective == MinimizeEnergy {
+		return m.SumEnergy
+	}
+	return m.MaxEnergy
+}
+
+// cloneDeploymentCore deep-copies a deployment.
+func cloneDeploymentCore(d *Deployment) *Deployment {
+	c := &Deployment{
+		Exists: append([]bool(nil), d.Exists...),
+		Level:  append([]int(nil), d.Level...),
+		Proc:   append([]int(nil), d.Proc...),
+		Start:  append([]float64(nil), d.Start...),
+	}
+	for _, row := range d.PathSel {
+		c.PathSel = append(c.PathSel, append([]int(nil), row...))
+	}
+	return c
+}

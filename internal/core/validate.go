@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/reliability"
+)
+
+// Metrics summarizes a deployment's energy, balance and timing figures.
+type Metrics struct {
+	CompEnergy []float64 // E_k^comp per processor
+	CommEnergy []float64 // E_k^comm per processor
+	MaxEnergy  float64   // max_k (E_k^comp + E_k^comm), the BE objective
+	SumEnergy  float64   // Σ_k, the ME objective
+	// Phi is max_k E_k / min_k E_k over processors hosting at least one
+	// task — the paper's "E_k ≠ 0" proviso interpreted as excluding
+	// processors that only forward traffic, whose router-only energy would
+	// otherwise dominate the ratio.
+	Phi      float64
+	MMax     int     // max tasks on one processor
+	Dups     int     // M_d
+	Makespan float64 // max_i t_i^e
+}
+
+// Energy returns E_k^comp + E_k^comm for processor k.
+func (m *Metrics) Energy(k int) float64 { return m.CompEnergy[k] + m.CommEnergy[k] }
+
+// timeTol is the slack allowed when checking timing constraints, absorbing
+// floating-point drift from the MILP solver.
+const timeTol = 1e-6
+
+// Validate checks a deployment against every constraint of problem P1 and
+// returns its metrics. A nil error means the deployment is feasible.
+func Validate(s *System, d *Deployment) (*Metrics, error) {
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		return nil, err
+	}
+	if err := CheckConstraints(s, d); err != nil {
+		return m, err
+	}
+	return m, nil
+}
+
+// ComputeMetrics computes energy and timing figures without judging
+// feasibility (structure is still validated).
+func ComputeMetrics(s *System, d *Deployment) (*Metrics, error) {
+	if err := checkStructure(s, d); err != nil {
+		return nil, err
+	}
+	n := s.Mesh.N()
+	m := &Metrics{
+		CompEnergy: make([]float64, n),
+		CommEnergy: make([]float64, n),
+		Dups:       d.DupCount(),
+	}
+	perProc := make([]int, n)
+	for i := 0; i < s.exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		m.CompEnergy[d.Proc[i]] += s.ExecEnergy(i, d.Level[i])
+		perProc[d.Proc[i]]++
+		if e := d.End(s, i); e > m.Makespan {
+			m.Makespan = e
+		}
+	}
+	for _, pair := range s.exp.DepEdges() {
+		a, b := pair[0], pair[1]
+		if !d.Exists[a] || !d.Exists[b] {
+			continue
+		}
+		beta, gamma := d.Proc[a], d.Proc[b]
+		if beta == gamma {
+			continue
+		}
+		rho := d.PathSel[beta][gamma]
+		bytes := s.exp.Data(a, b)
+		for k := 0; k < n; k++ {
+			m.CommEnergy[k] += bytes * s.Mesh.EnergyPerByte(beta, gamma, k, rho)
+		}
+	}
+	minE, maxLoaded := math.Inf(1), 0.0
+	for k := 0; k < n; k++ {
+		e := m.Energy(k)
+		m.SumEnergy += e
+		if e > m.MaxEnergy {
+			m.MaxEnergy = e
+		}
+		if perProc[k] > 0 {
+			if e < minE {
+				minE = e
+			}
+			if e > maxLoaded {
+				maxLoaded = e
+			}
+		}
+		if perProc[k] > m.MMax {
+			m.MMax = perProc[k]
+		}
+	}
+	if !math.IsInf(minE, 1) && minE > 0 {
+		m.Phi = maxLoaded / minE
+	}
+	return m, nil
+}
+
+// checkStructure validates index ranges and structural invariants
+// (constraints (1), (2), (3) are structural in this representation).
+func checkStructure(s *System, d *Deployment) error {
+	n2 := s.exp.Size()
+	if len(d.Exists) != n2 || len(d.Level) != n2 || len(d.Proc) != n2 || len(d.Start) != n2 {
+		return fmt.Errorf("core: deployment sized for %d slots, want %d", len(d.Exists), n2)
+	}
+	for i := 0; i < s.Graph.M(); i++ {
+		if !d.Exists[i] {
+			return fmt.Errorf("core: original task %d marked non-existing", i)
+		}
+	}
+	for i := 0; i < n2; i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		if d.Proc[i] < 0 || d.Proc[i] >= s.Mesh.N() {
+			return fmt.Errorf("core: slot %d allocated to processor %d of %d", i, d.Proc[i], s.Mesh.N())
+		}
+		if d.Level[i] < 0 || d.Level[i] >= s.Plat.L() {
+			return fmt.Errorf("core: slot %d assigned level %d of %d", i, d.Level[i], s.Plat.L())
+		}
+		if d.Start[i] < -timeTol {
+			return fmt.Errorf("core: slot %d starts at %g < 0", i, d.Start[i])
+		}
+	}
+	if len(d.PathSel) != s.Mesh.N() {
+		return fmt.Errorf("core: PathSel has %d rows, want %d", len(d.PathSel), s.Mesh.N())
+	}
+	for b := range d.PathSel {
+		for g, rho := range d.PathSel[b] {
+			if b == g {
+				continue
+			}
+			if rho < 0 || rho >= noc.NumPaths {
+				return fmt.Errorf("core: PathSel[%d][%d] = %d outside [0, %d)", b, g, rho, noc.NumPaths)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckConstraints verifies constraints (4)–(9) for an existing-structure
+// deployment.
+func CheckConstraints(s *System, d *Deployment) error {
+	// (4)+(5): reliability with the duplication rule.
+	for i := 0; i < s.Graph.M(); i++ {
+		ri := s.Reliability(i, d.Level[i])
+		dup := i + s.Graph.M()
+		if d.Exists[dup] {
+			if c := reliability.Combined(ri, s.Reliability(dup, d.Level[dup])); c < s.Rel.Rth-1e-12 {
+				return fmt.Errorf("core: task %d duplicated but combined reliability %.8f < Rth %.8f", i, c, s.Rel.Rth)
+			}
+		} else if ri < s.Rel.Rth-1e-12 {
+			return fmt.Errorf("core: task %d reliability %.8f < Rth %.8f without duplication", i, ri, s.Rel.Rth)
+		}
+	}
+	// (8): per-task execution time within its relative deadline.
+	for i := 0; i < s.exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		if tc := s.ExecTime(i, d.Level[i]); tc > s.exp.Deadline(i)+timeTol {
+			return fmt.Errorf("core: slot %d execution time %g exceeds deadline %g", i, tc, s.exp.Deadline(i))
+		}
+	}
+	// (9): everything finishes within the horizon.
+	for i := 0; i < s.exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		if e := d.End(s, i); e > s.H+timeTol {
+			return fmt.Errorf("core: slot %d ends at %g beyond horizon %g", i, e, s.H)
+		}
+	}
+	// (6): precedence with communication.
+	for _, pair := range s.exp.DepEdges() {
+		a, b := pair[0], pair[1]
+		if !d.Exists[a] || !d.Exists[b] {
+			continue
+		}
+		need := d.End(s, a) + d.CommTime(s, b)
+		if d.Start[b]+timeTol < need {
+			return fmt.Errorf("core: slot %d starts at %g before predecessor %d finishes + comm (%g)",
+				b, d.Start[b], a, need)
+		}
+	}
+	// (7): tasks on the same processor must not overlap.
+	type ival struct {
+		s, e float64
+		id   int
+	}
+	perProc := map[int][]ival{}
+	for i := 0; i < s.exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		perProc[d.Proc[i]] = append(perProc[d.Proc[i]], ival{d.Start[i], d.End(s, i), i})
+	}
+	for k, ivs := range perProc {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i].s < ivs[j].s })
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i].s+timeTol < ivs[i-1].e {
+				return fmt.Errorf("core: slots %d and %d overlap on processor %d ([%g,%g] vs [%g,%g])",
+					ivs[i-1].id, ivs[i].id, k, ivs[i-1].s, ivs[i-1].e, ivs[i].s, ivs[i].e)
+			}
+		}
+	}
+	return nil
+}

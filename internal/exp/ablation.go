@@ -1,0 +1,201 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocdeploy/internal/core"
+)
+
+// The ablation runners evaluate design choices called out in DESIGN.md
+// that go beyond the paper's own figures.
+
+// RunAblationRepair compares the plain three-phase heuristic against the
+// horizon-repair extension across the α sweep: repair should close much of
+// the feasibility gap to the exact solver at negligible runtime.
+func RunAblationRepair(cfg Config) (*Table, error) {
+	alphas := []float64{0.6, 0.8, 1.0, 1.2}
+	reps := cfg.reps(12)
+	t := &Table{
+		Title:  "Ablation: heuristic horizon repair (extension)",
+		Note:   "paper scale 4x4 mesh, L=6, M=16",
+		Header: []string{"alpha", "delta(plain)", "delta(repair)", "E(plain)", "E(repair)"},
+	}
+	for _, alpha := range alphas {
+		feasP, feasR := 0, 0
+		var eP, eR []float64
+		for rep := 0; rep < reps; rep++ {
+			s, err := Build(paperScale(16, alpha, cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			_, plain, err := core.Heuristic(s, core.Options{}, 1)
+			if err != nil {
+				return nil, err
+			}
+			_, repaired, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			if plain.Feasible {
+				feasP++
+			}
+			if repaired.Feasible {
+				feasR++
+			}
+			if plain.Feasible && repaired.Feasible {
+				eP = append(eP, plain.Objective)
+				eR = append(eR, repaired.Objective)
+			}
+		}
+		t.AddRow(f3(alpha),
+			pct(float64(feasP)/float64(reps)),
+			pct(float64(feasR)/float64(reps)),
+			f3(mean(eP)), f3(mean(eR)))
+	}
+	return t, nil
+}
+
+// RunAblationImprove measures what first-improvement local search adds on
+// top of the heuristic's objective.
+func RunAblationImprove(cfg Config) (*Table, error) {
+	ms := []int{12, 16, 20}
+	reps := cfg.reps(10)
+	t := &Table{
+		Title:  "Ablation: local-search improvement on the heuristic (extension)",
+		Note:   "paper scale 4x4 mesh, L=6; max per-processor energy (J)",
+		Header: []string{"M", "E(heuristic)", "E(+improve)", "gain", "moves(avg)"},
+	}
+	for _, m := range ms {
+		var eH, eI, mv []float64
+		for rep := 0; rep < reps; rep++ {
+			s, err := Build(paperScale(m, 1.3, cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			d, info, err := core.Heuristic(s, core.Options{}, 1)
+			if err != nil {
+				return nil, err
+			}
+			if !info.Feasible {
+				continue
+			}
+			_, obj, moves := core.Improve(s, d, core.Options{}, 0)
+			eH = append(eH, info.Objective)
+			eI = append(eI, obj)
+			mv = append(mv, float64(moves))
+		}
+		gain := ""
+		if mean(eH) > 0 {
+			gain = pct((mean(eH) - mean(eI)) / mean(eH))
+		}
+		t.AddRow(fmt.Sprintf("%d", m), f3(mean(eH)), f3(mean(eI)), gain, f3(mean(mv)))
+	}
+	return t, nil
+}
+
+// RunAblationWarmStart compares branch & bound with and without the
+// heuristic incumbent: the warm start should cut nodes and runtime.
+func RunAblationWarmStart(cfg Config) (*Table, error) {
+	reps := cfg.reps(5)
+	t := &Table{
+		Title:  "Ablation: branch & bound warm start from the heuristic",
+		Note:   "reduced scale 2x2 mesh, M=4, L=3",
+		Header: []string{"variant", "time(avg)", "nodes(avg)", "feasible"},
+	}
+	type row struct {
+		name  string
+		warm  bool
+		times []float64
+		nodes []float64
+		feas  int
+	}
+	rows := []*row{{name: "cold"}, {name: "warm", warm: true}}
+	for rep := 0; rep < reps; rep++ {
+		s, err := Build(smallOptimal(4, 1.4, cfg.Seed+int64(rep)))
+		if err != nil {
+			return nil, err
+		}
+		// Use the repair variant so a warm incumbent exists on most seeds.
+		hd, hinfo, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range rows {
+			oo := core.OptimalOptions{TimeLimit: cfg.timeLimit(), RelGap: 0.02}
+			if r.warm && hinfo.Feasible {
+				oo.WarmDeployment = hd
+			}
+			_, info, err := core.Optimal(s, core.Options{}, oo)
+			if err != nil {
+				return nil, err
+			}
+			r.times = append(r.times, info.Runtime.Seconds())
+			r.nodes = append(r.nodes, float64(info.Nodes))
+			if info.Feasible {
+				r.feas++
+			}
+		}
+	}
+	for _, r := range rows {
+		t.AddRow(r.name, fmt.Sprintf("%.3gs", mean(r.times)), f3(mean(r.nodes)),
+			fmt.Sprintf("%d/%d", r.feas, reps))
+	}
+	return t, nil
+}
+
+// RunAblationAnneal compares the three deployment methods this library
+// offers at paper scale: repaired heuristic, heuristic + local search, and
+// simulated annealing.
+func RunAblationAnneal(cfg Config) (*Table, error) {
+	ms := []int{12, 16, 20}
+	reps := cfg.reps(6)
+	t := &Table{
+		Title:  "Ablation: heuristic vs local search vs simulated annealing (extension)",
+		Note:   "paper scale 4x4 mesh, L=6; max per-processor energy (J)",
+		Header: []string{"M", "E(heur+repair)", "E(+improve)", "E(anneal)", "t(anneal)"},
+	}
+	for _, m := range ms {
+		var eH, eI, eA, tA []float64
+		for rep := 0; rep < reps; rep++ {
+			s, err := Build(paperScale(m, 1.3, cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			d, info, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			if !info.Feasible {
+				continue
+			}
+			_, objI, _ := core.Improve(s, d, core.Options{}, 0)
+			iters := 2000 * m
+			if cfg.Quick {
+				iters = 400 * m
+			}
+			_, ainfo, err := core.Anneal(s, core.Options{}, core.AnnealOptions{Iters: iters, Seed: 1})
+			if err != nil {
+				return nil, err
+			}
+			eH = append(eH, info.Objective)
+			eI = append(eI, objI)
+			if ainfo.Feasible {
+				eA = append(eA, ainfo.Objective)
+				tA = append(tA, ainfo.Runtime.Seconds())
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", m), f3(mean(eH)), f3(mean(eI)), f3(mean(eA)),
+			fmt.Sprintf("%.3gs", mean(tA)))
+	}
+	return t, nil
+}
+
+// ExtensionRunners lists the beyond-the-paper ablations.
+func ExtensionRunners() []Runner {
+	return []Runner{
+		{"ext-repair", RunAblationRepair},
+		{"ext-improve", RunAblationImprove},
+		{"ext-warmstart", RunAblationWarmStart},
+		{"ext-anneal", RunAblationAnneal},
+	}
+}

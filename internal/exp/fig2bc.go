@@ -1,0 +1,113 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocdeploy/internal/core"
+)
+
+// RunFig2b reproduces Fig. 2(b): the influence of the communication/
+// computation energy ratio μ on the allocation decision — as μ grows,
+// dependent tasks cluster onto fewer processors and M_max rises.
+func RunFig2b(cfg Config) (*Table, error) {
+	scales := []float64{1, 100, 1e3, 1e4, 1e5, 1e6}
+	reps := cfg.reps(6)
+	t := &Table{
+		Title:  "Fig 2(b): max tasks per processor M_max vs mu = e_comm/e_comp",
+		Note:   "optimal BE deployment; reduced scale 2x2 mesh, M=4, L=3, 4x payloads",
+		Header: []string{"mu", "M_max(avg)", "feasible"},
+	}
+	m := 4
+	for _, sc := range scales {
+		var mmax []float64
+		feas := 0
+		var mu float64
+		for rep := 0; rep < reps; rep++ {
+			p := smallOptimal(m, 1.2, cfg.Seed+int64(rep))
+			p.MuScale = sc
+			p.BytesScale = 4
+			s, err := Build(p)
+			if err != nil {
+				return nil, err
+			}
+			mu = s.Mesh.MaxEnergyPerByte() / maxExecEnergyPerTask(s)
+			d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.Feasible || d == nil {
+				continue
+			}
+			feas++
+			met, err := core.ComputeMetrics(s, d)
+			if err != nil {
+				return nil, err
+			}
+			mmax = append(mmax, float64(met.MMax))
+		}
+		t.AddRow(fmt.Sprintf("%.2g", mu), f3(mean(mmax)), fmt.Sprintf("%d/%d", feas, reps))
+	}
+	return t, nil
+}
+
+// maxExecEnergyPerTask is the paper's e_k^comp normalizer for μ:
+// max over tasks and levels of the per-byte-comparable execution energy.
+// The paper divides the max per-unit communication energy by the max
+// per-cycle execution energy; both are "per unit", so we normalize the
+// execution side per cycle.
+func maxExecEnergyPerTask(s *core.System) float64 {
+	var hi float64
+	for l := 0; l < s.Plat.L(); l++ {
+		if e := s.Plat.EnergyPerCycle(l); e > hi {
+			hi = e
+		}
+	}
+	return hi
+}
+
+// RunFig2c reproduces Fig. 2(c): the influence of the execution-energy gap
+// ε = max(P/f)/min(P/f) on duplication — a large ε makes two slow copies
+// cheaper than one fast original, so M_d rises.
+func RunFig2c(cfg Config) (*Table, error) {
+	gammas := []float64{0.4, 0.8, 1.2, 1.8, 2.6}
+	reps := cfg.reps(6)
+	t := &Table{
+		Title:  "Fig 2(c): duplicated tasks M_d vs epsilon = max(P/f)/min(P/f)",
+		Note:   "optimal BE deployment; reduced scale 2x2 mesh, M=4, L=3; 12x cycles so the duplication boundary falls between the admissible levels",
+		Header: []string{"epsilon", "M_d(optimal)", "M_d(heuristic)", "feasible"},
+	}
+	m := 4
+	for _, gamma := range gammas {
+		var mdOpt, mdHeu []float64
+		feas := 0
+		var eps float64
+		for rep := 0; rep < reps; rep++ {
+			p := smallOptimal(m, 1.2, cfg.Seed+int64(rep))
+			p.Gamma = gamma
+			p.WCECScale = 12
+			s, err := Build(p)
+			if err != nil {
+				return nil, err
+			}
+			eps = s.Plat.Epsilon()
+			hd, hinfo, err := core.Heuristic(s, core.Options{}, 1)
+			if err != nil {
+				return nil, err
+			}
+			if hinfo.Feasible {
+				mdHeu = append(mdHeu, float64(hd.DupCount()))
+			}
+			d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !info.Feasible || d == nil {
+				continue
+			}
+			feas++
+			mdOpt = append(mdOpt, float64(d.DupCount()))
+		}
+		t.AddRow(f3(eps), f3(mean(mdOpt)), f3(mean(mdHeu)), fmt.Sprintf("%d/%d", feas, reps))
+	}
+	return t, nil
+}

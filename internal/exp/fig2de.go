@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"fmt"
+
+	"nocdeploy/internal/core"
+)
+
+// RunFig2d reproduces Fig. 2(d): total energy of the balance-oriented (BE)
+// scheme vs the minimization-oriented (ME) scheme — ME's total is lower.
+func RunFig2d(cfg Config) (*Table, error) {
+	return runFig2de(cfg, false)
+}
+
+// RunFig2e reproduces Fig. 2(e): the balance index φ = max E_k / min E_k of
+// BE vs ME — BE's φ is lower (better balanced).
+func RunFig2e(cfg Config) (*Table, error) {
+	return runFig2de(cfg, true)
+}
+
+func runFig2de(cfg Config, phi bool) (*Table, error) {
+	ms := []int{10, 15, 20, 25}
+	reps := cfg.reps(10)
+	what, col := "total energy (J)", "E_total"
+	if phi {
+		what, col = "balance index phi", "phi"
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 2(%s): BE vs ME, %s vs task count", map[bool]string{false: "d", true: "e"}[phi], what),
+		Note:   "repair heuristic at paper scale: 4x4 mesh, L=6, alpha=1.5 (ME needs schedule slack)",
+		Header: []string{"M", col + "(BE)", col + "(ME)", "ME saving"},
+	}
+	for _, m := range ms {
+		var be, me []float64
+		for rep := 0; rep < reps; rep++ {
+			s, err := Build(paperScale(m, 1.5, cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			dBE, iBE, err := core.HeuristicWithRepair(s, core.Options{Objective: core.BalanceEnergy}, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			dME, iME, err := core.HeuristicWithRepair(s, core.Options{Objective: core.MinimizeEnergy}, 1, 0)
+			if err != nil {
+				return nil, err
+			}
+			if !iBE.Feasible || !iME.Feasible {
+				continue
+			}
+			mBE, err := core.ComputeMetrics(s, dBE)
+			if err != nil {
+				return nil, err
+			}
+			mME, err := core.ComputeMetrics(s, dME)
+			if err != nil {
+				return nil, err
+			}
+			if phi {
+				be = append(be, mBE.Phi)
+				me = append(me, mME.Phi)
+			} else {
+				be = append(be, mBE.SumEnergy)
+				me = append(me, mME.SumEnergy)
+			}
+		}
+		saving := ""
+		if !phi && mean(be) > 0 {
+			saving = pct((mean(be) - mean(me)) / mean(be))
+		}
+		t.AddRow(fmt.Sprintf("%d", m), f3(mean(be)), f3(mean(me)), saving)
+	}
+	return t, nil
+}

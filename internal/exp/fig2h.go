@@ -1,0 +1,65 @@
+package exp
+
+import "nocdeploy/internal/core"
+
+// RunFig2h reproduces Fig. 2(h): problem feasibility ratio δ = n_f/n_a vs
+// the horizon scale α, for the optimal and heuristic methods — δ rises
+// with α and the optimal method dominates the heuristic.
+func RunFig2h(cfg Config) (*Table, error) {
+	alphas := []float64{0.2, 0.4, 0.6, 0.8, 1.0, 1.2}
+	reps := cfg.reps(30)
+	t := &Table{
+		Title:  "Fig 2(h): feasibility ratio delta vs alpha",
+		Note:   "n_a task graphs per point; reduced scale 2x2 mesh, M=4, L=3",
+		Header: []string{"alpha", "delta(optimal)", "delta(heuristic)", "n_a"},
+	}
+	m := 4
+	for _, alpha := range alphas {
+		feasO, feasH := 0, 0
+		for rep := 0; rep < reps; rep++ {
+			s, err := Build(smallOptimal(m, alpha, cfg.Seed+int64(rep)))
+			if err != nil {
+				return nil, err
+			}
+			_, hinfo, err := core.Heuristic(s, core.Options{}, 1)
+			if err != nil {
+				return nil, err
+			}
+			if hinfo.Feasible {
+				feasH++
+			}
+			_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if oinfo.Feasible {
+				feasO++
+			}
+		}
+		t.AddRow(f3(alpha),
+			pct(float64(feasO)/float64(reps)),
+			pct(float64(feasH)/float64(reps)),
+			f3(float64(reps)))
+	}
+	return t, nil
+}
+
+// Runner is a named figure reproduction.
+type Runner struct {
+	Name string
+	Run  func(Config) (*Table, error)
+}
+
+// Runners lists every figure reproduction in paper order.
+func Runners() []Runner {
+	return []Runner{
+		{"2a", RunFig2a},
+		{"2b", RunFig2b},
+		{"2c", RunFig2c},
+		{"2d", RunFig2d},
+		{"2e", RunFig2e},
+		{"2f", RunFig2f},
+		{"2g", RunFig2g},
+		{"2h", RunFig2h},
+	}
+}

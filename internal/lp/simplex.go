@@ -1,0 +1,580 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+// varState describes where a column currently sits.
+type varState uint8
+
+const (
+	atLower varState = iota
+	atUpper
+	isFree // nonbasic free variable, held at value 0
+	inBasis
+)
+
+// simplex carries the working state of one solve.
+type simplex struct {
+	opt Options
+
+	n, m int // structural columns, rows
+
+	// column-major matrix over all columns: structural, slack, artificial.
+	colIdx [][]int
+	colVal [][]float64
+
+	lo, hi []float64 // working bounds for all columns
+	cost   []float64 // phase-dependent cost for all columns
+	rhs    []float64 // row right-hand sides (rows as equalities)
+
+	state []varState
+	basis []int     // basis[i] = column basic in row i
+	xB    []float64 // values of basic variables
+	binv  []float64 // m×m row-major basis inverse
+
+	iters       int
+	sincePivot  int // pivots since last refactorization
+	degenStreak int // consecutive (near-)degenerate pivots, drives Bland switch
+}
+
+// errSingular reports a numerically broken basis; Solve retries once with
+// conservative settings before giving up.
+var errSingular = fmt.Errorf("lp: basis became singular")
+
+// Solve minimizes the problem. It returns an error only for malformed input
+// or an internal numerical breakdown; infeasibility and unboundedness are
+// reported through Solution.Status.
+func Solve(p *Problem, opt Options) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	sol, err := solveOnce(p, opt)
+	if err == errSingular {
+		// Numerical breakdown: retry with frequent refactorization and
+		// early Bland pivoting, which is slower but far more stable.
+		retry := opt
+		retry.Refactor = 16
+		retry.BlandAfter = 8
+		sol, err = solveOnce(p, retry)
+		if err == errSingular {
+			return nil, fmt.Errorf("lp: basis singular even under conservative pivoting")
+		}
+	}
+	return sol, err
+}
+
+func solveOnce(p *Problem, opt Options) (*Solution, error) {
+	m := len(p.Cons)
+	opt = opt.withDefaults(m)
+	s := &simplex{opt: opt, n: p.NumCols, m: m}
+	s.build(p)
+
+	if m == 0 {
+		// Pure box problem: each column sits at its cheapest bound.
+		x := make([]float64, p.NumCols)
+		for j := 0; j < p.NumCols; j++ {
+			switch {
+			case p.Cost[j] > 0:
+				if math.IsInf(p.Lower[j], -1) {
+					return &Solution{Status: Unbounded}, nil
+				}
+				x[j] = p.Lower[j]
+			case p.Cost[j] < 0:
+				if math.IsInf(p.Upper[j], 1) {
+					return &Solution{Status: Unbounded}, nil
+				}
+				x[j] = p.Upper[j]
+			default:
+				switch {
+				case !math.IsInf(p.Lower[j], -1):
+					x[j] = p.Lower[j]
+				case !math.IsInf(p.Upper[j], 1):
+					x[j] = p.Upper[j]
+				}
+			}
+		}
+		return &Solution{Status: Optimal, X: x, Obj: p.Eval(x)}, nil
+	}
+
+	// Phase 1: minimize the sum of artificial variables.
+	phase1 := make([]float64, len(s.cost))
+	for j := s.n + s.m; j < len(phase1); j++ {
+		phase1[j] = 1
+	}
+	s.cost = phase1
+	st, err := s.iterate()
+	if err != nil {
+		return nil, err
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+	}
+	if infeas := s.phaseObj(); infeas > 1e-6 {
+		// Obj carries the residual infeasibility (sum of artificial
+		// values) to help callers distinguish numerical noise from real
+		// constraint conflicts.
+		return &Solution{Status: Infeasible, Iters: s.iters, Obj: infeas}, nil
+	}
+
+	// Phase 2: fix artificials at zero and optimize the real cost.
+	for j := s.n + s.m; j < len(s.cost); j++ {
+		s.lo[j], s.hi[j] = 0, 0
+		if s.state[j] != inBasis {
+			s.state[j] = atLower
+		}
+	}
+	phase2 := make([]float64, len(s.cost))
+	copy(phase2, p.Cost)
+	s.cost = phase2
+	s.degenStreak = 0
+	st, err = s.iterate()
+	if err != nil {
+		return nil, err
+	}
+	if st == IterLimit {
+		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+	}
+	if st == Unbounded {
+		return &Solution{Status: Unbounded, Iters: s.iters}, nil
+	}
+
+	// Refresh basic values once more for accuracy before extraction.
+	if err := s.refactorize(); err != nil {
+		return nil, err
+	}
+	x := make([]float64, p.NumCols)
+	for j := 0; j < p.NumCols; j++ {
+		x[j] = s.value(j)
+	}
+	for i, bj := range s.basis {
+		if bj < p.NumCols {
+			x[bj] = s.xB[i]
+		}
+	}
+	// Clamp tiny bound violations from floating-point drift.
+	for j := 0; j < p.NumCols; j++ {
+		if x[j] < p.Lower[j] {
+			x[j] = p.Lower[j]
+		}
+		if x[j] > p.Upper[j] {
+			x[j] = p.Upper[j]
+		}
+	}
+	return &Solution{Status: Optimal, X: x, Obj: p.Eval(x), Iters: s.iters}, nil
+}
+
+// build lays out columns (structural | slack | artificial) and the initial
+// all-artificial basis.
+func (s *simplex) build(p *Problem) {
+	n, m := s.n, s.m
+	total := n + 2*m
+	s.colIdx = make([][]int, total)
+	s.colVal = make([][]float64, total)
+	s.lo = make([]float64, total)
+	s.hi = make([]float64, total)
+	s.cost = make([]float64, total)
+	s.state = make([]varState, total)
+	s.rhs = make([]float64, m)
+
+	copy(s.lo, p.Lower)
+	copy(s.hi, p.Upper)
+	for r, c := range p.Cons {
+		s.rhs[r] = c.RHS
+		for k, j := range c.Idx {
+			s.colIdx[j] = append(s.colIdx[j], r)
+			s.colVal[j] = append(s.colVal[j], c.Val[k])
+		}
+		// Slack column: a·x + s = b with sense-dependent slack bounds.
+		sj := n + r
+		s.colIdx[sj] = []int{r}
+		s.colVal[sj] = []float64{1}
+		switch c.Op {
+		case LE:
+			s.lo[sj], s.hi[sj] = 0, math.Inf(1)
+		case GE:
+			s.lo[sj], s.hi[sj] = math.Inf(-1), 0
+		case EQ:
+			s.lo[sj], s.hi[sj] = 0, 0
+		}
+	}
+
+	// Nonbasic starting point: nearest finite bound, or 0 for free columns.
+	for j := 0; j < n+m; j++ {
+		switch {
+		case !math.IsInf(s.lo[j], -1):
+			s.state[j] = atLower
+		case !math.IsInf(s.hi[j], 1):
+			s.state[j] = atUpper
+		default:
+			s.state[j] = isFree
+		}
+	}
+
+	// Crash basis: rows whose residual fits inside the slack's bounds get
+	// the slack as the basic variable; only violated rows need an
+	// artificial. This usually leaves phase 1 with little or no work.
+	res := make([]float64, m)
+	copy(res, s.rhs)
+	for j := 0; j < n; j++ {
+		if v := s.value(j); v != 0 {
+			for k, r := range s.colIdx[j] {
+				res[r] -= s.colVal[j][k] * v
+			}
+		}
+	}
+	s.basis = make([]int, m)
+	s.xB = make([]float64, m)
+	s.binv = make([]float64, m*m)
+	for r := 0; r < m; r++ {
+		aj := n + m + r
+		sj := n + r
+		if res[r] >= s.lo[sj]-1e-12 && res[r] <= s.hi[sj]+1e-12 {
+			// Slack absorbs the residual; artificial fixed out of play.
+			s.state[sj] = inBasis
+			s.basis[r] = sj
+			s.xB[r] = res[r]
+			s.binv[r*m+r] = 1
+			s.colIdx[aj] = []int{r}
+			s.colVal[aj] = []float64{1}
+			s.lo[aj], s.hi[aj] = 0, 0
+			s.state[aj] = atLower
+			continue
+		}
+		// Slack stays nonbasic at the bound nearest the residual; the
+		// artificial covers the remaining violation.
+		var sv float64
+		if res[r] < s.lo[sj] {
+			sv = s.lo[sj]
+			s.state[sj] = atLower
+		} else {
+			sv = s.hi[sj]
+			s.state[sj] = atUpper
+		}
+		rem := res[r] - sv
+		sign := 1.0
+		if rem < 0 {
+			sign = -1
+		}
+		s.colIdx[aj] = []int{r}
+		s.colVal[aj] = []float64{sign}
+		s.lo[aj], s.hi[aj] = 0, math.Inf(1)
+		s.state[aj] = inBasis
+		s.basis[r] = aj
+		s.xB[r] = math.Abs(rem)
+		s.binv[r*m+r] = sign // inverse of diag(sign)
+	}
+}
+
+// value returns the current value of a nonbasic column.
+func (s *simplex) value(j int) float64 {
+	switch s.state[j] {
+	case atLower:
+		return s.lo[j]
+	case atUpper:
+		return s.hi[j]
+	}
+	return 0
+}
+
+// phaseObj returns the current objective under s.cost.
+func (s *simplex) phaseObj() float64 {
+	var obj float64
+	for j := range s.cost {
+		if s.cost[j] == 0 {
+			continue
+		}
+		if s.state[j] == inBasis {
+			continue
+		}
+		obj += s.cost[j] * s.value(j)
+	}
+	for i, bj := range s.basis {
+		obj += s.cost[bj] * s.xB[i]
+	}
+	return obj
+}
+
+// iterate runs simplex pivots until the current cost is optimal, the
+// problem proves unbounded, or the iteration budget runs out.
+func (s *simplex) iterate() (Status, error) {
+	m := s.m
+	y := make([]float64, m)
+	w := make([]float64, m)
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterLimit, nil
+		}
+		s.iters++
+		bland := s.degenStreak >= s.opt.BlandAfter
+
+		// Simplex multipliers y = c_Bᵀ B⁻¹.
+		for i := 0; i < m; i++ {
+			y[i] = 0
+		}
+		for i, bj := range s.basis {
+			if cb := s.cost[bj]; cb != 0 {
+				row := s.binv[i*m : (i+1)*m]
+				for k := 0; k < m; k++ {
+					y[k] += cb * row[k]
+				}
+			}
+		}
+
+		// Pricing: find the entering column.
+		enter, dir := -1, 1.0
+		bestScore := s.opt.OptTol
+		for j := range s.cost {
+			st := s.state[j]
+			if st == inBasis || s.lo[j] == s.hi[j] {
+				continue
+			}
+			d := s.cost[j]
+			for k, r := range s.colIdx[j] {
+				d -= y[r] * s.colVal[j][k]
+			}
+			var improving bool
+			var dj float64
+			switch st {
+			case atLower:
+				improving, dj = d < -s.opt.OptTol, 1
+			case atUpper:
+				improving, dj = d > s.opt.OptTol, -1
+			case isFree:
+				improving = math.Abs(d) > s.opt.OptTol
+				if d > 0 {
+					dj = -1
+				} else {
+					dj = 1
+				}
+			}
+			if !improving {
+				continue
+			}
+			if bland {
+				enter, dir = j, dj
+				break
+			}
+			if score := math.Abs(d); score > bestScore {
+				bestScore, enter, dir = score, j, dj
+			}
+		}
+		if enter < 0 {
+			return Optimal, nil
+		}
+
+		// Direction w = B⁻¹ a_enter.
+		for i := 0; i < m; i++ {
+			w[i] = 0
+		}
+		for k, r := range s.colIdx[enter] {
+			a := s.colVal[enter][k]
+			for i := 0; i < m; i++ {
+				w[i] += s.binv[i*m+r] * a
+			}
+		}
+
+		// Ratio test: step t moves the entering column by dir·t; basic
+		// values change by −dir·t·w.
+		const pivotTol = 1e-9
+		span := s.hi[enter] - s.lo[enter]
+		tMax, leave := span, -1
+		leavePivot := 0.0
+		for i := 0; i < m; i++ {
+			ci := dir * w[i]
+			if math.Abs(ci) <= pivotTol {
+				continue
+			}
+			bj := s.basis[i]
+			var limit float64
+			if ci > 0 {
+				if math.IsInf(s.lo[bj], -1) {
+					continue
+				}
+				limit = (s.xB[i] - s.lo[bj]) / ci
+			} else {
+				if math.IsInf(s.hi[bj], 1) {
+					continue
+				}
+				limit = (s.hi[bj] - s.xB[i]) / (-ci)
+			}
+			if limit < 0 {
+				limit = 0
+			}
+			better := limit < tMax-1e-12
+			if !better && limit < tMax+1e-12 && leave >= 0 {
+				// Tie-break for stability: prefer the larger pivot; under
+				// Bland, prefer the smallest column index.
+				if bland {
+					better = bj < s.basis[leave]
+				} else {
+					better = math.Abs(w[i]) > math.Abs(leavePivot)
+				}
+			}
+			if better {
+				tMax, leave, leavePivot = limit, i, w[i]
+			}
+		}
+
+		if math.IsInf(tMax, 1) {
+			return Unbounded, nil
+		}
+
+		if leave < 0 {
+			// Bound flip: the entering column traverses its whole interval.
+			for i := 0; i < m; i++ {
+				s.xB[i] -= dir * tMax * w[i]
+			}
+			if s.state[enter] == atLower {
+				s.state[enter] = atUpper
+			} else {
+				s.state[enter] = atLower
+			}
+			s.degenStreak = 0
+			continue
+		}
+
+		if tMax <= 1e-12 {
+			s.degenStreak++
+		} else {
+			s.degenStreak = 0
+		}
+
+		// Pivot: enter replaces basis[leave].
+		enterVal := s.value(enter) + dir*tMax
+		for i := 0; i < m; i++ {
+			if i != leave {
+				s.xB[i] -= dir * tMax * w[i]
+			}
+		}
+		left := s.basis[leave]
+		if dir*w[leave] > 0 {
+			s.state[left] = atLower
+		} else {
+			s.state[left] = atUpper
+		}
+		// Update B⁻¹ for the column swap.
+		piv := w[leave]
+		rowL := s.binv[leave*m : (leave+1)*m]
+		inv := 1 / piv
+		for k := 0; k < m; k++ {
+			rowL[k] *= inv
+		}
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := w[i]
+			if f == 0 {
+				continue
+			}
+			row := s.binv[i*m : (i+1)*m]
+			for k := 0; k < m; k++ {
+				row[k] -= f * rowL[k]
+			}
+		}
+		s.basis[leave] = enter
+		s.state[enter] = inBasis
+		s.xB[leave] = enterVal
+
+		s.sincePivot++
+		if s.sincePivot >= s.opt.Refactor {
+			if err := s.refactorize(); err != nil {
+				return Optimal, err
+			}
+		}
+	}
+}
+
+// refactorize recomputes the basis inverse from scratch and refreshes the
+// basic variable values.
+func (s *simplex) refactorize() error {
+	m := s.m
+	b := make([]float64, m*m)
+	for i, bj := range s.basis {
+		for k, r := range s.colIdx[bj] {
+			b[r*m+i] = s.colVal[bj][k]
+		}
+	}
+	inv, ok := invertDense(b, m)
+	if !ok {
+		return errSingular
+	}
+	s.binv = inv
+	// xB = B⁻¹ (b − N x_N).
+	eff := make([]float64, m)
+	copy(eff, s.rhs)
+	for j := range s.cost {
+		if s.state[j] == inBasis {
+			continue
+		}
+		if v := s.value(j); v != 0 {
+			for k, r := range s.colIdx[j] {
+				eff[r] -= s.colVal[j][k] * v
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		var v float64
+		row := s.binv[i*m : (i+1)*m]
+		for k := 0; k < m; k++ {
+			v += row[k] * eff[k]
+		}
+		s.xB[i] = v
+	}
+	s.sincePivot = 0
+	return nil
+}
+
+// invertDense inverts an m×m row-major matrix with Gauss-Jordan elimination
+// and partial pivoting. It reports failure on (near-)singular input.
+func invertDense(a []float64, m int) ([]float64, bool) {
+	inv := make([]float64, m*m)
+	for i := 0; i < m; i++ {
+		inv[i*m+i] = 1
+	}
+	work := make([]float64, m*m)
+	copy(work, a)
+	for col := 0; col < m; col++ {
+		// Partial pivot.
+		piv, pivAbs := -1, 1e-11
+		for r := col; r < m; r++ {
+			if v := math.Abs(work[r*m+col]); v > pivAbs {
+				piv, pivAbs = r, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		if piv != col {
+			swapRows(work, m, piv, col)
+			swapRows(inv, m, piv, col)
+		}
+		d := 1 / work[col*m+col]
+		for k := 0; k < m; k++ {
+			work[col*m+k] *= d
+			inv[col*m+k] *= d
+		}
+		for r := 0; r < m; r++ {
+			if r == col {
+				continue
+			}
+			f := work[r*m+col]
+			if f == 0 {
+				continue
+			}
+			for k := 0; k < m; k++ {
+				work[r*m+k] -= f * work[col*m+k]
+				inv[r*m+k] -= f * inv[col*m+k]
+			}
+		}
+	}
+	return inv, true
+}
+
+func swapRows(a []float64, m, r1, r2 int) {
+	for k := 0; k < m; k++ {
+		a[r1*m+k], a[r2*m+k] = a[r2*m+k], a[r1*m+k]
+	}
+}

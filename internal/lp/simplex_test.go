@@ -1,0 +1,385 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOK(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", sol.Status)
+	}
+	if !p.Feasible(sol.X, 1e-5) {
+		t.Fatalf("solver returned infeasible point %v", sol.X)
+	}
+	return sol
+}
+
+// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 — the classic Wyndor
+// problem, optimum (2, 6) with value 36.
+func TestWyndor(t *testing.T) {
+	p := NewProblem(2)
+	p.Cost = []float64{-3, -5}
+	p.AddConstraint([]int{0}, []float64{1}, LE, 4)
+	p.AddConstraint([]int{1}, []float64{2}, LE, 12)
+	p.AddConstraint([]int{0, 1}, []float64{3, 2}, LE, 18)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj-(-36)) > 1e-6 {
+		t.Errorf("obj = %g, want -36", sol.Obj)
+	}
+	if math.Abs(sol.X[0]-2) > 1e-6 || math.Abs(sol.X[1]-6) > 1e-6 {
+		t.Errorf("x = %v, want (2, 6)", sol.X)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min x + 2y s.t. x + y = 10, x ≥ 3, y ≥ 2 → (8, 2), obj 12.
+	p := NewProblem(2)
+	p.Cost = []float64{1, 2}
+	p.SetBounds(0, 3, math.Inf(1))
+	p.SetBounds(1, 2, math.Inf(1))
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, EQ, 10)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj-12) > 1e-6 {
+		t.Errorf("obj = %g, want 12", sol.Obj)
+	}
+	// min 2x + 3y s.t. x + y ≥ 4, x + 3y ≥ 6 → (3, 1), obj 9.
+	p = NewProblem(2)
+	p.Cost = []float64{2, 3}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 4)
+	p.AddConstraint([]int{0, 1}, []float64{1, 3}, GE, 6)
+	sol = solveOK(t, p)
+	if math.Abs(sol.Obj-9) > 1e-6 {
+		t.Errorf("obj = %g, want 9 (x=%v)", sol.Obj, sol.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 5)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 3)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestInfeasibleBoundsVsRow(t *testing.T) {
+	p := NewProblem(2)
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 3)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.Cost = []float64{-1, 0}
+	p.AddConstraint([]int{1}, []float64{1}, LE, 5)
+	sol, err := Solve(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestBoxOnly(t *testing.T) {
+	p := NewProblem(3)
+	p.Cost = []float64{1, -1, 0}
+	p.SetBounds(0, 2, 7)
+	p.SetBounds(1, -1, 4)
+	p.SetBounds(2, 0, 1)
+	sol := solveOK(t, p)
+	if sol.X[0] != 2 || sol.X[1] != 4 {
+		t.Errorf("x = %v, want x0=2 x1=4", sol.X)
+	}
+}
+
+func TestUpperBoundedOptimum(t *testing.T) {
+	// max x + y with x,y ∈ [0,1], x + y ≤ 1.5 → obj -1.5 at boundary.
+	p := NewProblem(2)
+	p.Cost = []float64{-1, -1}
+	p.SetBounds(0, 0, 1)
+	p.SetBounds(1, 0, 1)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 1.5)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+1.5) > 1e-6 {
+		t.Errorf("obj = %g, want -1.5", sol.Obj)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x + y, x ≥ -5, y ≥ -3, x + y ≥ -6 → optimum -6.
+	p := NewProblem(2)
+	p.Cost = []float64{1, 1}
+	p.SetBounds(0, -5, math.Inf(1))
+	p.SetBounds(1, -3, math.Inf(1))
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, -6)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+6) > 1e-6 {
+		t.Errorf("obj = %g, want -6", sol.Obj)
+	}
+}
+
+func TestFreeVariable(t *testing.T) {
+	// min |style| problem: min y s.t. y ≥ x - 2, y ≥ -x + 2, x free, y free.
+	// Optimum y = 0 at x = 2.
+	p := NewProblem(2)
+	p.Cost = []float64{0, 1}
+	p.SetBounds(0, math.Inf(-1), math.Inf(1))
+	p.SetBounds(1, math.Inf(-1), math.Inf(1))
+	p.AddConstraint([]int{0, 1}, []float64{-1, 1}, GE, -2)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj) > 1e-6 {
+		t.Errorf("obj = %g, want 0 (x=%v)", sol.Obj, sol.X)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// A degenerate vertex: several constraints meet at the optimum.
+	p := NewProblem(2)
+	p.Cost = []float64{-1, -1}
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, LE, 1)
+	p.AddConstraint([]int{0}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 1)
+	p.AddConstraint([]int{0, 1}, []float64{2, 1}, LE, 2)
+	sol := solveOK(t, p)
+	if math.Abs(sol.Obj+1) > 1e-6 {
+		t.Errorf("obj = %g, want -1", sol.Obj)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem(2)
+	p.Cost = []float64{1, 1}
+	p.SetBounds(0, 3, 3) // fixed
+	p.SetBounds(1, 0, 10)
+	p.AddConstraint([]int{0, 1}, []float64{1, 1}, GE, 5)
+	sol := solveOK(t, p)
+	if math.Abs(sol.X[0]-3) > 1e-9 || math.Abs(sol.X[1]-2) > 1e-6 {
+		t.Errorf("x = %v, want (3, 2)", sol.X)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := NewProblem(2)
+	p.AddConstraint([]int{0, 5}, []float64{1, 1}, LE, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("expected error for out-of-range column")
+	}
+	p = NewProblem(2)
+	p.SetBounds(0, 2, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("expected error for empty bound interval")
+	}
+	p = NewProblem(2)
+	p.AddConstraint([]int{0, 0}, []float64{1, 1}, LE, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("expected error for duplicate column in row")
+	}
+	p = NewProblem(2)
+	p.AddConstraint([]int{0}, []float64{math.Inf(1)}, LE, 1)
+	if _, err := Solve(p, Options{}); err == nil {
+		t.Error("expected error for infinite coefficient")
+	}
+}
+
+// --- randomized cross-check against brute-force vertex enumeration ---
+
+// bruteForce enumerates all candidate vertices of an LP whose variables all
+// have finite bounds: every choice of n active constraints among rows
+// (as equalities) and bounds, solved as a linear system.
+type testEq struct {
+	a   []float64
+	rhs float64
+}
+
+func bruteForce(p *Problem) (float64, bool) {
+	n := p.NumCols
+	var eqs []testEq
+	for _, c := range p.Cons {
+		a := make([]float64, n)
+		for k, j := range c.Idx {
+			a[j] = c.Val[k]
+		}
+		eqs = append(eqs, testEq{a, c.RHS})
+	}
+	for j := 0; j < n; j++ {
+		lo := make([]float64, n)
+		lo[j] = 1
+		eqs = append(eqs, testEq{lo, p.Lower[j]})
+		hi := make([]float64, n)
+		hi[j] = 1
+		eqs = append(eqs, testEq{hi, p.Upper[j]})
+	}
+	best, found := math.Inf(1), false
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(eqs, idx, n)
+			if ok && p.Feasible(x, 1e-7) {
+				if v := p.Eval(x); v < best {
+					best, found = v, true
+				}
+			}
+			return
+		}
+		for i := start; i < len(eqs); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best, found
+}
+
+func solveSquare(eqs []testEq, idx []int, n int) ([]float64, bool) {
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for r, i := range idx {
+		a[r] = append([]float64(nil), eqs[i].a...)
+		b[r] = eqs[i].rhs
+	}
+	for col := 0; col < n; col++ {
+		piv, pv := -1, 1e-9
+		for r := col; r < n; r++ {
+			if v := math.Abs(a[r][col]); v > pv {
+				piv, pv = r, v
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[piv], a[col] = a[col], a[piv]
+		b[piv], b[col] = b[col], b[piv]
+		d := a[col][col]
+		for k := col; k < n; k++ {
+			a[col][k] /= d
+		}
+		b[col] /= d
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	return b, true
+}
+
+func TestRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(2)
+		rows := 1 + rng.Intn(3)
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			lo := float64(rng.Intn(5)) - 2
+			p.SetBounds(j, lo, lo+1+float64(rng.Intn(4)))
+			p.Cost[j] = float64(rng.Intn(11) - 5)
+		}
+		for r := 0; r < rows; r++ {
+			idx := make([]int, 0, n)
+			val := make([]float64, 0, n)
+			for j := 0; j < n; j++ {
+				if rng.Intn(3) > 0 {
+					idx = append(idx, j)
+					val = append(val, float64(rng.Intn(9)-4))
+				}
+			}
+			if len(idx) == 0 {
+				idx, val = []int{0}, []float64{1}
+			}
+			p.AddConstraint(idx, val, Op(rng.Intn(3)), float64(rng.Intn(13)-6))
+		}
+		want, feasible := bruteForce(p)
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !feasible {
+			if sol.Status == Optimal {
+				t.Fatalf("trial %d: solver says optimal %v but brute force found no vertex", trial, sol.X)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: solver says %v but brute force found optimum %g", trial, sol.Status, want)
+		}
+		if math.Abs(sol.Obj-want) > 1e-5*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: solver obj %g, brute force %g", trial, sol.Obj, want)
+		}
+	}
+}
+
+// Moderately sized random feasible problems must solve and verify.
+func TestMediumRandomFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n, rows := 40, 25
+		p := NewProblem(n)
+		x0 := make([]float64, n) // a known feasible point
+		for j := 0; j < n; j++ {
+			p.SetBounds(j, 0, 10)
+			x0[j] = rng.Float64() * 10
+			p.Cost[j] = rng.NormFloat64()
+		}
+		for r := 0; r < rows; r++ {
+			var idx []int
+			var val []float64
+			var lhs float64
+			for j := 0; j < n; j++ {
+				if rng.Intn(4) == 0 {
+					v := rng.NormFloat64()
+					idx = append(idx, j)
+					val = append(val, v)
+					lhs += v * x0[j]
+				}
+			}
+			if len(idx) == 0 {
+				continue
+			}
+			// Make the row loose around the feasible point.
+			p.AddConstraint(idx, val, LE, lhs+rng.Float64())
+		}
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if sol.Status != Optimal {
+			t.Fatalf("trial %d: status %v for a feasible problem", trial, sol.Status)
+		}
+		if !p.Feasible(sol.X, 1e-5) {
+			t.Fatalf("trial %d: returned point violates constraints", trial)
+		}
+		if sol.Obj > p.Eval(x0)+1e-6 {
+			t.Fatalf("trial %d: optimum %g worse than known feasible %g", trial, sol.Obj, p.Eval(x0))
+		}
+	}
+}

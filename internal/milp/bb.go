@@ -1,0 +1,366 @@
+package milp
+
+import (
+	"container/heap"
+	"math"
+	"time"
+
+	"nocdeploy/internal/lp"
+)
+
+// Status is the outcome of a branch & bound run.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal: an integral solution was found and proven optimal
+	// (within the gap tolerance).
+	Optimal Status = iota
+	// Feasible: an integral solution was found but the search stopped
+	// early (time or node limit) before proving optimality.
+	Feasible
+	// Infeasible: the problem has no integral solution.
+	Infeasible
+	// Unbounded: the relaxation is unbounded.
+	Unbounded
+	// Limit: the search stopped on a limit with no integral solution found.
+	Limit
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Feasible:
+		return "feasible"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	case Limit:
+		return "limit"
+	}
+	return "unknown"
+}
+
+// SolveOptions tunes branch & bound.
+type SolveOptions struct {
+	TimeLimit time.Duration // wall-clock budget; 0 means none
+	MaxNodes  int           // node budget; 0 means a generous default
+	IntTol    float64       // integrality tolerance; 0 means 1e-6
+	RelGap    float64       // stop when (incumbent−bound)/|incumbent| ≤ RelGap; 0 means prove optimality
+	Cutoff    float64       // prune nodes ≥ Cutoff (e.g. a heuristic objective); 0 disables unless CutoffSet
+	CutoffSet bool
+	// Incumbent, if non-nil, is a full feasible solution vector used as the
+	// starting incumbent (typically built with Model.Complete from a
+	// heuristic). An infeasible vector is ignored.
+	Incumbent []float64
+	LP        lp.Options // passed through to the LP engine
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 200000
+	}
+	if o.IntTol == 0 {
+		o.IntTol = 1e-6
+	}
+	return o
+}
+
+// Result is the outcome of Solve.
+type Result struct {
+	Status Status
+	X      []float64 // best integral solution; nil if none found
+	Obj    float64   // objective of X (model constant included)
+	Bound  float64   // best proven lower bound (model constant included)
+	Nodes  int       // LP relaxations solved
+	Iters  int       // total simplex iterations
+}
+
+// Gap returns the relative optimality gap of the result, zero when proven
+// optimal, +Inf when no incumbent exists.
+func (r *Result) Gap() float64 {
+	if r.X == nil {
+		return math.Inf(1)
+	}
+	denom := math.Abs(r.Obj)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	g := (r.Obj - r.Bound) / denom
+	if g < 0 {
+		g = 0
+	}
+	return g
+}
+
+// node is one branch & bound subproblem: bound overrides relative to the
+// root plus the parent's LP bound used for best-first ordering.
+type node struct {
+	overrides map[int][2]float64
+	bound     float64
+	depth     int
+}
+
+type nodePQ []*node
+
+func (q nodePQ) Len() int            { return len(q) }
+func (q nodePQ) Less(i, j int) bool  { return q[i].bound < q[j].bound }
+func (q nodePQ) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *nodePQ) Push(x interface{}) { *q = append(*q, x.(*node)) }
+func (q *nodePQ) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Solve runs branch & bound on the model.
+func (m *Model) Solve(opts SolveOptions) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	base := m.buildLP()
+	res := &Result{Bound: math.Inf(-1), Obj: math.Inf(1)}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	incumbent := math.Inf(1)
+	if opts.CutoffSet {
+		incumbent = opts.Cutoff
+	}
+	if opts.Incumbent != nil && len(opts.Incumbent) == base.NumCols {
+		if base.Feasible(opts.Incumbent, 1e-6) && integral(m, opts.Incumbent, opts.IntTol) {
+			obj := base.Eval(opts.Incumbent)
+			if obj < incumbent {
+				incumbent = obj
+				res.X = append([]float64(nil), opts.Incumbent...)
+				roundIntegers(m, res.X, opts.IntTol)
+				res.Obj = m.Eval(res.X)
+			}
+		}
+	}
+
+	// Working bound arrays, rewritten per node.
+	lo := make([]float64, base.NumCols)
+	hi := make([]float64, base.NumCols)
+
+	evalNode := func(nd *node) (*lp.Solution, error) {
+		copy(lo, m.lo)
+		copy(hi, m.hi)
+		for j, b := range nd.overrides {
+			lo[j], hi[j] = b[0], b[1]
+		}
+		base.Lower, base.Upper = lo, hi
+		sol, err := lp.Solve(base, opts.LP)
+		if err != nil {
+			return nil, err
+		}
+		res.Nodes++
+		res.Iters += sol.Iters
+		return sol, nil
+	}
+
+	// fractional returns the branching variable of x, or -1 if integral.
+	fractional := func(x []float64) int {
+		bestJ, bestPrio, bestScore := -1, math.MinInt32, -1.0
+		for j := range m.vtype {
+			if m.vtype[j] == Continuous {
+				continue
+			}
+			f := x[j] - math.Floor(x[j])
+			if f < opts.IntTol || f > 1-opts.IntTol {
+				continue
+			}
+			score := 0.5 - math.Abs(f-0.5) // distance from integrality
+			if m.priority[j] > bestPrio || (m.priority[j] == bestPrio && score > bestScore) {
+				bestJ, bestPrio, bestScore = j, m.priority[j], score
+			}
+		}
+		return bestJ
+	}
+
+	root := &node{overrides: map[int][2]float64{}}
+	rootSol, err := evalNode(root)
+	if err != nil {
+		return nil, err
+	}
+	switch rootSol.Status {
+	case lp.Infeasible:
+		res.Status = Infeasible
+		return res, nil
+	case lp.Unbounded:
+		res.Status = Unbounded
+		return res, nil
+	case lp.IterLimit:
+		res.Status = Limit
+		return res, nil
+	}
+	root.bound = rootSol.Obj
+
+	pq := &nodePQ{}
+	heap.Init(pq)
+	// Evaluated LP solutions are kept alongside queued nodes so each LP is
+	// solved exactly once.
+	solutions := map[*node]*lp.Solution{root: rootSol}
+	heap.Push(pq, root)
+
+	bestBound := func() float64 {
+		if pq.Len() == 0 {
+			return incumbent
+		}
+		return (*pq)[0].bound
+	}
+
+	gapReached := func() bool {
+		if opts.RelGap <= 0 || math.IsInf(incumbent, 1) {
+			return false
+		}
+		denom := math.Max(math.Abs(incumbent), 1e-12)
+		return (incumbent-bestBound())/denom <= opts.RelGap
+	}
+
+	// Hybrid search: nodes are drawn best-bound-first from the queue, but
+	// after branching we plunge depth-first into the cheaper child (the
+	// other child is queued). Plunging finds integral incumbents early;
+	// best-first restarts keep the proven bound moving.
+	for pq.Len() > 0 {
+		if res.Nodes >= opts.MaxNodes {
+			break
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		if gapReached() {
+			break
+		}
+		nd := heap.Pop(pq).(*node)
+		sol := solutions[nd]
+		delete(solutions, nd)
+
+		// Plunge from this node until the chain dies out.
+		for nd != nil {
+			if res.Nodes >= opts.MaxNodes {
+				break
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				break
+			}
+			if sol.Obj >= incumbent-1e-9 {
+				break // pruned by bound
+			}
+			j := fractional(sol.X)
+			if j < 0 {
+				// Integral: new incumbent.
+				if sol.Obj < incumbent {
+					incumbent = sol.Obj
+					res.X = append([]float64(nil), sol.X...)
+					roundIntegers(m, res.X, opts.IntTol)
+					res.Obj = m.Eval(res.X)
+				}
+				break
+			}
+			// Branch on x_j ≤ floor and x_j ≥ ceil.
+			floorV := math.Floor(sol.X[j])
+			var next *node
+			var nextSol *lp.Solution
+			for side := 0; side < 2; side++ {
+				ov := make(map[int][2]float64, len(nd.overrides)+1)
+				for k, v := range nd.overrides {
+					ov[k] = v
+				}
+				curLo, curHi := m.lo[j], m.hi[j]
+				if b, ok := nd.overrides[j]; ok {
+					curLo, curHi = b[0], b[1]
+				}
+				if side == 0 {
+					ov[j] = [2]float64{curLo, floorV}
+				} else {
+					ov[j] = [2]float64{floorV + 1, curHi}
+				}
+				if ov[j][0] > ov[j][1] {
+					continue
+				}
+				child := &node{overrides: ov, bound: sol.Obj, depth: nd.depth + 1}
+				csol, err := evalNode(child)
+				if err != nil {
+					return nil, err
+				}
+				if csol.Status != lp.Optimal {
+					continue // infeasible (or iter-limit: treated as pruned)
+				}
+				if csol.Obj >= incumbent-1e-9 {
+					continue
+				}
+				child.bound = csol.Obj
+				if next == nil || csol.Obj < nextSol.Obj {
+					if next != nil {
+						solutions[next] = nextSol
+						heap.Push(pq, next)
+					}
+					next, nextSol = child, csol
+				} else {
+					solutions[child] = csol
+					heap.Push(pq, child)
+				}
+			}
+			nd, sol = next, nextSol
+		}
+	}
+
+	res.Bound = bestBound() + m.objConst
+	if res.X != nil {
+		if pq.Len() == 0 || res.Obj-res.Bound <= 1e-9*math.Max(1, math.Abs(res.Obj)) {
+			res.Status = Optimal
+			res.Bound = res.Obj
+		} else if opts.RelGap > 0 && res.Gap() <= opts.RelGap {
+			res.Status = Optimal
+		} else {
+			res.Status = Feasible
+		}
+		return res, nil
+	}
+	if pq.Len() == 0 {
+		// Search exhausted without an incumbent: infeasible (or everything
+		// was cut off by the caller's cutoff).
+		if opts.CutoffSet {
+			res.Status = Limit
+		} else {
+			res.Status = Infeasible
+		}
+		return res, nil
+	}
+	res.Status = Limit
+	return res, nil
+}
+
+// integral reports whether every integer variable of x is within tol of an
+// integer value.
+func integral(m *Model, x []float64, tol float64) bool {
+	for j := range m.vtype {
+		if m.vtype[j] == Continuous {
+			continue
+		}
+		if f := x[j] - math.Floor(x[j]); f > tol && f < 1-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// roundIntegers snaps near-integral entries of x exactly.
+func roundIntegers(m *Model, x []float64, tol float64) {
+	for j := range m.vtype {
+		if m.vtype[j] == Continuous {
+			continue
+		}
+		r := math.Round(x[j])
+		if math.Abs(x[j]-r) <= 10*tol {
+			x[j] = r
+		}
+	}
+}

@@ -1,0 +1,70 @@
+package milp
+
+import (
+	"math"
+
+	"nocdeploy/internal/lp"
+)
+
+// Product returns a variable z representing x·y for variables x, y with
+// range ⊆ [0, 1], using the paper's Lemma 2.2 rows:
+//
+//	z ≤ x,  z ≤ y,  z ≥ x + y − 1,  z ∈ [0, 1].
+//
+// z is declared continuous: whenever x and y take integral values the rows
+// force z integral too, so branch & bound never needs to branch on it.
+func (m *Model) Product(name string, x, y VarID) VarID {
+	z := m.AddContinuous(name, 0, 1)
+	m.AddConstr(NewExpr(0).Add(z, 1).Add(x, -1), lp.LE, 0)
+	m.AddConstr(NewExpr(0).Add(z, 1).Add(y, -1), lp.LE, 0)
+	m.AddConstr(NewExpr(0).Add(x, 1).Add(y, 1).Add(z, -1), lp.LE, 1)
+	return z
+}
+
+// ProductMany chains Product over vars, returning a variable equal to the
+// conjunction Π varsᵢ. It requires at least one variable and returns it
+// unchanged for a singleton.
+func (m *Model) ProductMany(name string, vars ...VarID) VarID {
+	if len(vars) == 0 {
+		panic("milp: ProductMany needs at least one variable")
+	}
+	acc := vars[0]
+	for i := 1; i < len(vars); i++ {
+		acc = m.Product(name, acc, vars[i])
+	}
+	return acc
+}
+
+// ProductExpr returns a variable w representing b·e for a binary (or [0,1])
+// variable b and a linear expression e with known finite bounds
+// lo ≤ e ≤ hi, via the McCormick rows
+//
+//	w ≤ hi·b,  w ≥ lo·b,  w ≤ e − lo·(1−b),  w ≥ e − hi·(1−b).
+//
+// At b = 0 they force w = 0; at b = 1 they force w = e.
+func (m *Model) ProductExpr(name string, b VarID, e *Expr, lo, hi float64) VarID {
+	w := m.AddContinuous(name, math.Min(lo, 0), math.Max(hi, 0))
+	// w − hi·b ≤ 0
+	m.AddConstr(NewExpr(0).Add(w, 1).Add(b, -hi), lp.LE, 0)
+	// w − lo·b ≥ 0
+	m.AddConstr(NewExpr(0).Add(w, 1).Add(b, -lo), lp.GE, 0)
+	// w − e − lo·b ≤ −lo
+	m.AddConstr(NewExpr(0).Add(w, 1).AddExpr(e, -1).Add(b, -lo), lp.LE, -lo)
+	// w − e − hi·b ≥ −hi
+	m.AddConstr(NewExpr(0).Add(w, 1).AddExpr(e, -1).Add(b, -hi), lp.GE, -hi)
+	return w
+}
+
+// Indicator implements the paper's Lemma 2.1. Given an expression r with
+// 0 ≤ r ≤ s, a threshold s1 and a small positive σ, it constrains a binary
+// b so that
+//
+//	r ≥ s1 ⇒ b = 0   and   r < s1 ⇒ b = 1
+//
+// via (r − (s1 − σ))/s ≤ 1 − b ≤ r/s1.
+func (m *Model) Indicator(b VarID, r *Expr, s, s1, sigma float64) {
+	// r − (s1 − σ) ≤ s·(1 − b)  ⇔  r + s·b ≤ s + s1 − σ
+	m.AddConstr(NewExpr(0).AddExpr(r, 1).Add(b, s), lp.LE, s+s1-sigma)
+	// 1 − b ≤ r/s1  ⇔  −r + s1·(1 − b) ≤ 0  ⇔  −r − s1·b ≤ −s1
+	m.AddConstr(NewExpr(0).AddExpr(r, -1).Add(b, -s1), lp.LE, -s1)
+}

@@ -1,0 +1,255 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/lp"
+)
+
+func TestCompleteFillsAuxiliaries(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	z := m.Product("z", x, y)
+	// Give z a tiny positive cost so completion pins it at the product.
+	m.SetObjective(NewExpr(0).Add(z, 1e-6).Add(x, -1).Add(y, -1))
+	full, err := m.Complete(map[VarID]float64{x: 1, y: 1}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full == nil {
+		t.Fatal("completion infeasible")
+	}
+	if math.Abs(full[z]-1) > 1e-6 {
+		t.Errorf("z = %g, want 1", full[z])
+	}
+	// An infeasible fixing returns nil, not an error.
+	m2 := NewModel()
+	a := m2.AddBinary("a")
+	b := m2.AddBinary("b")
+	m2.AddConstr(NewExpr(0).Add(a, 1).Add(b, 1), lp.LE, 1)
+	m2.SetObjective(NewExpr(0).Add(a, 1))
+	full, err = m2.Complete(map[VarID]float64{a: 1, b: 1}, lp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nil {
+		t.Error("expected nil for infeasible completion")
+	}
+}
+
+func TestIncumbentSeedsSearch(t *testing.T) {
+	// A knapsack where the incumbent is optimal: search should confirm it.
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	z := m.AddBinary("z")
+	m.AddConstr(NewExpr(0).Add(x, 3).Add(y, 4).Add(z, 5), lp.LE, 7)
+	m.SetObjective(NewExpr(0).Add(x, -3).Add(y, -4).Add(z, -5))
+	inc := []float64{1, 1, 0} // value 7, optimal
+	r, err := m.Solve(SolveOptions{Incumbent: inc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj+7) > 1e-6 {
+		t.Errorf("status %v obj %g", r.Status, r.Obj)
+	}
+	// An infeasible incumbent must be ignored, not crash.
+	bad := []float64{1, 1, 1}
+	r, err = m.Solve(SolveOptions{Incumbent: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj+7) > 1e-6 {
+		t.Errorf("with bad incumbent: status %v obj %g", r.Status, r.Obj)
+	}
+	// A fractional incumbent must also be ignored.
+	frac := []float64{0.5, 1, 0}
+	r, err = m.Solve(SolveOptions{Incumbent: frac})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj+7) > 1e-6 {
+		t.Errorf("with fractional incumbent: status %v obj %g", r.Status, r.Obj)
+	}
+}
+
+func TestRelGapTermination(t *testing.T) {
+	// A problem with many near-equal solutions: a 50% gap must stop early
+	// yet still return a feasible solution.
+	rng := rand.New(rand.NewSource(4))
+	m := NewModel()
+	row := NewExpr(0)
+	obj := NewExpr(0)
+	for i := 0; i < 24; i++ {
+		x := m.AddBinary("x")
+		row.Add(x, 1+rng.Float64())
+		obj.Add(x, -1-rng.Float64()*0.01)
+	}
+	m.AddConstr(row, lp.LE, 18)
+	m.SetObjective(obj)
+	loose, err := m.Solve(SolveOptions{RelGap: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.X == nil {
+		t.Fatal("no solution under loose gap")
+	}
+	tight, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Status != Optimal {
+		t.Fatalf("tight status %v", tight.Status)
+	}
+	if loose.Nodes > tight.Nodes {
+		t.Errorf("loose gap explored more nodes (%d) than full proof (%d)", loose.Nodes, tight.Nodes)
+	}
+	if loose.Obj < tight.Obj-1e-9 {
+		t.Errorf("loose solution better than proven optimum?")
+	}
+}
+
+func TestTimeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := NewModel()
+	obj := NewExpr(0)
+	for r := 0; r < 6; r++ {
+		row := NewExpr(0)
+		for i := 0; i < 30; i++ {
+			x := m.AddBinary("x")
+			row.Add(x, 1+rng.Float64())
+			obj.Add(x, -1-rng.Float64())
+		}
+		m.AddConstr(row, lp.LE, 11)
+	}
+	m.SetObjective(obj)
+	start := time.Now()
+	r, err := m.Solve(SolveOptions{TimeLimit: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Errorf("time limit ignored: ran %v", el)
+	}
+	if r.Status == Optimal && r.Gap() > 1e-9 {
+		t.Errorf("optimal claimed with gap %g", r.Gap())
+	}
+}
+
+func TestGapAndBoundConsistency(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	m.SetObjective(NewExpr(2).Add(x, -1)) // constant term exercised
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj-1) > 1e-9 {
+		t.Fatalf("obj %g, want 1 (constant folded)", r.Obj)
+	}
+	if math.Abs(r.Bound-r.Obj) > 1e-9 {
+		t.Errorf("bound %g != obj %g at optimality", r.Bound, r.Obj)
+	}
+	if r.Gap() != 0 {
+		t.Errorf("gap %g at optimality", r.Gap())
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	m := NewModel()
+	if err := m.Validate(); err == nil {
+		t.Error("empty model must not validate")
+	}
+	x := m.AddBinary("x")
+	m.SetBounds(x, -1, 2) // illegal for a binary
+	if err := m.Validate(); err == nil {
+		t.Error("binary with widened bounds must not validate")
+	}
+}
+
+func TestFixVarAndNames(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("flag")
+	m.FixVar(x, 1)
+	m.SetObjective(NewExpr(0).Add(x, 5))
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Obj != 5 || m.Name(x) != "flag" {
+		t.Errorf("obj %g name %q", r.Obj, m.Name(x))
+	}
+	if m.NumVars() != 1 || m.NumCons() != 0 {
+		t.Errorf("counts: %d vars %d cons", m.NumVars(), m.NumCons())
+	}
+}
+
+func TestEpigraphWithConstants(t *testing.T) {
+	// minimize max(x+2, 3-x) over x ∈ [0, 5]: optimum 2.5 at x = 0.5.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 5)
+	m.EpigraphMin("t", []*Expr{
+		NewExpr(2).Add(x, 1),
+		NewExpr(3).Add(x, -1),
+	})
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.Obj-2.5) > 1e-8 {
+		t.Errorf("obj %g, want 2.5", r.Obj)
+	}
+}
+
+// General integer variables (not binary) across several branches.
+func TestGeneralIntegers(t *testing.T) {
+	// max 7a + 2b s.t. 3a + b ≤ 12, a ≤ 3, a,b ∈ Z≥0, b ≤ 5.
+	m := NewModel()
+	a := m.AddVar("a", Integer, 0, 3)
+	b := m.AddVar("b", Integer, 0, 5)
+	m.AddConstr(NewExpr(0).Add(a, 3).Add(b, 1), lp.LE, 12)
+	m.SetObjective(NewExpr(0).Add(a, -7).Add(b, -2))
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=3 uses 9, b=3 → value 27. b=5 with a=2 → 24. So (3,3): -27.
+	if r.Status != Optimal || math.Abs(r.Obj+27) > 1e-6 {
+		t.Errorf("status %v obj %g, want -27", r.Status, r.Obj)
+	}
+	if r.X[a] != 3 || r.X[b] != 3 {
+		t.Errorf("solution (%g, %g), want (3, 3)", r.X[a], r.X[b])
+	}
+}
+
+// Property: for random product chains, the chained variable always equals
+// the boolean AND at the MILP optimum when factors are fixed.
+func TestProductChainProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(3)
+		m := NewModel()
+		vars := make([]VarID, n)
+		want := 1.0
+		for i := range vars {
+			vars[i] = m.AddBinary("v")
+			val := float64(rng.Intn(2))
+			m.FixVar(vars[i], val)
+			want *= val
+		}
+		z := m.ProductMany("z", vars...)
+		// Pull z upward so the lower-bound rows are what binds.
+		m.SetObjective(NewExpr(0).Add(z, -1))
+		r, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Status != Optimal || math.Abs(r.X[z]-want) > 1e-6 {
+			t.Fatalf("trial %d: z = %g, want %g", trial, r.X[z], want)
+		}
+	}
+}

@@ -1,0 +1,482 @@
+package milp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocdeploy/internal/lp"
+)
+
+func solveOpt(t *testing.T, m *Model) *Result {
+	t.Helper()
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", r.Status)
+	}
+	return r
+}
+
+// 0/1 knapsack: max Σ v x s.t. Σ w x ≤ cap. Verified against DP.
+func TestKnapsack(t *testing.T) {
+	values := []float64{10, 13, 18, 31, 7, 15}
+	weights := []float64{2, 3, 4, 5, 1, 4}
+	const capacity = 10
+
+	m := NewModel()
+	obj := NewExpr(0)
+	row := NewExpr(0)
+	for i := range values {
+		x := m.AddBinary("x")
+		obj.Add(x, -values[i]) // maximize ⇒ minimize negation
+		row.Add(x, weights[i])
+	}
+	m.AddConstr(row, lp.LE, capacity)
+	m.SetObjective(obj)
+	r := solveOpt(t, m)
+
+	// DP cross-check.
+	best := make([]float64, capacity+1)
+	for i := range values {
+		for c := capacity; c >= int(weights[i]); c-- {
+			if v := best[c-int(weights[i])] + values[i]; v > best[c] {
+				best[c] = v
+			}
+		}
+	}
+	if math.Abs(-r.Obj-best[capacity]) > 1e-6 {
+		t.Errorf("knapsack optimum %g, DP says %g", -r.Obj, best[capacity])
+	}
+}
+
+func TestIntegerRounding(t *testing.T) {
+	// min -x s.t. 2x ≤ 7, x integer → x = 3.
+	m := NewModel()
+	x := m.AddVar("x", Integer, 0, 100)
+	m.AddConstr(NewExpr(0).Add(x, 2), lp.LE, 7)
+	m.SetObjective(NewExpr(0).Add(x, -1))
+	r := solveOpt(t, m)
+	if r.X[x] != 3 {
+		t.Errorf("x = %g, want 3", r.X[x])
+	}
+}
+
+func TestInfeasibleMILP(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	m.AddConstr(NewExpr(0).Add(x, 1).Add(y, 1), lp.GE, 3)
+	m.SetObjective(NewExpr(0).Add(x, 1))
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", r.Status)
+	}
+}
+
+func TestUnboundedMILP(t *testing.T) {
+	m := NewModel()
+	x := m.AddContinuous("x", 0, math.Inf(1))
+	b := m.AddBinary("b")
+	m.AddConstr(NewExpr(0).Add(b, 1), lp.LE, 1)
+	m.SetObjective(NewExpr(0).Add(x, -1))
+	r, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", r.Status)
+	}
+}
+
+// Lemma 2.2: the Product variable must equal the boolean AND at every
+// binary assignment.
+func TestProductTruthTable(t *testing.T) {
+	for _, xv := range []float64{0, 1} {
+		for _, yv := range []float64{0, 1} {
+			m := NewModel()
+			x := m.AddBinary("x")
+			y := m.AddBinary("y")
+			z := m.Product("z", x, y)
+			m.FixVar(x, xv)
+			m.FixVar(y, yv)
+			// Maximize z, then minimize z: both must hit x·y exactly.
+			m.SetObjective(NewExpr(0).Add(z, -1))
+			rMax := solveOpt(t, m)
+			m.SetObjective(NewExpr(0).Add(z, 1))
+			rMin := solveOpt(t, m)
+			want := xv * yv
+			if math.Abs(rMax.X[z]-want) > 1e-6 || math.Abs(rMin.X[z]-want) > 1e-6 {
+				t.Errorf("x=%g y=%g: z in [%g, %g], want %g", xv, yv, rMin.X[z], rMax.X[z], want)
+			}
+		}
+	}
+}
+
+func TestProductManyChain(t *testing.T) {
+	m := NewModel()
+	a := m.AddBinary("a")
+	b := m.AddBinary("b")
+	c := m.AddBinary("c")
+	z := m.ProductMany("z", a, b, c)
+	m.FixVar(a, 1)
+	m.FixVar(b, 1)
+	m.FixVar(c, 0)
+	m.SetObjective(NewExpr(0).Add(z, -1))
+	r := solveOpt(t, m)
+	if r.X[z] > 1e-6 {
+		t.Errorf("1·1·0 product = %g, want 0", r.X[z])
+	}
+}
+
+// McCormick binary×expression product.
+func TestProductExpr(t *testing.T) {
+	for _, bv := range []float64{0, 1} {
+		m := NewModel()
+		b := m.AddBinary("b")
+		x := m.AddContinuous("x", 2, 5)
+		w := m.ProductExpr("w", b, NewExpr(0).Add(x, 1), 2, 5)
+		m.FixVar(b, bv)
+		m.FixVar(x, 3.5)
+		m.SetObjective(NewExpr(0).Add(w, 1))
+		rMin := solveOpt(t, m)
+		m.SetObjective(NewExpr(0).Add(w, -1))
+		rMax := solveOpt(t, m)
+		want := bv * 3.5
+		if math.Abs(rMin.X[w]-want) > 1e-6 || math.Abs(rMax.X[w]-want) > 1e-6 {
+			t.Errorf("b=%g: w in [%g, %g], want %g", bv, rMin.X[w], rMax.X[w], want)
+		}
+	}
+}
+
+// Lemma 2.1: r ≥ s1 forces b = 0; r < s1 − σ forces b = 1.
+func TestIndicator(t *testing.T) {
+	const s, s1, sigma = 1.0, 0.6, 0.05
+	for _, rv := range []float64{0.2, 0.5, 0.7, 0.95} {
+		m := NewModel()
+		b := m.AddBinary("b")
+		r := m.AddContinuous("r", 0, s)
+		m.FixVar(r, rv)
+		m.Indicator(b, NewExpr(0).Add(r, 1), s, s1, sigma)
+		m.SetObjective(NewExpr(0).Add(b, 1)) // any objective; b is forced
+		res, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Status != Optimal {
+			t.Fatalf("r=%g: status %v", rv, res.Status)
+		}
+		want := 0.0
+		if rv < s1 {
+			want = 1
+		}
+		if math.Abs(res.X[b]-want) > 1e-6 {
+			t.Errorf("r=%g: b=%g, want %g", rv, res.X[b], want)
+		}
+	}
+}
+
+func TestEpigraphMinMax(t *testing.T) {
+	// minimize max(x, y, 4-x-y) over x,y ∈ [0,4]: optimum 4/3.
+	m := NewModel()
+	x := m.AddContinuous("x", 0, 4)
+	y := m.AddContinuous("y", 0, 4)
+	m.EpigraphMin("z", []*Expr{
+		NewExpr(0).Add(x, 1),
+		NewExpr(0).Add(y, 1),
+		NewExpr(4).Add(x, -1).Add(y, -1),
+	})
+	r := solveOpt(t, m)
+	if math.Abs(r.Obj-4.0/3) > 1e-6 {
+		t.Errorf("min-max = %g, want %g", r.Obj, 4.0/3)
+	}
+}
+
+func TestCutoffPruning(t *testing.T) {
+	// Knapsack-like problem where the cutoff equals the optimum: search
+	// must exhaust without finding a strictly better solution.
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	m.AddConstr(NewExpr(0).Add(x, 1).Add(y, 1), lp.LE, 1)
+	m.SetObjective(NewExpr(0).Add(x, -3).Add(y, -2))
+	r, err := m.Solve(SolveOptions{Cutoff: -3, CutoffSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Limit || r.X != nil {
+		t.Errorf("cutoff at optimum: status %v X %v, want limit/nil", r.Status, r.X)
+	}
+	// A looser cutoff must still find the optimum.
+	r, err = m.Solve(SolveOptions{Cutoff: -2.5, CutoffSet: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Status != Optimal || math.Abs(r.Obj+3) > 1e-6 {
+		t.Errorf("loose cutoff: status %v obj %g", r.Status, r.Obj)
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := NewModel()
+	row := NewExpr(0)
+	obj := NewExpr(0)
+	for i := 0; i < 30; i++ {
+		x := m.AddBinary("x")
+		row.Add(x, 1+rng.Float64())
+		obj.Add(x, -1-rng.Float64())
+	}
+	m.AddConstr(row, lp.LE, 20)
+	m.SetObjective(obj)
+	r, err := m.Solve(SolveOptions{MaxNodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes > 5 { // root + one branching round
+		t.Errorf("nodes = %d, want ≤ 5", r.Nodes)
+	}
+	if r.Status == Optimal && r.Gap() > 1e-9 {
+		t.Errorf("claimed optimal with gap %g", r.Gap())
+	}
+}
+
+// Randomized cross-check: small binary programs vs exhaustive enumeration.
+func TestRandomBinaryVsEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 120; trial++ {
+		nv := 3 + rng.Intn(4) // 3..6 binaries
+		rows := 1 + rng.Intn(3)
+		m := NewModel()
+		vars := make([]VarID, nv)
+		cost := make([]float64, nv)
+		for i := range vars {
+			vars[i] = m.AddBinary("x")
+			cost[i] = float64(rng.Intn(21) - 10)
+		}
+		type rowData struct {
+			coef []float64
+			op   lp.Op
+			rhs  float64
+		}
+		var rdata []rowData
+		for r := 0; r < rows; r++ {
+			coef := make([]float64, nv)
+			e := NewExpr(0)
+			for i := range vars {
+				coef[i] = float64(rng.Intn(9) - 4)
+				e.Add(vars[i], coef[i])
+			}
+			op := lp.Op(rng.Intn(3))
+			rhs := float64(rng.Intn(9) - 3)
+			rdata = append(rdata, rowData{coef, op, rhs})
+			m.AddConstr(e, op, rhs)
+		}
+		objE := NewExpr(0)
+		for i := range vars {
+			objE.Add(vars[i], cost[i])
+		}
+		m.SetObjective(objE)
+
+		// Exhaustive enumeration.
+		best, found := math.Inf(1), false
+		for mask := 0; mask < 1<<nv; mask++ {
+			ok := true
+			for _, rd := range rdata {
+				var lhs float64
+				for i := 0; i < nv; i++ {
+					if mask>>i&1 == 1 {
+						lhs += rd.coef[i]
+					}
+				}
+				switch rd.op {
+				case lp.LE:
+					ok = ok && lhs <= rd.rhs+1e-9
+				case lp.GE:
+					ok = ok && lhs >= rd.rhs-1e-9
+				case lp.EQ:
+					ok = ok && math.Abs(lhs-rd.rhs) <= 1e-9
+				}
+			}
+			if !ok {
+				continue
+			}
+			var v float64
+			for i := 0; i < nv; i++ {
+				if mask>>i&1 == 1 {
+					v += cost[i]
+				}
+			}
+			if v < best {
+				best, found = v, true
+			}
+		}
+
+		r, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !found {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, enumeration says infeasible", trial, r.Status)
+			}
+			continue
+		}
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v, enumeration optimum %g", trial, r.Status, best)
+		}
+		if math.Abs(r.Obj-best) > 1e-6 {
+			t.Fatalf("trial %d: obj %g, enumeration %g", trial, r.Obj, best)
+		}
+	}
+}
+
+// Mixed binaries + continuous, cross-checked by enumerating binaries and
+// solving the continuous remainder with the LP engine directly.
+func TestRandomMixedVsEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 60; trial++ {
+		nb, nc := 2+rng.Intn(3), 2
+		m := NewModel()
+		var bin []VarID
+		for i := 0; i < nb; i++ {
+			bin = append(bin, m.AddBinary("b"))
+		}
+		var cont []VarID
+		for i := 0; i < nc; i++ {
+			cont = append(cont, m.AddContinuous("c", 0, 5))
+		}
+		rows := 2 + rng.Intn(2)
+		type rowData struct {
+			cb, cc []float64
+			op     lp.Op
+			rhs    float64
+		}
+		var rdata []rowData
+		for r := 0; r < rows; r++ {
+			e := NewExpr(0)
+			rd := rowData{cb: make([]float64, nb), cc: make([]float64, nc), op: lp.LE}
+			for i, v := range bin {
+				rd.cb[i] = float64(rng.Intn(7) - 3)
+				e.Add(v, rd.cb[i])
+			}
+			for i, v := range cont {
+				rd.cc[i] = float64(rng.Intn(7) - 3)
+				e.Add(v, rd.cc[i])
+			}
+			rd.rhs = float64(rng.Intn(11) - 2)
+			rdata = append(rdata, rd)
+			m.AddConstr(e, rd.op, rd.rhs)
+		}
+		objB := make([]float64, nb)
+		objC := make([]float64, nc)
+		objE := NewExpr(0)
+		for i, v := range bin {
+			objB[i] = float64(rng.Intn(11) - 5)
+			objE.Add(v, objB[i])
+		}
+		for i, v := range cont {
+			objC[i] = float64(rng.Intn(5) - 2)
+			objE.Add(v, objC[i])
+		}
+		m.SetObjective(objE)
+
+		best, found := math.Inf(1), false
+		for mask := 0; mask < 1<<nb; mask++ {
+			p := lp.NewProblem(nc)
+			for i := 0; i < nc; i++ {
+				p.SetBounds(i, 0, 5)
+				p.Cost[i] = objC[i]
+			}
+			fixed := 0.0
+			feasibleFixed := true
+			for _, rd := range rdata {
+				var lhsB float64
+				for i := 0; i < nb; i++ {
+					if mask>>i&1 == 1 {
+						lhsB += rd.cb[i]
+					}
+				}
+				idx := []int{}
+				val := []float64{}
+				for i := 0; i < nc; i++ {
+					if rd.cc[i] != 0 {
+						idx = append(idx, i)
+						val = append(val, rd.cc[i])
+					}
+				}
+				if len(idx) == 0 {
+					if lhsB > rd.rhs+1e-9 {
+						feasibleFixed = false
+					}
+					continue
+				}
+				p.AddConstraint(idx, val, rd.op, rd.rhs-lhsB)
+			}
+			if !feasibleFixed {
+				continue
+			}
+			for i := 0; i < nb; i++ {
+				if mask>>i&1 == 1 {
+					fixed += objB[i]
+				}
+			}
+			sol, err := lp.Solve(p, lp.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sol.Status != lp.Optimal {
+				continue
+			}
+			if v := fixed + sol.Obj; v < best {
+				best, found = v, true
+			}
+		}
+
+		r, err := m.Solve(SolveOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !found {
+			if r.Status != Infeasible {
+				t.Fatalf("trial %d: status %v, enumeration says infeasible", trial, r.Status)
+			}
+			continue
+		}
+		if r.Status != Optimal {
+			t.Fatalf("trial %d: status %v, enumeration optimum %g", trial, r.Status, best)
+		}
+		if math.Abs(r.Obj-best) > 1e-5*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: obj %g, enumeration %g", trial, r.Obj, best)
+		}
+	}
+}
+
+func TestExprCompact(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	e := NewExpr(1).Add(x, 2).Add(x, 3)
+	m.AddConstr(e, lp.LE, 10)
+	c := m.cons[0]
+	if len(c.Idx) != 1 || c.Val[0] != 5 || c.RHS != 9 {
+		t.Errorf("compact failed: %+v", c)
+	}
+}
+
+func TestBranchPriority(t *testing.T) {
+	m := NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	m.SetBranchPriority(y, 10)
+	m.AddConstr(NewExpr(0).Add(x, 1).Add(y, 1), lp.LE, 1)
+	m.SetObjective(NewExpr(0).Add(x, -1).Add(y, -1))
+	r := solveOpt(t, m)
+	if math.Abs(r.Obj+1) > 1e-6 {
+		t.Errorf("obj = %g, want -1", r.Obj)
+	}
+}

@@ -1,0 +1,224 @@
+// Package milp provides a mixed-integer linear programming layer on top of
+// package lp: a model builder with the paper's two linearization devices
+// (Lemma 2.1 threshold indicators and Lemma 2.2 binary products) and a
+// branch & bound solver. Together with package lp it replaces the Gurobi
+// solver used in the paper's evaluation.
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"nocdeploy/internal/lp"
+)
+
+// VarID names a model variable.
+type VarID int
+
+// VarType distinguishes continuous from integral variables.
+type VarType uint8
+
+// Variable types.
+const (
+	Continuous VarType = iota
+	Binary
+	Integer
+)
+
+// Expr is a linear expression Σ coeffᵢ·varᵢ + Const, built incrementally.
+type Expr struct {
+	Idx   []VarID
+	Val   []float64
+	Const float64
+}
+
+// NewExpr returns an expression with the given constant term.
+func NewExpr(c float64) *Expr { return &Expr{Const: c} }
+
+// Add accumulates coeff·v and returns the expression for chaining.
+func (e *Expr) Add(v VarID, coeff float64) *Expr {
+	e.Idx = append(e.Idx, v)
+	e.Val = append(e.Val, coeff)
+	return e
+}
+
+// AddExpr accumulates scale·other (including its constant).
+func (e *Expr) AddExpr(other *Expr, scale float64) *Expr {
+	for k, v := range other.Idx {
+		e.Add(v, scale*other.Val[k])
+	}
+	e.Const += scale * other.Const
+	return e
+}
+
+// compact merges duplicate variable indices.
+func (e *Expr) compact() ([]int, []float64) {
+	seen := map[VarID]int{}
+	var idx []int
+	var val []float64
+	for k, v := range e.Idx {
+		if pos, ok := seen[v]; ok {
+			val[pos] += e.Val[k]
+			continue
+		}
+		seen[v] = len(idx)
+		idx = append(idx, int(v))
+		val = append(val, e.Val[k])
+	}
+	return idx, val
+}
+
+// Model is a minimization MILP under construction.
+type Model struct {
+	names    []string
+	vtype    []VarType
+	lo, hi   []float64
+	priority []int // branching priority, larger first
+
+	obj      []float64
+	objConst float64
+
+	cons []lp.Constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// AddVar adds a variable and returns its id.
+func (m *Model) AddVar(name string, t VarType, lo, hi float64) VarID {
+	if t == Binary {
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 1 {
+			hi = 1
+		}
+	}
+	m.names = append(m.names, name)
+	m.vtype = append(m.vtype, t)
+	m.lo = append(m.lo, lo)
+	m.hi = append(m.hi, hi)
+	m.priority = append(m.priority, 0)
+	m.obj = append(m.obj, 0)
+	return VarID(len(m.names) - 1)
+}
+
+// AddBinary adds a {0,1} variable.
+func (m *Model) AddBinary(name string) VarID { return m.AddVar(name, Binary, 0, 1) }
+
+// AddContinuous adds a continuous variable with the given bounds.
+func (m *Model) AddContinuous(name string, lo, hi float64) VarID {
+	return m.AddVar(name, Continuous, lo, hi)
+}
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumCons returns the number of constraints.
+func (m *Model) NumCons() int { return len(m.cons) }
+
+// Name returns the variable's name.
+func (m *Model) Name(v VarID) string { return m.names[v] }
+
+// FixVar pins a variable to a value (presolve-style).
+func (m *Model) FixVar(v VarID, value float64) {
+	m.lo[v] = value
+	m.hi[v] = value
+}
+
+// SetBounds adjusts a variable's bounds.
+func (m *Model) SetBounds(v VarID, lo, hi float64) {
+	m.lo[v] = lo
+	m.hi[v] = hi
+}
+
+// SetBranchPriority marks v as a preferred branching variable; larger
+// priorities are branched first.
+func (m *Model) SetBranchPriority(v VarID, p int) { m.priority[v] = p }
+
+// AddConstr adds expr (op) rhs; the expression's constant folds into rhs.
+func (m *Model) AddConstr(e *Expr, op lp.Op, rhs float64) {
+	idx, val := e.compact()
+	m.cons = append(m.cons, lp.Constraint{Idx: idx, Val: val, Op: op, RHS: rhs - e.Const})
+}
+
+// SetObjective sets the minimization objective to expr.
+func (m *Model) SetObjective(e *Expr) {
+	for j := range m.obj {
+		m.obj[j] = 0
+	}
+	idx, val := e.compact()
+	for k, j := range idx {
+		m.obj[j] = val[k]
+	}
+	m.objConst = e.Const
+}
+
+// EpigraphMin adds a fresh continuous variable z with z ≥ exprᵢ for every
+// expression, sets the objective to minimize z and returns z. This is the
+// standard min–max transform for the paper's balance objective.
+func (m *Model) EpigraphMin(name string, exprs []*Expr) VarID {
+	z := m.AddContinuous(name, math.Inf(-1), math.Inf(1))
+	for _, e := range exprs {
+		row := NewExpr(0).AddExpr(e, 1).Add(z, -1)
+		m.AddConstr(row, lp.LE, 0) // expr − z ≤ 0
+	}
+	m.SetObjective(NewExpr(0).Add(z, 1))
+	return z
+}
+
+// buildLP lowers the model to an lp.Problem.
+func (m *Model) buildLP() *lp.Problem {
+	p := lp.NewProblem(len(m.names))
+	copy(p.Cost, m.obj)
+	copy(p.Lower, m.lo)
+	copy(p.Upper, m.hi)
+	p.Cons = m.cons
+	return p
+}
+
+// Validate lowers and validates the model.
+func (m *Model) Validate() error {
+	if len(m.names) == 0 {
+		return fmt.Errorf("milp: model has no variables")
+	}
+	for j := range m.vtype {
+		if m.vtype[j] == Binary && (m.lo[j] < 0 || m.hi[j] > 1) {
+			return fmt.Errorf("milp: binary %q has bounds [%g, %g]", m.names[j], m.lo[j], m.hi[j])
+		}
+	}
+	return m.buildLP().Validate()
+}
+
+// Complete solves the LP obtained by fixing the given variables, filling in
+// every remaining (typically auxiliary) variable optimally. It returns nil
+// if the completion is infeasible. This is how a heuristic deployment is
+// turned into a full branch & bound incumbent vector.
+func (m *Model) Complete(fixed map[VarID]float64, opts lp.Options) ([]float64, error) {
+	p := m.buildLP()
+	lo := append([]float64(nil), p.Lower...)
+	hi := append([]float64(nil), p.Upper...)
+	for v, val := range fixed {
+		lo[v], hi[v] = val, val
+	}
+	p.Lower, p.Upper = lo, hi
+	sol, err := lp.Solve(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	if sol.Status != lp.Optimal {
+		return nil, nil
+	}
+	return sol.X, nil
+}
+
+// Eval returns the objective value (including constant) at x.
+func (m *Model) Eval(x []float64) float64 {
+	s := m.objConst
+	for j, c := range m.obj {
+		if c != 0 {
+			s += c * x[j]
+		}
+	}
+	return s
+}

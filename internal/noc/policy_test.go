@@ -1,0 +1,93 @@
+package noc
+
+import (
+	"reflect"
+	"testing"
+)
+
+func xyyxMesh(t *testing.T) *Mesh {
+	t.Helper()
+	m, err := NewMesh(Config{
+		W: 4, H: 4, Link: DefaultLinkParams(),
+		Jitter: 0.25, Seed: 1, Policy: PolicyXYYX,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestXYRouteShape(t *testing.T) {
+	m := xyyxMesh(t)
+	src, dst := m.ID(0, 0), m.ID(2, 3)
+	xy := m.PathOf(src, dst, 0)
+	want := []int{m.ID(0, 0), m.ID(1, 0), m.ID(2, 0), m.ID(2, 1), m.ID(2, 2), m.ID(2, 3)}
+	if !reflect.DeepEqual(xy.Nodes, want) {
+		t.Errorf("XY route %v, want %v", xy.Nodes, want)
+	}
+	yx := m.PathOf(src, dst, 1)
+	wantYX := []int{m.ID(0, 0), m.ID(0, 1), m.ID(0, 2), m.ID(0, 3), m.ID(1, 3), m.ID(2, 3)}
+	if !reflect.DeepEqual(yx.Nodes, wantYX) {
+		t.Errorf("YX route %v, want %v", yx.Nodes, wantYX)
+	}
+}
+
+// Dimension-ordered routes are always minimal (Manhattan-length).
+func TestXYYXAlwaysMinimal(t *testing.T) {
+	m := xyyxMesh(t)
+	for b := 0; b < m.N(); b++ {
+		for g := 0; g < m.N(); g++ {
+			for rho := 0; rho < NumPaths; rho++ {
+				if hops := m.PathOf(b, g, rho).Hops(); hops != m.ManhattanDistance(b, g) {
+					t.Fatalf("%d→%d ρ=%d: %d hops, Manhattan %d", b, g, rho, hops, m.ManhattanDistance(b, g))
+				}
+			}
+		}
+	}
+}
+
+// XY and YX coincide exactly when src and dst share a row or column.
+func TestXYYXDistinctness(t *testing.T) {
+	m := xyyxMesh(t)
+	for b := 0; b < m.N(); b++ {
+		for g := 0; g < m.N(); g++ {
+			if b == g {
+				continue
+			}
+			bx, by := m.Coord(b)
+			gx, gy := m.Coord(g)
+			same := reflect.DeepEqual(m.PathOf(b, g, 0).Nodes, m.PathOf(b, g, 1).Nodes)
+			aligned := bx == gx || by == gy
+			if same != aligned {
+				t.Errorf("%d→%d: routes same=%v but aligned=%v", b, g, same, aligned)
+			}
+		}
+	}
+}
+
+// The time/energy matrices must be consistent with the routes under either
+// policy (spot-check: energy charged only on the route).
+func TestXYYXMatricesConsistent(t *testing.T) {
+	m := xyyxMesh(t)
+	for b := 0; b < m.N(); b++ {
+		for g := 0; g < m.N(); g++ {
+			if b == g {
+				continue
+			}
+			for rho := 0; rho < NumPaths; rho++ {
+				onPath := map[int]bool{}
+				for _, v := range m.PathOf(b, g, rho).Nodes {
+					onPath[v] = true
+				}
+				for k := 0; k < m.N(); k++ {
+					if e := m.EnergyPerByte(b, g, k, rho); e > 0 && !onPath[k] {
+						t.Fatalf("%d→%d ρ=%d: node %d charged off route", b, g, rho, k)
+					}
+				}
+				if m.TimePerByte(b, g, rho) <= 0 {
+					t.Fatalf("%d→%d ρ=%d: non-positive time", b, g, rho)
+				}
+			}
+		}
+	}
+}

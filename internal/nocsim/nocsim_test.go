@@ -1,0 +1,168 @@
+package nocsim
+
+import (
+	"math"
+	"testing"
+
+	"nocdeploy/internal/noc"
+)
+
+// mesh44 is jitter-free so zero-load latencies are exactly predictable
+// (0.25 ns/byte matches the default 4-bytes-per-cycle flit rate).
+func mesh44() *noc.Mesh {
+	m, err := noc.NewMesh(noc.Config{W: 4, H: 4, Link: noc.DefaultLinkParams()})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	m := mesh44()
+	if _, err := Simulate(m, []Packet{{ID: 1, Bytes: 64}}, Config{}); err == nil {
+		t.Error("expected error for empty route")
+	}
+	if _, err := Simulate(m, []Packet{{ID: 1, Bytes: 0, Route: []int{0, 1}}}, Config{}); err == nil {
+		t.Error("expected error for zero bytes")
+	}
+	if _, err := Simulate(m, []Packet{{ID: 1, Bytes: 64, Route: []int{0, 5}}}, Config{}); err == nil {
+		t.Error("expected error for non-adjacent hops")
+	}
+}
+
+func TestSinglePacketZeroLoad(t *testing.T) {
+	m := mesh44()
+	cfg := Config{}
+	route := m.PathOf(0, 3, noc.PathEnergy) // 3 hops along the top row
+	p := Packet{ID: 1, Bytes: 256, Route: route.Nodes}
+	st, err := Simulate(m, []Packet{p}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Results) != 1 {
+		t.Fatalf("results: %d", len(st.Results))
+	}
+	want := ZeroLoadLatency(cfg, route.Hops(), 256)
+	if math.Abs(st.Results[0].Latency-want) > 1e-15 {
+		t.Errorf("latency %g, want %g", st.Results[0].Latency, want)
+	}
+	if st.Results[0].Hops != route.Hops() {
+		t.Errorf("hops %d, want %d", st.Results[0].Hops, route.Hops())
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	m := mesh44()
+	st, err := Simulate(m, []Packet{{ID: 7, Bytes: 64, Route: []int{5}, Inject: 1e-6}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results[0].Latency != 0 || st.Results[0].Arrive != 1e-6 {
+		t.Errorf("local packet: %+v", st.Results[0])
+	}
+}
+
+// Two packets over the same route: the second head waits for the first
+// train's serialization, so its latency grows by about one train.
+func TestContentionDelaysSecondPacket(t *testing.T) {
+	m := mesh44()
+	cfg := Config{}.withDefaults()
+	route := m.PathOf(0, 1, noc.PathEnergy).Nodes
+	const bytes = 1024
+	ps := []Packet{
+		{ID: 1, Bytes: bytes, Route: route},
+		{ID: 2, Bytes: bytes, Route: route},
+	}
+	st, err := Simulate(m, ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1 := st.Results[0].Latency
+	l2 := st.Results[1].Latency
+	train := math.Ceil(bytes/cfg.FlitBytes) * cfg.CycleTime
+	if l2 <= l1 {
+		t.Errorf("second packet (%g) not delayed behind first (%g)", l2, l1)
+	}
+	if math.Abs((l2-l1)-train) > 5*cfg.CycleTime {
+		t.Errorf("contention delay %g, want ≈ one train %g", l2-l1, train)
+	}
+}
+
+// Packets on disjoint routes must not interfere.
+func TestDisjointRoutesIndependent(t *testing.T) {
+	m := mesh44()
+	cfg := Config{}
+	r1 := m.PathOf(m.ID(0, 0), m.ID(1, 0), noc.PathEnergy).Nodes
+	r2 := m.PathOf(m.ID(0, 3), m.ID(1, 3), noc.PathEnergy).Nodes
+	ps := []Packet{
+		{ID: 1, Bytes: 512, Route: r1},
+		{ID: 2, Bytes: 512, Route: r2},
+	}
+	st, err := Simulate(m, ps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ZeroLoadLatency(cfg, 1, 512)
+	for _, r := range st.Results {
+		if math.Abs(r.Latency-want) > 1e-15 {
+			t.Errorf("packet %d latency %g, want zero-load %g", r.ID, r.Latency, want)
+		}
+	}
+}
+
+// Wormhole pipelining must never be slower than the store-and-forward
+// analytic matrix used by the deployment formulation — this is the key
+// cross-validation between nocsim and noc.
+func TestPipelinedNeverSlowerThanAnalytic(t *testing.T) {
+	m := noc.Default(4, 4) // jittered links, like the deployment experiments
+	cfg := Config{}
+	const bytes = 4096
+	for b := 0; b < m.N(); b++ {
+		for g := 0; g < m.N(); g++ {
+			if b == g {
+				continue
+			}
+			for rho := 0; rho < noc.NumPaths; rho++ {
+				route := m.PathOf(b, g, rho)
+				st, err := Simulate(m, []Packet{{ID: 1, Bytes: bytes, Route: route.Nodes}}, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				analytic := bytes * m.TimePerByte(b, g, rho)
+				if st.Results[0].Latency > analytic*1.05 {
+					t.Errorf("%d→%d ρ=%d: simulated %g exceeds analytic %g",
+						b, g, rho, st.Results[0].Latency, analytic)
+				}
+			}
+		}
+	}
+}
+
+func TestInjectionTimeRespected(t *testing.T) {
+	m := mesh44()
+	cfg := Config{}
+	route := m.PathOf(0, 1, noc.PathEnergy).Nodes
+	st, err := Simulate(m, []Packet{{ID: 1, Bytes: 128, Route: route, Inject: 5e-6}}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Results[0].Arrive < 5e-6 {
+		t.Errorf("arrived %g before injection", st.Results[0].Arrive)
+	}
+}
+
+func TestLinkUtilizationAccounting(t *testing.T) {
+	m := mesh44()
+	route := m.PathOf(0, 3, noc.PathEnergy).Nodes
+	st, err := Simulate(m, []Packet{{ID: 1, Bytes: 2048, Route: route}}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.LinkBusy) != len(route)-1 {
+		t.Errorf("busy links %d, want %d", len(st.LinkBusy), len(route)-1)
+	}
+	u := st.MaxLinkUtilization()
+	if u <= 0 || u > 1.01 {
+		t.Errorf("max utilization %g out of range", u)
+	}
+}

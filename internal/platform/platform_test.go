@@ -1,0 +1,142 @@
+package platform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewValidation(t *testing.T) {
+	params := DefaultPowerParams()
+	if _, err := New(0, DefaultLevels(), params); err == nil {
+		t.Error("expected error for zero processors")
+	}
+	if _, err := New(4, nil, params); err == nil {
+		t.Error("expected error for empty level table")
+	}
+	if _, err := New(4, []VFLevel{{Voltage: 1, Freq: 0}}, params); err == nil {
+		t.Error("expected error for zero frequency")
+	}
+	if _, err := New(4, []VFLevel{{Voltage: 0, Freq: 1e9}}, params); err == nil {
+		t.Error("expected error for zero voltage")
+	}
+	if _, err := New(4, []VFLevel{{Voltage: 1, Freq: 1e9}, {Voltage: 1.1, Freq: 1e9}}, params); err == nil {
+		t.Error("expected error for duplicate frequency")
+	}
+}
+
+func TestLevelsSorted(t *testing.T) {
+	levels := []VFLevel{
+		{Voltage: 1.1, Freq: 1.0e9},
+		{Voltage: 0.85, Freq: 0.5e9},
+		{Voltage: 0.95, Freq: 0.7e9},
+	}
+	p, err := New(2, levels, DefaultPowerParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < p.L(); i++ {
+		if p.Levels[i-1].Freq >= p.Levels[i].Freq {
+			t.Fatalf("levels not sorted: %v", p.Levels)
+		}
+	}
+	if p.Fmin() != 0.5e9 || p.Fmax() != 1.0e9 {
+		t.Fatalf("Fmin/Fmax wrong: %g %g", p.Fmin(), p.Fmax())
+	}
+}
+
+func TestPowerMonotoneInLevel(t *testing.T) {
+	p := Default(4)
+	for l := 1; l < p.L(); l++ {
+		if p.Power(l) <= p.Power(l-1) {
+			t.Errorf("power not increasing at level %d: %g <= %g", l, p.Power(l), p.Power(l-1))
+		}
+	}
+}
+
+func TestStaticShareReasonable(t *testing.T) {
+	p := Default(4)
+	for l := 0; l < p.L(); l++ {
+		st := p.Params.Static(p.Levels[l].Voltage)
+		tot := p.Power(l)
+		share := st / tot
+		if share <= 0.01 || share >= 0.6 {
+			t.Errorf("level %d: static share %.3f outside plausible range (static %g, total %g)",
+				l, share, st, tot)
+		}
+	}
+}
+
+func TestExecTimeEnergy(t *testing.T) {
+	p := Default(4)
+	const cycles = 1e6
+	for l := 0; l < p.L(); l++ {
+		wantT := cycles / p.Levels[l].Freq
+		if got := p.ExecTime(cycles, l); math.Abs(got-wantT) > 1e-15 {
+			t.Errorf("ExecTime(%d) = %g, want %g", l, got, wantT)
+		}
+		wantE := wantT * p.Power(l)
+		if got := p.ExecEnergy(cycles, l); math.Abs(got-wantE)/wantE > 1e-12 {
+			t.Errorf("ExecEnergy(%d) = %g, want %g", l, got, wantE)
+		}
+	}
+}
+
+// The paper's Fig. 2(c) regime requires that running faster costs more
+// energy per cycle at the top of the table (convex energy), i.e. ε > 1.
+func TestEpsilonAboveOne(t *testing.T) {
+	p := Default(4)
+	if eps := p.Epsilon(); eps <= 1.05 {
+		t.Errorf("epsilon = %g, want a meaningful gap > 1.05", eps)
+	}
+}
+
+func TestScaledLevelsStretchEpsilon(t *testing.T) {
+	base := DefaultLevels()
+	params := DefaultPowerParams()
+	p1, err := New(4, ScaledLevels(base, 1.0), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := New(4, ScaledLevels(base, 1.8), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.Epsilon() <= p1.Epsilon() {
+		t.Errorf("gamma=1.8 epsilon %g not larger than gamma=1.0 epsilon %g",
+			p2.Epsilon(), p1.Epsilon())
+	}
+}
+
+func TestPowerComponentsPositiveProperty(t *testing.T) {
+	params := DefaultPowerParams()
+	f := func(vRaw, fRaw uint16) bool {
+		v := 0.5 + float64(vRaw)/65535.0 // 0.5 .. 1.5 V
+		fr := 1e8 + float64(fRaw)*1e5    // 0.1 .. ~6.6 GHz
+		st := params.Static(v)
+		dy := params.Dynamic(v, fr)
+		return st > 0 && dy > 0 && !math.IsInf(st, 0) && !math.IsNaN(st)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDynamicQuadraticInVoltage(t *testing.T) {
+	params := DefaultPowerParams()
+	d1 := params.Dynamic(1.0, 1e9)
+	d2 := params.Dynamic(2.0, 1e9)
+	if math.Abs(d2/d1-4.0) > 1e-12 {
+		t.Errorf("dynamic power not quadratic in v: ratio %g", d2/d1)
+	}
+}
+
+func TestEnergyPerCycleMatchesDefinition(t *testing.T) {
+	p := Default(4)
+	for l := 0; l < p.L(); l++ {
+		want := p.Power(l) / p.Levels[l].Freq
+		if got := p.EnergyPerCycle(l); math.Abs(got-want) > 1e-18 {
+			t.Errorf("EnergyPerCycle(%d) = %g, want %g", l, got, want)
+		}
+	}
+}

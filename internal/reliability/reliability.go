@@ -1,0 +1,113 @@
+// Package reliability implements the paper's transient-fault model: faults
+// arrive as a Poisson process whose rate grows exponentially as frequency
+// drops (DVFS lowers voltage, shrinking critical charge):
+//
+//	λ(f)  = λmax · 10^( d · (fmax − f) / (fmax − fmin) )
+//	r(C,f) = exp( −λ(f) · C / f )
+//
+// where C is the task's cycle count. When r falls below the threshold Rth
+// the task is duplicated and the combined reliability becomes
+// r' = 1 − (1 − r₁)(1 − r₂), assuming fault independence between copies.
+package reliability
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Model holds the fault-model constants and frequency range.
+type Model struct {
+	LambdaMax float64 // fault rate at fmax (faults/second)
+	D         float64 // sensitivity of the fault rate to frequency scaling
+	Fmax      float64 // hertz
+	Fmin      float64 // hertz
+	Rth       float64 // per-task reliability threshold
+}
+
+// Default returns the constants used throughout the evaluation: a 5e-6 /s
+// base rate, sensitivity d = 5 and a 99.99% threshold — values in the range
+// used by the reliability-aware DVFS literature the paper builds on, and
+// calibrated so that millisecond-scale tasks meet Rth at high frequencies
+// but need duplication at the lowest ones (the regime Fig. 2(c) sweeps).
+func Default(fmin, fmax float64) Model {
+	return Model{LambdaMax: 5e-6, D: 5, Fmax: fmax, Fmin: fmin, Rth: 0.9999}
+}
+
+// Validate checks model consistency.
+func (m Model) Validate() error {
+	if m.LambdaMax <= 0 {
+		return fmt.Errorf("reliability: lambda %g must be positive", m.LambdaMax)
+	}
+	if m.D < 0 {
+		return fmt.Errorf("reliability: sensitivity d %g must be non-negative", m.D)
+	}
+	if m.Fmin <= 0 || m.Fmax <= m.Fmin {
+		return fmt.Errorf("reliability: bad frequency range [%g, %g]", m.Fmin, m.Fmax)
+	}
+	if m.Rth <= 0 || m.Rth >= 1 {
+		return fmt.Errorf("reliability: threshold %g must be in (0, 1)", m.Rth)
+	}
+	return nil
+}
+
+// Rate returns λ(f), the fault rate at frequency f.
+func (m Model) Rate(f float64) float64 {
+	return m.LambdaMax * math.Pow(10, m.D*(m.Fmax-f)/(m.Fmax-m.Fmin))
+}
+
+// TaskReliability returns r_il: the probability that a task of cycles WCEC
+// executed at frequency f completes without a transient fault.
+func (m Model) TaskReliability(cycles, f float64) float64 {
+	return math.Exp(-m.Rate(f) * cycles / f)
+}
+
+// Combined returns r' = 1 − (1 − r1)(1 − r2), the reliability of a task
+// with an independent duplicate.
+func Combined(r1, r2 float64) float64 {
+	return 1 - (1-r1)*(1-r2)
+}
+
+// NeedsDuplication reports whether a task run at frequency f violates the
+// threshold and must be duplicated (the paper's h_{i+M} decision, eq. (4)).
+func (m Model) NeedsDuplication(cycles, f float64) bool {
+	return m.TaskReliability(cycles, f) < m.Rth
+}
+
+// Sigma returns the paper's σ: the smallest gap |r_il − Rth| over the given
+// reliability values, used in the Lemma 2.1 linearization of eq. (4).
+func Sigma(rth float64, r []float64) float64 {
+	sigma := math.Inf(1)
+	for _, v := range r {
+		if g := math.Abs(v - rth); g < sigma && g > 0 {
+			sigma = g
+		}
+	}
+	if math.IsInf(sigma, 1) {
+		sigma = 1e-12
+	}
+	return sigma
+}
+
+// Sample simulates one execution of a task with success probability r using
+// rng, returning true on fault-free completion.
+func Sample(rng *rand.Rand, r float64) bool {
+	return rng.Float64() < r
+}
+
+// MonteCarlo estimates by simulation the success probability of a task
+// (optionally duplicated) over runs trials and returns the observed ratio.
+// A run succeeds if at least one copy completes fault-free.
+func MonteCarlo(rng *rand.Rand, r1 float64, duplicated bool, r2 float64, runs int) float64 {
+	ok := 0
+	for i := 0; i < runs; i++ {
+		s := Sample(rng, r1)
+		if !s && duplicated {
+			s = Sample(rng, r2)
+		}
+		if s {
+			ok++
+		}
+	}
+	return float64(ok) / float64(runs)
+}

@@ -1,0 +1,145 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func model() Model { return Default(0.5e9, 1.0e9) }
+
+func TestValidate(t *testing.T) {
+	good := model()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []Model{
+		{LambdaMax: 0, D: 3, Fmax: 1e9, Fmin: 5e8, Rth: 0.999},
+		{LambdaMax: 1e-6, D: -1, Fmax: 1e9, Fmin: 5e8, Rth: 0.999},
+		{LambdaMax: 1e-6, D: 3, Fmax: 5e8, Fmin: 5e8, Rth: 0.999},
+		{LambdaMax: 1e-6, D: 3, Fmax: 1e9, Fmin: 5e8, Rth: 1.0},
+		{LambdaMax: 1e-6, D: 3, Fmax: 1e9, Fmin: 5e8, Rth: 0},
+	}
+	for i, m := range cases {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestRateEndpoints(t *testing.T) {
+	m := model()
+	if got := m.Rate(m.Fmax); math.Abs(got-m.LambdaMax)/m.LambdaMax > 1e-12 {
+		t.Errorf("Rate(fmax) = %g, want λmax %g", got, m.LambdaMax)
+	}
+	want := m.LambdaMax * math.Pow(10, m.D)
+	if got := m.Rate(m.Fmin); math.Abs(got-want)/want > 1e-12 {
+		t.Errorf("Rate(fmin) = %g, want %g", got, want)
+	}
+}
+
+// Lower frequency must mean strictly higher fault rate and, for fixed
+// cycles, lower reliability (the DVFS-reliability tradeoff the paper exploits).
+func TestReliabilityMonotoneInFrequency(t *testing.T) {
+	m := model()
+	const cycles = 2e6
+	prevR := -1.0
+	for f := m.Fmin; f <= m.Fmax+1; f += 1e8 {
+		r := m.TaskReliability(cycles, f)
+		if r <= prevR {
+			t.Fatalf("reliability not increasing at f=%g: %g <= %g", f, r, prevR)
+		}
+		if r <= 0 || r >= 1 {
+			t.Fatalf("reliability %g out of (0,1)", r)
+		}
+		prevR = r
+	}
+}
+
+func TestReliabilityDecreasesWithCycles(t *testing.T) {
+	m := model()
+	r1 := m.TaskReliability(1e6, m.Fmin)
+	r2 := m.TaskReliability(1e8, m.Fmin)
+	if r2 >= r1 {
+		t.Errorf("more cycles should be less reliable: %g >= %g", r2, r1)
+	}
+}
+
+func TestCombined(t *testing.T) {
+	if got := Combined(0.9, 0.9); math.Abs(got-0.99) > 1e-12 {
+		t.Errorf("Combined(0.9,0.9) = %g, want 0.99", got)
+	}
+	if got := Combined(1, 0); got != 1 {
+		t.Errorf("Combined(1,0) = %g", got)
+	}
+	if got := Combined(0, 0); got != 0 {
+		t.Errorf("Combined(0,0) = %g", got)
+	}
+}
+
+// Duplication must help: r' ≥ max(r1, r2), with equality only at the
+// degenerate endpoints.
+func TestCombinedImprovesProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		r1 := float64(a) / 65535
+		r2 := float64(b) / 65535
+		c := Combined(r1, r2)
+		return c >= r1-1e-15 && c >= r2-1e-15 && c <= 1+1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// With the default constants there must exist workloads that pass at fmax
+// but need duplication at fmin — otherwise Fig. 2(c) would be degenerate.
+func TestDuplicationRegimeExists(t *testing.T) {
+	m := model()
+	const cycles = 2e6
+	if m.NeedsDuplication(cycles, m.Fmax) {
+		t.Errorf("typical task should meet Rth at fmax (r=%g)", m.TaskReliability(cycles, m.Fmax))
+	}
+	if !m.NeedsDuplication(cycles*50, m.Fmin) {
+		t.Errorf("heavy task at fmin should need duplication (r=%g)", m.TaskReliability(cycles*50, m.Fmin))
+	}
+}
+
+// A duplicated task at low frequency must be able to reach the threshold —
+// this is the feasibility premise of Algorithm 1 step (c).
+func TestDuplicationRecoversThreshold(t *testing.T) {
+	m := model()
+	const cycles = 4e6
+	r := m.TaskReliability(cycles, m.Fmin)
+	if r >= m.Rth {
+		t.Skip("task already reliable; pick bigger cycles")
+	}
+	if c := Combined(r, r); c < m.Rth {
+		t.Errorf("duplication not sufficient: r=%g, combined=%g < Rth=%g", r, c, m.Rth)
+	}
+}
+
+func TestSigma(t *testing.T) {
+	got := Sigma(0.5, []float64{0.2, 0.6, 0.5})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("Sigma = %g, want 0.1", got)
+	}
+	// All exactly at threshold → tiny positive fallback.
+	if got := Sigma(0.5, []float64{0.5}); got <= 0 {
+		t.Errorf("Sigma fallback = %g", got)
+	}
+}
+
+func TestMonteCarloMatchesAnalytic(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r1, r2 := 0.95, 0.90
+	want := Combined(r1, r2)
+	got := MonteCarlo(rng, r1, true, r2, 200000)
+	if math.Abs(got-want) > 0.005 {
+		t.Errorf("MonteCarlo = %g, analytic %g", got, want)
+	}
+	single := MonteCarlo(rng, r1, false, 0, 200000)
+	if math.Abs(single-r1) > 0.005 {
+		t.Errorf("MonteCarlo single = %g, want %g", single, r1)
+	}
+}

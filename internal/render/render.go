@@ -1,0 +1,117 @@
+// Package render produces human-readable views of a deployment: an ASCII
+// Gantt chart of the per-processor schedule and a per-processor energy
+// histogram. cmd/deploy uses it behind the -gantt flag.
+package render
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nocdeploy/internal/core"
+)
+
+// Gantt renders the schedule as one row per (used) processor over a time
+// axis of the given character width. Each task occupies its scaled time
+// interval, labeled with its id (copies get a trailing ').
+func Gantt(s *core.System, d *core.Deployment, width int) string {
+	if width < 20 {
+		width = 20
+	}
+	exp := s.Expanded()
+	type item struct {
+		slot  int
+		start float64
+		end   float64
+	}
+	perProc := map[int][]item{}
+	horizon := s.H
+	for i := 0; i < exp.Size(); i++ {
+		if !d.Exists[i] {
+			continue
+		}
+		it := item{slot: i, start: d.Start[i], end: d.End(s, i)}
+		perProc[d.Proc[i]] = append(perProc[d.Proc[i]], it)
+		if it.end > horizon {
+			horizon = it.end
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	scale := func(t float64) int {
+		c := int(t / horizon * float64(width))
+		if c > width {
+			c = width
+		}
+		return c
+	}
+	label := func(slot int) string {
+		name := s.Graph.Tasks[exp.Orig(slot)].Name
+		if name == "" {
+			name = fmt.Sprintf("t%d", exp.Orig(slot))
+		}
+		if exp.IsCopy(slot) {
+			name += "'"
+		}
+		return name
+	}
+
+	var procs []int
+	for k := range perProc {
+		procs = append(procs, k)
+	}
+	sort.Ints(procs)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "time: 0 .. %.4g ms (horizon %.4g ms)\n", 1000*horizon, 1000*s.H)
+	for _, k := range procs {
+		items := perProc[k]
+		sort.Slice(items, func(i, j int) bool { return items[i].start < items[j].start })
+		row := make([]byte, width)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, it := range items {
+			lo, hi := scale(it.start), scale(it.end)
+			if hi <= lo {
+				hi = lo + 1
+				if hi > width {
+					lo, hi = width-1, width
+				}
+			}
+			seg := []byte(strings.Repeat("#", hi-lo))
+			name := label(it.slot)
+			if len(name) <= len(seg) {
+				copy(seg, name)
+			}
+			copy(row[lo:hi], seg)
+		}
+		fmt.Fprintf(&b, "proc %2d |%s|\n", k, row)
+	}
+	return b.String()
+}
+
+// EnergyBars renders per-processor total energy as a bar chart, marking
+// the maximum (the BE objective).
+func EnergyBars(s *core.System, m *core.Metrics, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	var b strings.Builder
+	for k := 0; k < s.Mesh.N(); k++ {
+		e := m.Energy(k)
+		frac := 0.0
+		if m.MaxEnergy > 0 {
+			frac = e / m.MaxEnergy
+		}
+		n := int(frac * float64(width))
+		mark := " "
+		if e == m.MaxEnergy && e > 0 {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, "proc %2d %s |%s%s| %.4g mJ\n",
+			k, mark, strings.Repeat("=", n), strings.Repeat(" ", width-n), 1000*e)
+	}
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/task"
+)
+
+func deployed(t *testing.T) (*core.System, *core.Deployment, *core.Metrics) {
+	t.Helper()
+	plat := platform.Default(4)
+	mesh := noc.Default(2, 2)
+	g := task.New()
+	a := g.AddTask("alpha", 1.5e6, 0.01)
+	b := g.AddTask("beta", 1.0e6, 0.01)
+	g.AddEdge(a, b, 4096)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	h, err := core.Horizon(plat, mesh, g, rel, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, info, err := core.Heuristic(s, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("expected feasible")
+	}
+	m, err := core.ComputeMetrics(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, d, m
+}
+
+func TestGanttContainsTasksAndProcs(t *testing.T) {
+	s, d, _ := deployed(t)
+	out := Gantt(s, d, 60)
+	for _, want := range []string{"alpha", "beta", "proc", "horizon"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gantt missing %q:\n%s", want, out)
+		}
+	}
+	// Row width: every proc row must have the same bar width.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	barLen := -1
+	for _, ln := range lines[1:] {
+		open := strings.Index(ln, "|")
+		close := strings.LastIndex(ln, "|")
+		if open < 0 || close <= open {
+			t.Fatalf("malformed row %q", ln)
+		}
+		if barLen < 0 {
+			barLen = close - open
+		} else if close-open != barLen {
+			t.Errorf("ragged bar widths: %q", ln)
+		}
+	}
+}
+
+func TestGanttMinimumWidth(t *testing.T) {
+	s, d, _ := deployed(t)
+	out := Gantt(s, d, 1) // clamped to 20
+	if !strings.Contains(out, "proc") {
+		t.Error("tiny width render failed")
+	}
+}
+
+func TestEnergyBarsMarksMax(t *testing.T) {
+	s, _, m := deployed(t)
+	out := EnergyBars(s, m, 30)
+	if !strings.Contains(out, "*") {
+		t.Errorf("no maximum marker:\n%s", out)
+	}
+	if got := strings.Count(out, "\n"); got != s.Mesh.N() {
+		t.Errorf("%d lines for %d processors", got, s.Mesh.N())
+	}
+	if !strings.Contains(out, "mJ") {
+		t.Error("missing energy units")
+	}
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/taskgen"
+)
+
+func buildDeployed(t *testing.T, m int, seed int64) (*core.System, *core.Deployment) {
+	t.Helper()
+	plat := platform.Default(16)
+	mesh := noc.Default(4, 4)
+	g, err := taskgen.Layered(taskgen.DefaultParams(m, seed), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	h, err := core.Horizon(plat, mesh, g, rel, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, info, err := core.Heuristic(s, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("heuristic infeasible on loose instance")
+	}
+	return s, d
+}
+
+// The event-driven replay can never be slower than the static schedule,
+// and must execute every existing slot exactly once on its processor.
+func TestExecuteMatchesStaticSchedule(t *testing.T) {
+	s, d := buildDeployed(t, 14, 3)
+	res, err := Execute(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := core.ComputeMetrics(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > met.Makespan+1e-9 {
+		t.Errorf("simulated makespan %g exceeds static %g", res.Makespan, met.Makespan)
+	}
+	count := 0
+	for i := range d.Exists {
+		if d.Exists[i] {
+			count++
+		}
+	}
+	if len(res.Events) != count {
+		t.Fatalf("executed %d events, want %d", len(res.Events), count)
+	}
+	seen := map[int]bool{}
+	for _, ev := range res.Events {
+		if seen[ev.Slot] {
+			t.Fatalf("slot %d executed twice", ev.Slot)
+		}
+		seen[ev.Slot] = true
+		if ev.Proc != d.Proc[ev.Slot] {
+			t.Errorf("slot %d ran on processor %d, deployed on %d", ev.Slot, ev.Proc, d.Proc[ev.Slot])
+		}
+		if ev.End < ev.Start {
+			t.Errorf("slot %d has negative duration", ev.Slot)
+		}
+	}
+}
+
+// Precedences must hold in the simulated timeline: a successor starts no
+// earlier than every predecessor's end plus its communication time.
+func TestExecuteRespectsPrecedence(t *testing.T) {
+	s, d := buildDeployed(t, 12, 5)
+	res, err := Execute(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	end := map[int]float64{}
+	start := map[int]float64{}
+	for _, ev := range res.Events {
+		end[ev.Slot] = ev.End
+		start[ev.Slot] = ev.Start
+	}
+	for _, pair := range s.Expanded().DepEdges() {
+		a, b := pair[0], pair[1]
+		if !d.Exists[a] || !d.Exists[b] {
+			continue
+		}
+		if start[b]+1e-9 < end[a] {
+			t.Errorf("slot %d starts %g before predecessor %d ends %g", b, start[b], a, end[a])
+		}
+	}
+	// No overlap per processor.
+	type iv struct{ s, e float64 }
+	per := map[int][]iv{}
+	for _, ev := range res.Events {
+		per[ev.Proc] = append(per[ev.Proc], iv{ev.Start, ev.End})
+	}
+	for k, ivs := range per {
+		for i := range ivs {
+			for j := i + 1; j < len(ivs); j++ {
+				if ivs[i].s < ivs[j].e-1e-9 && ivs[j].s < ivs[i].e-1e-9 {
+					t.Errorf("overlap on processor %d: %+v vs %+v", k, ivs[i], ivs[j])
+				}
+			}
+		}
+	}
+}
+
+// Replay energy must equal the analytic metrics exactly (same model).
+func TestExecuteEnergyMatchesMetrics(t *testing.T) {
+	s, d := buildDeployed(t, 10, 7)
+	res, err := Execute(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	met, err := core.ComputeMetrics(s, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range res.Energy {
+		want := met.CompEnergy[k] + met.CommEnergy[k]
+		if math.Abs(res.Energy[k]-want) > 1e-12*(1+want) {
+			t.Errorf("proc %d energy %g, metrics %g", k, res.Energy[k], want)
+		}
+	}
+}
+
+// Observed fault survival must match the analytic reliability to Monte-
+// Carlo accuracy, and every task must meet the threshold.
+func TestInjectFaultsMatchesAnalytic(t *testing.T) {
+	s, d := buildDeployed(t, 10, 11)
+	const runs = 200000
+	stats, err := InjectFaults(s, d, runs, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Graph.M(); i++ {
+		want := AnalyticTaskReliability(s, d, i)
+		got := stats.SurvivalRate(i)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("task %d survival %g, analytic %g", i, got, want)
+		}
+		if want < s.Rel.Rth {
+			t.Errorf("task %d analytic reliability %g below threshold %g", i, want, s.Rel.Rth)
+		}
+	}
+	if stats.SystemRate() <= 0 || stats.SystemRate() > 1 {
+		t.Errorf("system rate %g out of range", stats.SystemRate())
+	}
+}
+
+func TestInjectFaultsValidation(t *testing.T) {
+	s, d := buildDeployed(t, 6, 1)
+	if _, err := InjectFaults(s, d, 0, 1); err == nil {
+		t.Error("expected error for zero runs")
+	}
+	bad := *d
+	bad.Proc = append([]int(nil), d.Proc...)
+	bad.Proc[0] = -5
+	if _, err := InjectFaults(s, &bad, 10, 1); err == nil {
+		t.Error("expected error for invalid deployment")
+	}
+}
+
+// A deployment whose duplicate lets a low-frequency original pass the
+// threshold: fault injection must show the duplicate actually rescuing
+// failed runs (duplicated survival strictly above single-copy survival).
+func TestDuplicationRescue(t *testing.T) {
+	plat := platform.Default(4)
+	mesh := noc.Default(2, 2)
+	g, err := taskgen.Layered(taskgen.Params{
+		M: 4, MinWCEC: 4e6, MaxWCEC: 6e6, MinBytes: 1024, MaxBytes: 2048,
+		DeadlineSlack: 1.5, FMinRef: plat.Fmin(), Seed: 9,
+	}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := reliability.Default(plat.Fmin(), plat.Fmax())
+	h, err := core.Horizon(plat, mesh, g, rel, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := core.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _, err := core.Heuristic(s, core.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.DupCount() == 0 {
+		t.Skip("instance produced no duplicates; adjust parameters")
+	}
+	stats, err := InjectFaults(s, d, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s.Graph.M(); i++ {
+		if !d.Exists[i+s.Graph.M()] {
+			continue
+		}
+		single := s.Reliability(i, d.Level[i])
+		if got := stats.SurvivalRate(i); got <= single {
+			t.Errorf("task %d: duplicated survival %g not above single-copy %g", i, got, single)
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package sim
+
+import (
+	"sort"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/nocsim"
+)
+
+// NetworkTraffic extracts the NoC traffic induced by a deployment: one
+// packet per inter-processor dependency edge, injected when the producer
+// finishes, routed over the selected candidate path. Packet IDs are
+// assigned in injection order.
+func NetworkTraffic(s *core.System, d *core.Deployment) []nocsim.Packet {
+	exp := s.Expanded()
+	var pkts []nocsim.Packet
+	for _, pair := range exp.DepEdges() {
+		a, b := pair[0], pair[1]
+		if !d.Exists[a] || !d.Exists[b] {
+			continue
+		}
+		beta, gamma := d.Proc[a], d.Proc[b]
+		if beta == gamma {
+			continue
+		}
+		rho := d.PathSel[beta][gamma]
+		pkts = append(pkts, nocsim.Packet{
+			Bytes:  exp.Data(a, b),
+			Route:  s.Mesh.PathOf(beta, gamma, rho).Nodes,
+			Inject: d.End(s, a),
+		})
+	}
+	sort.Slice(pkts, func(i, j int) bool { return pkts[i].Inject < pkts[j].Inject })
+	for i := range pkts {
+		pkts[i].ID = i
+	}
+	return pkts
+}

@@ -1,0 +1,35 @@
+package spec
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nocdeploy/internal/core"
+)
+
+// The sample instance shipped in testdata must build, solve and validate —
+// it is the instance the README's CLI walkthrough uses.
+func TestShippedSampleInstance(t *testing.T) {
+	path := filepath.Join("..", "..", "testdata", "sample_instance.json")
+	inst, err := ReadInstance(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := inst.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.M() != 12 || s.Mesh.N() != 16 {
+		t.Errorf("sample dims: M=%d N=%d", s.Graph.M(), s.Mesh.N())
+	}
+	d, info, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("shipped sample must be solvable")
+	}
+	if _, err := core.Validate(s, d); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,230 @@
+// Package taskgen generates pseudo-random task graphs for the evaluation,
+// mirroring the paper's protocol of repeating each experiment over many
+// randomly generated task graphs. All generators are deterministic given a
+// seed.
+package taskgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocdeploy/internal/task"
+)
+
+// Params bounds the random attributes of generated tasks.
+type Params struct {
+	M int // number of tasks
+
+	// WCEC is drawn uniformly from [MinWCEC, MaxWCEC] cycles.
+	MinWCEC, MaxWCEC float64
+	// Edge data size is drawn uniformly from [MinBytes, MaxBytes].
+	MinBytes, MaxBytes float64
+	// Deadline is the relative deadline applied to every task (the paper's
+	// constraint (8) bounds per-task execution time). If DeadlineSlack > 0
+	// the deadline is WCEC/fMinRef * DeadlineSlack with fMinRef below;
+	// otherwise Deadline is used directly.
+	Deadline      float64
+	DeadlineSlack float64
+	FMinRef       float64
+
+	Seed int64
+}
+
+// DefaultParams returns the workload bounds used across the evaluation:
+// task computation times in the low-millisecond range and payloads of
+// 1-64 KiB, so that communication is non-negligible but not dominant.
+// The deadline slack of 0.9 relative to the slowest default level makes
+// the lowest frequency deadline-infeasible, which (as in the paper's
+// setup) forces the frequency assignment to trade energy against both
+// timing and reliability instead of collapsing to f_min.
+func DefaultParams(m int, seed int64) Params {
+	return Params{
+		M:             m,
+		MinWCEC:       0.5e6,
+		MaxWCEC:       2.5e6,
+		MinBytes:      1 << 10,
+		MaxBytes:      64 << 10,
+		DeadlineSlack: 0.9,
+		FMinRef:       0.5e9,
+		Seed:          seed,
+	}
+}
+
+func (p Params) validate() error {
+	if p.M <= 0 {
+		return fmt.Errorf("taskgen: M = %d must be positive", p.M)
+	}
+	if p.MinWCEC <= 0 || p.MaxWCEC < p.MinWCEC {
+		return fmt.Errorf("taskgen: bad WCEC range [%g, %g]", p.MinWCEC, p.MaxWCEC)
+	}
+	if p.MinBytes < 0 || p.MaxBytes < p.MinBytes {
+		return fmt.Errorf("taskgen: bad byte range [%g, %g]", p.MinBytes, p.MaxBytes)
+	}
+	if p.Deadline <= 0 && (p.DeadlineSlack <= 0 || p.FMinRef <= 0) {
+		return fmt.Errorf("taskgen: either Deadline or DeadlineSlack+FMinRef must be positive")
+	}
+	return nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	return lo + (hi-lo)*rng.Float64()
+}
+
+func (p Params) newTask(g *task.Graph, rng *rand.Rand, name string) int {
+	wcec := uniform(rng, p.MinWCEC, p.MaxWCEC)
+	dl := p.Deadline
+	if dl <= 0 {
+		dl = wcec / p.FMinRef * p.DeadlineSlack
+	}
+	return g.AddTask(name, wcec, dl)
+}
+
+// Layered generates a layered DAG: tasks are spread over layers of random
+// width in [1, maxWidth]; every task in layer d > 0 gets 1..maxFanIn
+// predecessors from layer d-1. This is the generator used by default in the
+// experiments (it produces the pipeline-with-parallelism structure typical
+// of embedded streaming applications).
+func Layered(p Params, maxWidth, maxFanIn int) (*task.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if maxWidth < 1 || maxFanIn < 1 {
+		return nil, fmt.Errorf("taskgen: maxWidth %d and maxFanIn %d must be ≥ 1", maxWidth, maxFanIn)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := task.New()
+	var prevLayer []int
+	made := 0
+	for made < p.M {
+		width := 1 + rng.Intn(maxWidth)
+		if width > p.M-made {
+			width = p.M - made
+		}
+		var layer []int
+		for i := 0; i < width; i++ {
+			id := p.newTask(g, rng, fmt.Sprintf("t%d", made))
+			made++
+			layer = append(layer, id)
+		}
+		for _, id := range layer {
+			if len(prevLayer) == 0 {
+				continue
+			}
+			fan := 1 + rng.Intn(maxFanIn)
+			if fan > len(prevLayer) {
+				fan = len(prevLayer)
+			}
+			for _, pi := range rng.Perm(len(prevLayer))[:fan] {
+				g.AddEdge(prevLayer[pi], id, uniform(rng, p.MinBytes, p.MaxBytes))
+			}
+		}
+		prevLayer = layer
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ForkJoin generates a fork-join graph: a source task fans out to p.M-2
+// parallel workers which join into a sink.
+func ForkJoin(p Params) (*task.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if p.M < 3 {
+		return nil, fmt.Errorf("taskgen: fork-join needs M ≥ 3, got %d", p.M)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := task.New()
+	src := p.newTask(g, rng, "fork")
+	workers := make([]int, p.M-2)
+	for i := range workers {
+		workers[i] = p.newTask(g, rng, fmt.Sprintf("w%d", i))
+	}
+	sink := p.newTask(g, rng, "join")
+	for _, w := range workers {
+		g.AddEdge(src, w, uniform(rng, p.MinBytes, p.MaxBytes))
+		g.AddEdge(w, sink, uniform(rng, p.MinBytes, p.MaxBytes))
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// SeriesParallel generates a random series-parallel DAG by recursive
+// series/parallel composition over p.M tasks.
+func SeriesParallel(p Params) (*task.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := task.New()
+	// build returns (entry, exit) task ids for a component of size m.
+	var build func(m int) (int, int)
+	build = func(m int) (int, int) {
+		if m == 1 {
+			id := p.newTask(g, rng, fmt.Sprintf("t%d", g.M()))
+			return id, id
+		}
+		if m == 2 || rng.Intn(2) == 0 { // series
+			k := 1 + rng.Intn(m-1)
+			e1, x1 := build(k)
+			e2, x2 := build(m - k)
+			g.AddEdge(x1, e2, uniform(rng, p.MinBytes, p.MaxBytes))
+			return e1, x2
+		}
+		// parallel: needs an entry and exit plus two branches
+		if m < 4 {
+			k := 1 + rng.Intn(m-1)
+			e1, x1 := build(k)
+			e2, x2 := build(m - k)
+			g.AddEdge(x1, e2, uniform(rng, p.MinBytes, p.MaxBytes))
+			return e1, x2
+		}
+		entry := p.newTask(g, rng, fmt.Sprintf("t%d", g.M()))
+		rest := m - 2
+		k := 1 + rng.Intn(rest-1)
+		e1, x1 := build(k)
+		e2, x2 := build(rest - k)
+		exit := p.newTask(g, rng, fmt.Sprintf("t%d", g.M()))
+		g.AddEdge(entry, e1, uniform(rng, p.MinBytes, p.MaxBytes))
+		g.AddEdge(entry, e2, uniform(rng, p.MinBytes, p.MaxBytes))
+		g.AddEdge(x1, exit, uniform(rng, p.MinBytes, p.MaxBytes))
+		g.AddEdge(x2, exit, uniform(rng, p.MinBytes, p.MaxBytes))
+		return entry, exit
+	}
+	build(p.M)
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GNP generates a DAG by sampling each forward edge (i, j), i < j, with
+// probability prob (the classic layer-free random-DAG model).
+func GNP(p Params, prob float64) (*task.Graph, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	if prob < 0 || prob > 1 {
+		return nil, fmt.Errorf("taskgen: edge probability %g outside [0,1]", prob)
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := task.New()
+	for i := 0; i < p.M; i++ {
+		p.newTask(g, rng, fmt.Sprintf("t%d", i))
+	}
+	for i := 0; i < p.M; i++ {
+		for j := i + 1; j < p.M; j++ {
+			if rng.Float64() < prob {
+				g.AddEdge(i, j, uniform(rng, p.MinBytes, p.MaxBytes))
+			}
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}

@@ -1,0 +1,235 @@
+// Package nocdeploy is an energy-efficient, real-time and reliable task
+// deployment library for NoC-based multicores with DVFS, reproducing
+// Mo, Zhou, Kritikakou and Liu, "Energy Efficient, Real-time and Reliable
+// Task Deployment on NoC-based Multicores with DVFS" (DATE 2022).
+//
+// Given an application task graph, a 2D-mesh NoC platform with per-core
+// DVFS, and a transient-fault reliability model, the library jointly
+// decides:
+//
+//   - task allocation (which core runs each task),
+//   - task scheduling (start times and per-core ordering),
+//   - frequency assignment (a V/F level per task),
+//   - task duplication (replicas for tasks below the reliability threshold),
+//   - routing-path selection (energy- vs time-oriented NoC path per flow),
+//
+// minimizing the maximum per-core energy (or, as a baseline, the total
+// energy) under per-task deadlines, a scheduling horizon and a reliability
+// threshold.
+//
+// Two solvers are provided: Optimal, an exact mixed-integer formulation
+// solved by the built-in branch & bound (packages internal/lp and
+// internal/milp — a pure-Go stand-in for the Gurobi solver used in the
+// paper), and Heuristic, the paper's three-phase decomposition, which
+// scales to large instances with negligible runtime.
+//
+// # Quick start
+//
+//	plat := nocdeploy.DefaultPlatform(16) // 16 cores, 6 V/F levels
+//	mesh := nocdeploy.DefaultMesh(4, 4)   // 4×4 2D mesh
+//	g := nocdeploy.NewTaskGraph()
+//	src := g.AddTask("sense", 1.2e6, 0.004)
+//	dst := g.AddTask("act", 0.8e6, 0.004)
+//	g.AddEdge(src, dst, 4096) // 4 KiB of data
+//	rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+//	h, _ := nocdeploy.Horizon(plat, mesh, g, rel, 1.5)
+//	sys, _ := nocdeploy.NewSystem(plat, mesh, g, rel, h)
+//	d, info, _ := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+//	metrics, _ := nocdeploy.Validate(sys, d)
+//
+// See the examples directory for complete programs and DESIGN.md /
+// EXPERIMENTS.md for the reproduction methodology.
+package nocdeploy
+
+import (
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/noc"
+	"nocdeploy/internal/nocsim"
+	"nocdeploy/internal/platform"
+	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/sim"
+	"nocdeploy/internal/task"
+	"nocdeploy/internal/taskgen"
+)
+
+// Core problem and solution types.
+type (
+	// System bundles one deployment problem instance.
+	System = core.System
+	// Deployment is a complete joint decision (h, y, x, t^s, c).
+	Deployment = core.Deployment
+	// Metrics summarizes a deployment's energy, balance and timing.
+	Metrics = core.Metrics
+	// Options selects the objective and routing variant.
+	Options = core.Options
+	// Objective is BalanceEnergy (min–max) or MinimizeEnergy (min–sum).
+	Objective = core.Objective
+	// SolveInfo reports runtime, feasibility and solver statistics.
+	SolveInfo = core.SolveInfo
+	// OptimalOptions tunes the exact branch & bound solver.
+	OptimalOptions = core.OptimalOptions
+)
+
+// Platform, network, application and fault-model types.
+type (
+	// Platform is the DVFS processor array.
+	Platform = platform.Platform
+	// VFLevel is one voltage/frequency operating point.
+	VFLevel = platform.VFLevel
+	// Mesh is the 2D-mesh NoC with precomputed candidate paths.
+	Mesh = noc.Mesh
+	// TaskGraph is the application DAG.
+	TaskGraph = task.Graph
+	// ReliabilityModel is the Poisson transient-fault model.
+	ReliabilityModel = reliability.Model
+	// GenParams bounds randomly generated workloads.
+	GenParams = taskgen.Params
+)
+
+// Simulation types.
+type (
+	// ExecResult is the outcome of a discrete-event execution replay.
+	ExecResult = sim.Result
+	// FaultStats aggregates Monte-Carlo fault injection.
+	FaultStats = sim.FaultStats
+	// Packet is one NoC message for the flit-level simulator.
+	Packet = nocsim.Packet
+	// NoCSimConfig sets the flit-level simulator's constants.
+	NoCSimConfig = nocsim.Config
+	// NoCSimStats aggregates a flit-level simulation.
+	NoCSimStats = nocsim.Stats
+)
+
+// Objectives.
+const (
+	// BalanceEnergy minimizes the maximum per-core energy (the paper's BE).
+	BalanceEnergy = core.BalanceEnergy
+	// MinimizeEnergy minimizes the total energy (the paper's ME baseline).
+	MinimizeEnergy = core.MinimizeEnergy
+)
+
+// CommEstimate selects the heuristic's phase-2 communication pricing.
+type CommEstimate = core.CommEstimate
+
+// Communication-estimate variants.
+const (
+	// EstimatePathAverage prices placed edges with ρ-averaged real costs
+	// (this repository's default; see DESIGN.md).
+	EstimatePathAverage = core.EstimatePathAverage
+	// EstimateConstant is the paper's literal allocation-independent
+	// estimate, making Algorithm 2 communication-blind.
+	EstimateConstant = core.EstimateConstant
+)
+
+// DefaultPlatform returns n identical processors with the default 6-level
+// V/F table and power constants.
+func DefaultPlatform(n int) *Platform { return platform.Default(n) }
+
+// DefaultMesh returns a w×h mesh with default link costs and a small
+// deterministic jitter (so energy- and time-oriented paths differ).
+func DefaultMesh(w, h int) *Mesh { return noc.Default(w, h) }
+
+// DefaultReliability returns the calibrated transient-fault model for the
+// given frequency range.
+func DefaultReliability(fmin, fmax float64) ReliabilityModel {
+	return reliability.Default(fmin, fmax)
+}
+
+// NewTaskGraph returns an empty application DAG.
+func NewTaskGraph() *TaskGraph { return task.New() }
+
+// DefaultGenParams returns workload-generation bounds for m tasks.
+func DefaultGenParams(m int, seed int64) GenParams { return taskgen.DefaultParams(m, seed) }
+
+// LayeredGraph generates a layered random DAG (the evaluation's default
+// application shape).
+func LayeredGraph(p GenParams, maxWidth, maxFanIn int) (*TaskGraph, error) {
+	return taskgen.Layered(p, maxWidth, maxFanIn)
+}
+
+// ForkJoinGraph generates a fork-join DAG.
+func ForkJoinGraph(p GenParams) (*TaskGraph, error) { return taskgen.ForkJoin(p) }
+
+// SeriesParallelGraph generates a series-parallel DAG.
+func SeriesParallelGraph(p GenParams) (*TaskGraph, error) { return taskgen.SeriesParallel(p) }
+
+// NewSystem assembles a problem instance; the platform size must match the
+// mesh.
+func NewSystem(plat *Platform, mesh *Mesh, g *TaskGraph, rel ReliabilityModel, horizon float64) (*System, error) {
+	return core.NewSystem(plat, mesh, g, rel, horizon)
+}
+
+// Horizon computes the paper's critical-path horizon rule
+// H = α·Σ_{i∈C}(t_i,ave^comp + t_i,ave^comm).
+func Horizon(plat *Platform, mesh *Mesh, g *TaskGraph, rel ReliabilityModel, alpha float64) (float64, error) {
+	return core.Horizon(plat, mesh, g, rel, alpha)
+}
+
+// Heuristic runs the paper's three-phase decomposition (Algorithms 1–3).
+func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
+	return core.Heuristic(s, opts, seed)
+}
+
+// HeuristicWithRepair runs the heuristic and, on a horizon miss,
+// iteratively raises V/F levels of late tasks and re-deploys (an extension
+// beyond the paper; see DESIGN.md).
+func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
+	return core.HeuristicWithRepair(s, opts, seed, maxRounds)
+}
+
+// Improve applies first-improvement local search (task reassignment and
+// path flips) to a feasible deployment, returning the improved deployment,
+// its objective and the number of accepted moves (an extension beyond the
+// paper).
+func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment, float64, int) {
+	return core.Improve(s, d, opts, maxMoves)
+}
+
+// ImprovePaths applies path-flip-only local search: multi-path refinement
+// of a (typically single-path) deployment; the result is never worse than
+// the input.
+func ImprovePaths(s *System, d *Deployment, opts Options) (*Deployment, float64) {
+	return core.ImprovePaths(s, d, opts)
+}
+
+// AnnealOptions tunes the simulated-annealing solver.
+type AnnealOptions = core.AnnealOptions
+
+// Anneal runs the simulated-annealing deployment solver, a metaheuristic
+// baseline seeded by the repaired heuristic (an extension beyond the
+// paper).
+func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
+	return core.Anneal(s, opts, ao)
+}
+
+// Optimal solves the exact MILP formulation of problem P1 with the
+// built-in branch & bound, within the configured limits.
+func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
+	return core.Optimal(s, opts, oo)
+}
+
+// Validate checks a deployment against every constraint and returns its
+// metrics; a nil error means the deployment is feasible.
+func Validate(s *System, d *Deployment) (*Metrics, error) { return core.Validate(s, d) }
+
+// ComputeMetrics computes metrics without judging timing feasibility.
+func ComputeMetrics(s *System, d *Deployment) (*Metrics, error) {
+	return core.ComputeMetrics(s, d)
+}
+
+// Execute replays a deployment in the discrete-event simulator.
+func Execute(s *System, d *Deployment) (*ExecResult, error) { return sim.Execute(s, d) }
+
+// InjectFaults runs a Monte-Carlo fault-injection campaign over the
+// deployment.
+func InjectFaults(s *System, d *Deployment, runs int, seed int64) (*FaultStats, error) {
+	return sim.InjectFaults(s, d, runs, seed)
+}
+
+// NetworkTraffic extracts the NoC packets a deployment induces.
+func NetworkTraffic(s *System, d *Deployment) []Packet { return sim.NetworkTraffic(s, d) }
+
+// SimulateNoC transports packets through the flit-level wormhole simulator.
+func SimulateNoC(mesh *Mesh, packets []Packet, cfg NoCSimConfig) (*NoCSimStats, error) {
+	return nocsim.Simulate(mesh, packets, cfg)
+}

@@ -1,0 +1,90 @@
+package nocdeploy_test
+
+import (
+	"testing"
+
+	"nocdeploy"
+)
+
+// The doc-comment quick start must work exactly as written.
+func TestQuickStart(t *testing.T) {
+	plat := nocdeploy.DefaultPlatform(16)
+	mesh := nocdeploy.DefaultMesh(4, 4)
+	g := nocdeploy.NewTaskGraph()
+	src := g.AddTask("sense", 1.2e6, 0.004)
+	dst := g.AddTask("act", 0.8e6, 0.004)
+	g.AddEdge(src, dst, 4096)
+	rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+	h, err := nocdeploy.Horizon(plat, mesh, g, rel, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := nocdeploy.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, info, err := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Fatal("two-task quick start should be feasible")
+	}
+	metrics, err := nocdeploy.Validate(sys, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.MaxEnergy <= 0 {
+		t.Errorf("max energy %g", metrics.MaxEnergy)
+	}
+}
+
+// End-to-end through the facade: generate, solve, validate, replay,
+// inject faults, and push the traffic through the flit simulator.
+func TestFacadeEndToEnd(t *testing.T) {
+	plat := nocdeploy.DefaultPlatform(16)
+	mesh := nocdeploy.DefaultMesh(4, 4)
+	g, err := nocdeploy.LayeredGraph(nocdeploy.DefaultGenParams(15, 3), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := nocdeploy.DefaultReliability(plat.Fmin(), plat.Fmax())
+	h, err := nocdeploy.Horizon(plat, mesh, g, rel, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := nocdeploy.NewSystem(plat, mesh, g, rel, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, info, err := nocdeploy.Heuristic(sys, nocdeploy.Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Feasible {
+		t.Skip("instance infeasible at this horizon")
+	}
+	if _, err := nocdeploy.Validate(sys, d); err != nil {
+		t.Fatal(err)
+	}
+	res, err := nocdeploy.Execute(sys, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 || res.Makespan > sys.H+1e-9 {
+		t.Errorf("replay makespan %g vs horizon %g", res.Makespan, sys.H)
+	}
+	stats, err := nocdeploy.InjectFaults(sys, d, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SystemRate() <= 0.5 {
+		t.Errorf("system survival %g suspiciously low", stats.SystemRate())
+	}
+	pkts := nocdeploy.NetworkTraffic(sys, d)
+	if len(pkts) > 0 {
+		if _, err := nocdeploy.SimulateNoC(mesh, pkts, nocdeploy.NoCSimConfig{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
