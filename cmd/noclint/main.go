@@ -1,0 +1,87 @@
+// Command noclint runs the repository's domain-aware static-analysis
+// suite (internal/lint) over the given package patterns and reports every
+// finding with a file:line:col position.
+//
+// Usage:
+//
+//	noclint [-json] [-only name1,name2] [patterns...]
+//
+// Patterns default to ./... and accept the go tool's directory forms
+// ("./...", "internal/lp", "internal/..."). Exit status is 0 when the
+// tree is clean, 1 when findings were reported, and 2 when loading or
+// type-checking failed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nocdeploy/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list the available analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: noclint [-json] [-only names] [patterns...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "noclint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	pkgs, err := lint.Load(flag.Args())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "noclint: %v\n", err)
+		os.Exit(2)
+	}
+	findings := lint.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintf(os.Stderr, "noclint: encoding findings: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "noclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		os.Exit(1)
+	}
+}

@@ -94,7 +94,7 @@ func commShare(m *nocdeploy.Metrics) float64 {
 		comm += m.CommEnergy[k]
 		tot += m.CommEnergy[k] + m.CompEnergy[k]
 	}
-	if tot == 0 {
+	if tot == 0 { //lint:allow floateq — guard against division by an exactly-zero sum
 		return 0
 	}
 	return comm / tot

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"time"
 
+	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/reliability"
 )
 
@@ -20,10 +21,10 @@ func (o AnnealOptions) withDefaults(m int) AnnealOptions {
 	if o.Iters == 0 {
 		o.Iters = 2000 * m
 	}
-	if o.T0 == 0 {
+	if numeric.IsZero(o.T0) {
 		o.T0 = 0.2
 	}
-	if o.T1 == 0 {
+	if numeric.IsZero(o.T1) {
 		o.T1 = 1e-4
 	}
 	return o
@@ -61,7 +62,11 @@ func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo,
 	relaxed.H = math.Inf(1)
 
 	evaluate := func(d *Deployment) annealEval {
-		order := scheduleOrder(s, d)
+		order, err := scheduleOrder(s, d)
+		if err != nil {
+			// Broken existing subgraph: score as structurally infeasible.
+			return annealEval{}
+		}
 		mk := scheduleExisting(s, d, order, func(i int) float64 { return d.CommTime(s, i) })
 		if CheckConstraints(&relaxed, d) != nil {
 			return annealEval{}

@@ -415,7 +415,7 @@ func (f *Formulation) IncumbentVector(d *Deployment) ([]float64, error) {
 	// Ordering variables: derive a global order from start times (ties by
 	// slot id); consistent with any non-overlapping schedule.
 	before := func(i, j int) bool {
-		if d.Start[i] != d.Start[j] {
+		if d.Start[i] != d.Start[j] { //lint:allow floateq — deterministic tie-break; tolerance would break transitivity
 			return d.Start[i] < d.Start[j]
 		}
 		return i < j

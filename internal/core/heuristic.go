@@ -7,8 +7,15 @@ import (
 	"time"
 
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/reliability"
 )
+
+// energyTol is the absolute tie-break tolerance for energy comparisons in
+// the greedy phases: energies are joule-scale (1e-6..1e-3 for realistic
+// instances), so 1e-15 separates real improvements from accumulated
+// rounding noise without masking genuine ties.
+const energyTol = 1e-15
 
 // SolveInfo reports how a solve went.
 type SolveInfo struct {
@@ -30,7 +37,10 @@ func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, er
 	d := NewDeployment(s)
 
 	ok1 := phase1FrequencyAndDuplication(s, d)
-	ok23 := deployGivenLevels(s, d, seed, opts)
+	ok23, err := deployGivenLevels(s, d, seed, opts)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	info := &SolveInfo{Runtime: time.Since(startT)}
 	m, err := ComputeMetrics(s, d)
@@ -48,8 +58,11 @@ func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, er
 
 // deployGivenLevels runs phases 2 and 3 for a deployment whose levels and
 // duplication flags are already decided, reporting horizon feasibility.
-func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) bool {
-	order := phase2Allocation(s, d, seed, opts)
+func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) (bool, error) {
+	order, err := phase2Allocation(s, d, seed, opts)
+	if err != nil {
+		return false, err
+	}
 	return phase3PathSelection(s, d, order, opts)
 }
 
@@ -79,9 +92,9 @@ func phase1FrequencyAndDuplication(s *System, d *Deployment) bool {
 			f := s.Plat.Levels[l].Freq
 			// Primary: smallest resulting maximum; secondary: cheapest;
 			// tertiary: fastest (more reliable).
-			if emax < bestMax-1e-15 ||
-				(emax <= bestMax+1e-15 && (e < bestE-1e-15 ||
-					(e <= bestE+1e-15 && f > bestF))) {
+			if numeric.LtTol(emax, bestMax, energyTol) ||
+				(numeric.LeqTol(emax, bestMax, energyTol) && (numeric.LtTol(e, bestE, energyTol) ||
+					(numeric.LeqTol(e, bestE, energyTol) && f > bestF))) {
 				best, bestMax, bestE, bestF = l, emax, e, f
 			}
 		}
@@ -153,7 +166,8 @@ func jointLevels(s *System, i int, runningMax float64) (orig, copyLevel int) {
 			e = math.Max(e, e2)
 		}
 		emax := math.Max(runningMax, e)
-		if emax < bestMax-1e-15 || (emax <= bestMax+1e-15 && tot < bestTot-1e-15) {
+		if numeric.LtTol(emax, bestMax, energyTol) ||
+			(numeric.LeqTol(emax, bestMax, energyTol) && numeric.LtTol(tot, bestTot, energyTol)) {
 			best1, best2, bestMax, bestTot = l1, l2, emax, tot
 		}
 	}
@@ -185,12 +199,16 @@ func jointLevels(s *System, i int, runningMax float64) (orig, copyLevel int) {
 // total energy for ME — with communication costs estimated by the ρ-average
 // of the real path matrices. It returns the slot order used, which is a
 // topological order of the existing subgraph.
-func phase2Allocation(s *System, d *Deployment, seed int64, opts Options) []int {
+func phase2Allocation(s *System, d *Deployment, seed int64, opts Options) ([]int, error) {
 	sub, slots := s.exp.ExistingGraph(d.Exists)
 	rng := rand.New(rand.NewSource(seed))
 
+	layers, err := sub.LayersErr()
+	if err != nil {
+		return nil, err
+	}
 	var order []int // in sub-graph ids
-	for _, layer := range sub.Layers() {
+	for _, layer := range layers {
 		layer = append([]int(nil), layer...)
 		// Shuffle first so equal-cycle ties are broken randomly, then a
 		// stable sort by descending WCEC preserves that random tie order.
@@ -291,7 +309,7 @@ func phase2Allocation(s *System, d *Deployment, seed int64, opts Options) []int 
 					score = e
 				}
 			}
-			if score < bestMax-1e-15 {
+			if numeric.LtTol(score, bestMax, energyTol) {
 				bestK, bestMax = k, score
 			}
 		}
@@ -327,7 +345,7 @@ func phase2Allocation(s *System, d *Deployment, seed int64, opts Options) []int 
 	scheduleExisting(s, d, slotOrder, func(i int) float64 {
 		return avgCommTime(s, d, i)
 	})
-	return slotOrder
+	return slotOrder, nil
 }
 
 // scoreConstant evaluates candidate k under the paper's constant
@@ -346,7 +364,7 @@ func scoreConstant(s *System, d *Deployment, opts Options, comp, comm []float64,
 			score = e
 		}
 	}
-	if score < *bestMax-1e-15 {
+	if numeric.LtTol(score, *bestMax, energyTol) {
 		*bestK, *bestMax = k, score
 	}
 }
@@ -409,13 +427,13 @@ func scheduleExisting(s *System, d *Deployment, order []int, commTime func(i int
 // per-processor energy subject to the horizon (9), starting from the
 // energy-oriented default. It reports whether the final schedule meets the
 // horizon.
-func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) bool {
+func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) (bool, error) {
 	realComm := func(i int) float64 { return d.CommTime(s, i) }
 
 	if opts.SinglePath {
 		// Baseline: every route pinned to the energy-oriented path.
 		makespan := scheduleExisting(s, d, order, realComm)
-		return makespan <= s.H+timeTol
+		return numeric.LeqTol(makespan, s.H, timeTol), nil
 	}
 
 	// Collect pairs carrying traffic, in deterministic order.
@@ -434,17 +452,18 @@ func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) bo
 		}
 	}
 
-	evaluate := func() (maxCost, makespan float64) {
+	evaluate := func() (maxCost, makespan float64, err error) {
 		makespan = scheduleExisting(s, d, order, realComm)
 		m, err := ComputeMetrics(s, d)
 		if err != nil {
-			// Structure was validated before Phase 3; this cannot happen.
-			panic("core: metrics failed during path selection: " + err.Error())
+			// Structure was validated before Phase 3, so a metrics failure
+			// is an internal inconsistency worth surfacing to the caller.
+			return 0, 0, err
 		}
 		if opts.Objective == MinimizeEnergy {
-			return m.SumEnergy, makespan
+			return m.SumEnergy, makespan, nil
 		}
-		return m.MaxEnergy, makespan
+		return m.MaxEnergy, makespan, nil
 	}
 
 	for beta := 0; beta < n; beta++ {
@@ -456,14 +475,17 @@ func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) bo
 			fallbackRho, fallbackSpan := 0, math.Inf(1)
 			for rho := 0; rho < noc.NumPaths; rho++ {
 				d.PathSel[beta][gamma] = rho
-				cost, span := evaluate()
+				cost, span, err := evaluate()
+				if err != nil {
+					return false, err
+				}
 				if span < fallbackSpan {
 					fallbackRho, fallbackSpan = rho, span
 				}
-				if span > s.H+timeTol {
+				if numeric.GtTol(span, s.H, timeTol) {
 					continue // violates (9)
 				}
-				if cost < bestCost-1e-15 {
+				if numeric.LtTol(cost, bestCost, energyTol) {
 					bestRho, bestCost = rho, cost
 				}
 			}
@@ -476,5 +498,5 @@ func phase3PathSelection(s *System, d *Deployment, order []int, opts Options) bo
 		}
 	}
 	makespan := scheduleExisting(s, d, order, realComm)
-	return makespan <= s.H+timeTol
+	return numeric.LeqTol(makespan, s.H, timeTol), nil
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 	"time"
+
+	"nocdeploy/internal/numeric"
 )
 
 // HeuristicWithRepair is an extension beyond the paper: it runs the
@@ -65,7 +67,11 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 				d.Exists[dup] = false
 			}
 		}
-		if deployGivenLevels(s, d, seed, opts) && CheckConstraints(s, d) == nil {
+		ok, err := deployGivenLevels(s, d, seed, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok && CheckConstraints(s, d) == nil {
 			m, err := ComputeMetrics(s, d)
 			if err != nil {
 				return nil, nil, err
@@ -107,7 +113,12 @@ func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment,
 	bestObj := objectiveOf(s, best, opts)
 	accepted := 0
 
-	order := scheduleOrder(s, best)
+	order, err := scheduleOrder(s, best)
+	if err != nil {
+		// The input deployment's existing subgraph is broken; no move can
+		// fix that, so return the input unchanged.
+		return best, bestObj, 0
+	}
 	reschedule := func(cand *Deployment) bool {
 		scheduleExisting(s, cand, order, func(i int) float64 { return cand.CommTime(s, i) })
 		return CheckConstraints(s, cand) == nil
@@ -129,7 +140,7 @@ func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment,
 				if !reschedule(cand) {
 					continue
 				}
-				if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+				if obj := objectiveOf(s, cand, opts); numeric.LtTol(obj, bestObj, energyTol) {
 					best, bestObj = cand, obj
 					accepted++
 					improved = true
@@ -149,7 +160,7 @@ func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment,
 					if !reschedule(cand) {
 						continue
 					}
-					if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+					if obj := objectiveOf(s, cand, opts); numeric.LtTol(obj, bestObj, energyTol) {
 						best, bestObj = cand, obj
 						accepted++
 						improved = true
@@ -173,7 +184,10 @@ func Improve(s *System, d *Deployment, opts Options, maxMoves int) (*Deployment,
 func ImprovePaths(s *System, d *Deployment, opts Options) (*Deployment, float64) {
 	best := cloneDeploymentCore(d)
 	bestObj := objectiveOf(s, best, opts)
-	order := scheduleOrder(s, best)
+	order, err := scheduleOrder(s, best)
+	if err != nil {
+		return best, bestObj
+	}
 	for changed := true; changed; {
 		changed = false
 		for b := 0; b < s.Mesh.N(); b++ {
@@ -187,7 +201,7 @@ func ImprovePaths(s *System, d *Deployment, opts Options) (*Deployment, float64)
 				if CheckConstraints(s, cand) != nil {
 					continue
 				}
-				if obj := objectiveOf(s, cand, opts); obj < bestObj-1e-15 {
+				if obj := objectiveOf(s, cand, opts); numeric.LtTol(obj, bestObj, energyTol) {
 					best, bestObj = cand, obj
 					changed = true
 				}
@@ -199,15 +213,19 @@ func ImprovePaths(s *System, d *Deployment, opts Options) (*Deployment, float64)
 
 // scheduleOrder returns a topological order of the existing slots (the
 // order the list scheduler replays moves in).
-func scheduleOrder(s *System, d *Deployment) []int {
+func scheduleOrder(s *System, d *Deployment) ([]int, error) {
 	sub, slots := s.exp.ExistingGraph(d.Exists)
+	layers, err := sub.LayersErr()
+	if err != nil {
+		return nil, err
+	}
 	var order []int
-	for _, layer := range sub.Layers() {
+	for _, layer := range layers {
 		for _, t := range layer {
 			order = append(order, slots[t])
 		}
 	}
-	return order
+	return order, nil
 }
 
 func objectiveOf(s *System, d *Deployment, opts Options) float64 {

@@ -161,9 +161,12 @@ func Horizon(plat *platform.Platform, mesh *noc.Mesh, g *task.Graph, rel reliabi
 	if err != nil {
 		return 0, err
 	}
-	crit := g.CriticalPath(func(i int) float64 {
+	crit, err := g.CriticalPathErr(func(i int) float64 {
 		return s.AvgCompTime(i) + s.AvgCommTime(i)
 	})
+	if err != nil {
+		return 0, err
+	}
 	var sum float64
 	for _, i := range crit {
 		sum += s.AvgCompTime(i) + s.AvgCommTime(i)

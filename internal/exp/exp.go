@@ -18,6 +18,7 @@ import (
 
 	"nocdeploy/internal/core"
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/platform"
 	"nocdeploy/internal/reliability"
 	"nocdeploy/internal/taskgen"
@@ -148,7 +149,7 @@ func paperScale(m int, alpha float64, seed int64) InstanceParams {
 // Build generates the system for the given parameters.
 func Build(p InstanceParams) (*core.System, error) {
 	levels := platform.DefaultLevels()
-	if p.Gamma > 0 && p.Gamma != 1 {
+	if p.Gamma > 0 && !numeric.Eq(p.Gamma, 1) {
 		levels = platform.ScaledLevels(levels, p.Gamma)
 	}
 	if p.L > 0 && p.L < len(levels) {
@@ -166,15 +167,15 @@ func Build(p InstanceParams) (*core.System, error) {
 		return nil, err
 	}
 	mesh := noc.Default(p.MeshW, p.MeshH)
-	if p.MuScale > 0 && p.MuScale != 1 {
+	if p.MuScale > 0 && !numeric.Eq(p.MuScale, 1) {
 		mesh.ScaleEnergy(p.MuScale)
 	}
 	gp := taskgen.DefaultParams(p.M, p.Seed)
-	if p.BytesScale > 0 && p.BytesScale != 1 {
+	if p.BytesScale > 0 && !numeric.Eq(p.BytesScale, 1) {
 		gp.MinBytes *= p.BytesScale
 		gp.MaxBytes *= p.BytesScale
 	}
-	if p.WCECScale > 0 && p.WCECScale != 1 {
+	if p.WCECScale > 0 && !numeric.Eq(p.WCECScale, 1) {
 		gp.MinWCEC *= p.WCECScale
 		gp.MaxWCEC *= p.WCECScale
 	}
@@ -184,7 +185,7 @@ func Build(p InstanceParams) (*core.System, error) {
 	}
 	rel := reliability.Default(plat.Fmin(), plat.Fmax())
 	alpha := p.Alpha
-	if alpha == 0 {
+	if numeric.IsZero(alpha) {
 		alpha = 1.0
 	}
 	h, err := core.Horizon(plat, mesh, g, rel, alpha)

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// ErrDrop flags calls whose error result is silently discarded: a call
+// used as a bare statement (or behind go/defer) when its result list
+// contains an error. Solver code that ignores a Validate, Solve or decode
+// error continues on garbage state.
+//
+// A small allowlist covers stdlib calls that are conventionally
+// best-effort or can never fail:
+//
+//   - fmt.Print / fmt.Printf / fmt.Println and the fmt.Fprint* family
+//     (formatted diagnostics; CLI output is best-effort by convention)
+//   - methods on *strings.Builder and *bytes.Buffer (documented to never
+//     return a non-nil error)
+//
+// Anything else needs handling, an explicit `_ =` discard, or a
+// //lint:allow errdrop annotation with a reason.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc: "flags discarded error results from calls used as statements " +
+		"(including go/defer)",
+	Run: runErrDrop,
+}
+
+// errdropAllowedPrefixes match against the callee's fully-qualified name
+// as reported by (*types.Func).FullName.
+var errdropAllowedPrefixes = []string{
+	"fmt.Print",
+	"fmt.Fprint",
+	"(*strings.Builder).",
+	"(*bytes.Buffer).",
+}
+
+func runErrDrop(pass *Pass) {
+	check := func(call *ast.CallExpr, how string) {
+		if call == nil || !callReturnsError(pass.Info, call) || errdropAllowed(pass.Info, call) {
+			return
+		}
+		name := calleeName(pass.Info, call)
+		pass.Reportf(call.Pos(), "%s discards the error returned by %s", how, name)
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "statement")
+				}
+			case *ast.DeferStmt:
+				check(st.Call, "defer")
+			case *ast.GoStmt:
+				check(st.Call, "go")
+			}
+			return true
+		})
+	}
+}
+
+// callReturnsError reports whether the call's result list contains an
+// error-typed value.
+func callReturnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "error" && obj.Pkg() == nil
+}
+
+func errdropAllowed(info *types.Info, call *ast.CallExpr) bool {
+	name := calleeName(info, call)
+	for _, prefix := range errdropAllowedPrefixes {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeName returns the fully-qualified name of the called function, or a
+// best-effort rendering for dynamic calls.
+func calleeName(info *types.Info, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f.FullName()
+		}
+		return fun.Name
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f.FullName()
+		}
+		return fun.Sel.Name
+	}
+	return "function value"
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point expressions. Exact float
+// equality is the classic silent-correctness bug of solver code: reduced
+// costs, residuals and bounds accumulate rounding error, so exact
+// comparisons flip pivoting and pruning decisions nondeterministically.
+// Comparisons must go through the tolerance helpers in internal/numeric
+// (Eq, EqTol, IsZero, ...), which is the one package exempt from this
+// check. Comparisons where both operands are compile-time constants are
+// exempt too — they carry no runtime rounding.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flags == / != between float expressions; route comparisons through " +
+		"internal/numeric so every tolerance is explicit",
+	Run: runFloatEq,
+}
+
+// floateqExemptPkg names the approved tolerance-helper package: the place
+// where exact float comparisons are allowed to live, because it is the
+// implementation of the policy itself.
+const floateqExemptPkg = "numeric"
+
+func runFloatEq(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == floateqExemptPkg {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, xok := pass.Info.Types[be.X]
+			yt, yok := pass.Info.Types[be.Y]
+			if !xok || !yok || !isFloat(xt.Type) || !isFloat(yt.Type) {
+				return true
+			}
+			if xt.Value != nil && yt.Value != nil {
+				return true // constant fold, no runtime rounding involved
+			}
+			pass.Reportf(be.OpPos,
+				"floating-point %s comparison; use internal/numeric (Eq/EqTol/IsZero) or document the exact check with //lint:allow floateq",
+				be.Op)
+			return true
+		})
+	}
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

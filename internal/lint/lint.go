@@ -1,0 +1,243 @@
+// Package lint is noclint's analyzer engine: a small, dependency-free
+// static-analysis framework built directly on the standard library's
+// go/ast, go/parser and go/types. It exists because generic linters do not
+// know this repository's domain invariants — a numerical solver stack must
+// not compare floats exactly, must not panic in library code, and must not
+// drop errors — so we enforce them ourselves.
+//
+// An Analyzer inspects one type-checked package at a time through a Pass
+// and reports Findings with precise file:line:col positions. Findings can
+// be suppressed with an in-source directive:
+//
+//	//lint:allow <name>[,<name>...] [reason]
+//
+// placed on the offending line, on the line directly above it, or in the
+// doc comment of the enclosing function declaration (which suppresses the
+// named analyzers for the whole function). The reason text is free-form
+// but expected: an allow without a why will not survive review.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one analyzer report.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// String formats the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+}
+
+// Analyzer is one domain check.
+type Analyzer struct {
+	// Name identifies the analyzer in reports and in //lint:allow
+	// directives. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run inspects the package behind pass and reports findings.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	PkgPath  string
+	Info     *types.Info
+
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		Analyzer: p.Analyzer.Name,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{FloatEq, NoPanic, ErrDrop, LoopRange}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings (allow-directives already applied), sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		var raw []Finding
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.PkgPath,
+				Info:     pkg.Info,
+				findings: &raw,
+			}
+			a.Run(pass)
+		}
+		for _, f := range raw {
+			if !sup.allows(f) {
+				all = append(all, f)
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].File != all[j].File {
+			return all[i].File < all[j].File
+		}
+		if all[i].Line != all[j].Line {
+			return all[i].Line < all[j].Line
+		}
+		if all[i].Col != all[j].Col {
+			return all[i].Col < all[j].Col
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all
+}
+
+const allowPrefix = "lint:allow"
+
+// suppressor indexes //lint:allow directives of one package.
+type suppressor struct {
+	// line[file][line] holds analyzer names allowed on that line and the
+	// line below it.
+	line map[string]map[int]map[string]bool
+	// span holds function-scoped allows: findings inside [from, to] lines
+	// of file for the named analyzers are suppressed.
+	spans []allowSpan
+}
+
+type allowSpan struct {
+	file     string
+	from, to int
+	names    map[string]bool
+}
+
+func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
+	s := &suppressor{line: map[string]map[int]map[string]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names := parseAllow(c.Text)
+				if names == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				byLine := s.line[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]map[string]bool{}
+					s.line[pos.Filename] = byLine
+				}
+				set := byLine[pos.Line]
+				if set == nil {
+					set = map[string]bool{}
+					byLine[pos.Line] = set
+				}
+				for n := range names {
+					set[n] = true
+				}
+			}
+		}
+		// Function-scoped allows via the declaration's doc comment.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			names := map[string]bool{}
+			for _, c := range fd.Doc.List {
+				for n := range parseAllow(c.Text) {
+					names[n] = true
+				}
+			}
+			if len(names) == 0 {
+				continue
+			}
+			from := fset.Position(fd.Pos())
+			to := fset.Position(fd.End())
+			s.spans = append(s.spans, allowSpan{
+				file:  from.Filename,
+				from:  from.Line,
+				to:    to.Line,
+				names: names,
+			})
+		}
+	}
+	return s
+}
+
+// parseAllow extracts the analyzer names of one //lint:allow comment, or
+// nil if the comment is not a directive.
+func parseAllow(text string) map[string]bool {
+	body := strings.TrimPrefix(text, "//")
+	body = strings.TrimSpace(body)
+	if !strings.HasPrefix(body, allowPrefix) {
+		return nil
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(body, allowPrefix))
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil
+	}
+	names := map[string]bool{}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names[n] = true
+		}
+	}
+	return names
+}
+
+func (s *suppressor) allows(f Finding) bool {
+	if byLine := s.line[f.File]; byLine != nil {
+		// A directive suppresses its own line and the line directly below,
+		// so it can trail the statement or sit on its own line above.
+		for _, l := range [2]int{f.Line, f.Line - 1} {
+			if set := byLine[l]; set != nil && (set[f.Analyzer] || set["all"]) {
+				return true
+			}
+		}
+	}
+	for _, sp := range s.spans {
+		if sp.file == f.File && f.Line >= sp.from && f.Line <= sp.to &&
+			(sp.names[f.Analyzer] || sp.names["all"]) {
+			return true
+		}
+	}
+	return false
+}

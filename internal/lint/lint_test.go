@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadFixture loads one seeded package from testdata/src.
+func loadFixture(t *testing.T, name string) []*Package {
+	t.Helper()
+	pkgs, err := Load([]string{filepath.Join("testdata", "src", name)})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	}
+	return pkgs
+}
+
+func findingLines(fs []Finding) []int {
+	lines := make([]int, len(fs))
+	for i, f := range fs {
+		lines[i] = f.Line
+	}
+	return lines
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGoldenFixtures checks each analyzer against its seeded fixture: every
+// planted violation is caught at the expected line, every suppressed or
+// clean construct stays silent.
+func TestGoldenFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer string
+		fixture  string
+		want     []int // finding lines, sorted
+	}{
+		{"floateq", "floateq", []int{5, 9, 31}},
+		{"nopanic", "nopanic", []int{8}},
+		{"errdrop", "errdrop", []int{15, 16, 17, 18}},
+		{"looprange", "looprange", []int{7, 12}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.analyzer, func(t *testing.T) {
+			a := ByName(tc.analyzer)
+			if a == nil {
+				t.Fatalf("unknown analyzer %q", tc.analyzer)
+			}
+			pkgs := loadFixture(t, tc.fixture)
+			got := Run(pkgs, []*Analyzer{a})
+			if !equalInts(findingLines(got), tc.want) {
+				t.Errorf("finding lines = %v, want %v\nfindings:\n%s",
+					findingLines(got), tc.want, renderFindings(got))
+			}
+			for _, f := range got {
+				if f.Analyzer != tc.analyzer {
+					t.Errorf("finding attributed to %q, want %q", f.Analyzer, tc.analyzer)
+				}
+				if f.Message == "" || f.Col == 0 {
+					t.Errorf("finding missing message or column: %+v", f)
+				}
+			}
+		})
+	}
+}
+
+// TestSuiteSilentOnCleanFixture runs every analyzer over the clean fixture.
+func TestSuiteSilentOnCleanFixture(t *testing.T) {
+	pkgs := loadFixture(t, "clean")
+	if got := Run(pkgs, All()); len(got) != 0 {
+		t.Errorf("clean fixture produced findings:\n%s", renderFindings(got))
+	}
+}
+
+// TestRepoLintsClean is the integration check behind `go run ./cmd/noclint
+// ./...` exiting 0: the repository's own tree must stay free of findings.
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped in -short mode")
+	}
+	pkgs, err := Load([]string{filepath.Join("..", "..") + "/..."})
+	if err != nil {
+		t.Fatalf("loading repository: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
+	}
+	if got := Run(pkgs, All()); len(got) != 0 {
+		t.Errorf("repository is not lint-clean:\n%s", renderFindings(got))
+	}
+}
+
+// TestFindingJSONShape pins the machine-readable output format.
+func TestFindingJSONShape(t *testing.T) {
+	f := Finding{Analyzer: "floateq", File: "x.go", Line: 3, Col: 7, Message: "m"}
+	b, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"analyzer"`, `"file"`, `"line"`, `"col"`, `"message"`} {
+		if !strings.Contains(string(b), key) {
+			t.Errorf("JSON %s missing key %s", b, key)
+		}
+	}
+	if got, want := f.String(), "x.go:3:7: floateq: m"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func renderFindings(fs []Finding) string {
+	var b strings.Builder
+	for _, f := range fs {
+		b.WriteString("  " + f.String() + "\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Load resolves package patterns ("./...", "dir/...", or plain directory
+// paths), parses every non-test Go file and type-checks each package with
+// the standard library's source importer, so the loader works inside any
+// module without external dependencies. Directories named testdata or
+// vendor, and hidden or underscore-prefixed directories, are skipped when
+// expanding "..." patterns (matching the go tool's convention) but are
+// honored when named explicitly.
+func Load(patterns []string) ([]*Package, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	var pkgs []*Package
+	for _, dir := range dirs {
+		pkg, err := loadDir(fset, imp, dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	return pkgs, nil
+}
+
+func expandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		clean := filepath.Clean(dir)
+		if !seen[clean] {
+			seen[clean] = true
+			dirs = append(dirs, clean)
+		}
+	}
+	for _, pat := range patterns {
+		if pat == "..." {
+			pat = "./..."
+		}
+		if strings.HasSuffix(pat, "/...") {
+			root := filepath.Clean(strings.TrimSuffix(pat, "/..."))
+			if root == "" {
+				root = "."
+			}
+			err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != root && (name == "testdata" || name == "vendor" ||
+					strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(path) {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+			}
+			continue
+		}
+		info, err := os.Stat(pat)
+		if err != nil {
+			return nil, fmt.Errorf("lint: pattern %s: %w", pat, err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %s is not a directory", pat)
+		}
+		add(pat)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses and type-checks the single package in dir; it returns
+// (nil, nil) when the directory holds no non-test Go files.
+func loadDir(fset *token.FileSet, imp types.Importer, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	for _, f := range files[1:] {
+		if f.Name.Name != files[0].Name.Name {
+			return nil, fmt.Errorf("lint: %s holds multiple packages (%s and %s)",
+				dir, files[0].Name.Name, f.Name.Name)
+		}
+	}
+	pkgPath, err := packagePath(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(pkgPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		limit := typeErrs
+		if len(limit) > 5 {
+			limit = limit[:5]
+		}
+		msgs := make([]string, len(limit))
+		for i, e := range limit {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("lint: type-checking %s failed:\n  %s", pkgPath, strings.Join(msgs, "\n  "))
+	}
+	return &Package{
+		PkgPath: pkgPath,
+		Dir:     dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+	}, nil
+}
+
+// packagePath derives the import path of dir from the enclosing module's
+// go.mod; directories outside any module get a synthetic path from the
+// directory name.
+func packagePath(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+		if err == nil {
+			module := moduleName(string(data))
+			if module == "" {
+				return "", fmt.Errorf("lint: %s/go.mod has no module directive", root)
+			}
+			rel, err := filepath.Rel(root, abs)
+			if err != nil {
+				return "", err
+			}
+			if rel == "." {
+				return module, nil
+			}
+			return module + "/" + filepath.ToSlash(rel), nil
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return filepath.Base(abs), nil
+		}
+		root = parent
+	}
+}
+
+func moduleName(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
+}

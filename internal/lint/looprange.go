@@ -1,0 +1,103 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LoopRange flags closures launched with go or defer from inside a loop
+// body that capture the loop's iteration variables. Before Go 1.22 every
+// iteration shared one variable, so such closures observed the final
+// value — the classic aliasing bug. Go 1.22 gives each iteration a fresh
+// variable, but the pattern stays flagged here: deferred closures in a
+// loop still all run after the loop finishes (usually not what the author
+// meant inside a long-running solve), and the code breaks silently when
+// compiled with an older language version. Capture the value explicitly
+// (pass it as an argument) or annotate with //lint:allow looprange.
+var LoopRange = &Analyzer{
+	Name: "looprange",
+	Doc: "flags go/defer closures inside loops that capture the loop " +
+		"variable; pass the value as an argument instead",
+	Run: runLoopRange,
+}
+
+func runLoopRange(pass *Pass) {
+	for _, file := range pass.Files {
+		checkLoopRange(pass, file, map[types.Object]string{})
+	}
+}
+
+// checkLoopRange walks n with the set of in-scope loop variables; loops
+// push their iteration variables before descending into the body.
+func checkLoopRange(pass *Pass, n ast.Node, loopVars map[types.Object]string) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch st := node.(type) {
+		case *ast.RangeStmt:
+			inner := addLoopVars(pass, loopVars, st.Key, st.Value)
+			checkLoopRange(pass, st.Body, inner)
+			return false
+		case *ast.ForStmt:
+			var idents []ast.Expr
+			if assign, ok := st.Init.(*ast.AssignStmt); ok {
+				idents = assign.Lhs
+			}
+			inner := addLoopVars(pass, loopVars, idents...)
+			checkLoopRange(pass, st.Body, inner)
+			return false
+		case *ast.GoStmt:
+			reportCaptures(pass, st.Call, "go", loopVars)
+		case *ast.DeferStmt:
+			reportCaptures(pass, st.Call, "defer", loopVars)
+		}
+		return true
+	})
+}
+
+func addLoopVars(pass *Pass, outer map[types.Object]string, exprs ...ast.Expr) map[types.Object]string {
+	inner := make(map[types.Object]string, len(outer)+2)
+	for k, v := range outer {
+		inner[k] = v
+	}
+	for _, e := range exprs {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			inner[obj] = id.Name
+		}
+	}
+	return inner
+}
+
+// reportCaptures flags loop variables referenced inside a go/defer closure.
+func reportCaptures(pass *Pass, call *ast.CallExpr, how string, loopVars map[types.Object]string) {
+	if call == nil || len(loopVars) == 0 {
+		return
+	}
+	fn, ok := call.Fun.(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || seen[obj] {
+			return true
+		}
+		if name, isLoopVar := loopVars[obj]; isLoopVar {
+			seen[obj] = true
+			pass.Reportf(id.Pos(),
+				"%s'd closure captures loop variable %s; pass it as an argument",
+				how, name)
+		}
+		return true
+	})
+}

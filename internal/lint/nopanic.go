@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic flags panic() in library packages. A long-running service built
+// on this solver stack cannot tolerate a panic crossing a package
+// boundary: library code must return errors and let the caller decide.
+// Package main is exempt (a command may abort), as are test files (the
+// loader never parses them). The few true invariant violations — "this
+// cannot happen on validated input" — must be documented in place with
+// //lint:allow nopanic and a reason.
+var NoPanic = &Analyzer{
+	Name: "nopanic",
+	Doc: "flags panic() in non-main, non-test packages; return errors instead, " +
+		"or annotate documented invariants with //lint:allow nopanic",
+	Run: runNoPanic,
+}
+
+func runNoPanic(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true // a local function that happens to be named panic
+			}
+			pass.Reportf(call.Pos(),
+				"panic in library package %s; return an error, or document the invariant with //lint:allow nopanic",
+				pass.Pkg.Name())
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+// Package cleanfix is free of findings for every analyzer; the golden test
+// asserts the whole suite stays silent on it.
+package cleanfix
+
+import "errors"
+
+// Tol is a local tolerance helper standing in for internal/numeric.
+const Tol = 1e-9
+
+func near(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= Tol
+}
+
+func validated(x float64) error {
+	if !near(x, 1) {
+		return errors.New("off by more than Tol")
+	}
+	return nil
+}
+
+func useAll(xs []float64) error {
+	for _, x := range xs {
+		if err := validated(x); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var _ = useAll

@@ -1,0 +1,34 @@
+// Package errfix seeds errdrop violations for the golden-fixture test.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, nil }
+
+func drops() {
+	mayFail()
+	pair()
+	defer mayFail()
+	go mayFail()
+}
+
+func handles() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail() // explicit discard stays visible in review; not flagged
+	fmt.Println("best-effort output")
+	var b strings.Builder
+	b.WriteString("documented to never fail")
+	mayFail() //lint:allow errdrop — seeded suppression check
+	return nil
+}
+
+var _ = drops
+var _ = handles

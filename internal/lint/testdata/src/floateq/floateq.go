@@ -1,0 +1,40 @@
+// Package floatfix seeds floateq violations for the golden-fixture test.
+package floatfix
+
+func exactEq(a, b float64) bool {
+	return a == b
+}
+
+func exactNeq(a, b float64) bool {
+	if a != b {
+		return true
+	}
+	return false
+}
+
+func allowedInline(a, b float64) bool {
+	return a == b //lint:allow floateq — seeded suppression check
+}
+
+//lint:allow floateq — doc-comment suppression covers the whole body
+func allowedByDoc(a, b float64) bool {
+	return a == b
+}
+
+func intsAreFine(a, b int) bool {
+	return a == b
+}
+
+const bothConst = 1.5 == 2.5
+
+func float32Too(a, b float32) bool {
+	return a == b
+}
+
+var _ = exactEq
+var _ = exactNeq
+var _ = allowedInline
+var _ = allowedByDoc
+var _ = intsAreFine
+var _ = bothConst
+var _ = float32Too

@@ -1,0 +1,32 @@
+// Package loopfix seeds looprange violations for the golden-fixture test.
+package loopfix
+
+func leaks(xs []int) {
+	for _, x := range xs {
+		go func() {
+			_ = x
+		}()
+	}
+	for i := 0; i < len(xs); i++ {
+		defer func() {
+			println(i)
+		}()
+	}
+}
+
+func captured(xs []int) {
+	for _, x := range xs {
+		x := x
+		go func() {
+			_ = x // rebound copy; not flagged
+		}()
+	}
+	for _, x := range xs {
+		go func(v int) {
+			_ = v
+		}(x) // passed as an argument; not flagged
+	}
+}
+
+var _ = leaks
+var _ = captured

@@ -1,0 +1,32 @@
+// Package panicfix seeds nopanic violations for the golden-fixture test.
+package panicfix
+
+import "errors"
+
+// Boom panics unconditionally — the library anti-pattern.
+func Boom() {
+	panic("boom")
+}
+
+func asError() error {
+	return errors.New("returned, not panicked")
+}
+
+//lint:allow nopanic — documented invariant for the suppression test
+func invariant() {
+	panic("unreachable")
+}
+
+func inline() {
+	panic("fine") //lint:allow nopanic — inline suppression
+}
+
+func notTheBuiltin() {
+	panic := func(string) {}
+	panic("shadowed, not the builtin")
+}
+
+var _ = asError
+var _ = invariant
+var _ = inline
+var _ = notTheBuiltin

@@ -1,0 +1,78 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSimplexSolve drives the simplex with randomly generated small LPs and
+// checks the solver's core contract: it never errors on valid input, and
+// any solution reported Optimal actually satisfies every bound and row.
+func FuzzSimplexSolve(f *testing.F) {
+	f.Add([]byte{2, 1, 10, 20, 1, 200, 3, 0, 5})
+	f.Add([]byte{3, 2, 0, 50, 128, 90, 2, 1, 60, 5, 9, 1, 30, 7})
+	f.Add([]byte{1, 0, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		next := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		// Coefficients are small signed values so objectives stay O(100)
+		// and infeasibility/unboundedness arise naturally.
+		coef := func() float64 { return float64(int(next())-128) / 16 }
+
+		n := 1 + int(next())%4
+		m := int(next()) % 5
+		p := NewProblem(n)
+		for j := 0; j < n; j++ {
+			p.Cost[j] = coef()
+			switch next() % 4 {
+			case 0: // default [0, +Inf)
+			case 1:
+				p.SetBounds(j, 0, math.Abs(coef())+1)
+			case 2:
+				p.SetBounds(j, coef(), math.Inf(1))
+			default:
+				lo := coef()
+				p.SetBounds(j, lo, lo+math.Abs(coef()))
+			}
+		}
+		for r := 0; r < m; r++ {
+			var idx []int
+			var val []float64
+			for j := 0; j < n; j++ {
+				if next()%2 == 0 {
+					idx = append(idx, j)
+					val = append(val, coef())
+				}
+			}
+			if len(idx) == 0 {
+				idx, val = []int{0}, []float64{1}
+			}
+			p.AddConstraint(idx, val, Op(next()%3), coef())
+		}
+
+		sol, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("Solve returned error on valid input: %v\nproblem: %+v", err, p)
+		}
+		if sol.Status != Optimal {
+			return // infeasible / unbounded / iteration limit are all legal outcomes
+		}
+		if len(sol.X) != n {
+			t.Fatalf("optimal solution has %d entries, want %d", len(sol.X), n)
+		}
+		for j, x := range sol.X {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				t.Fatalf("optimal x[%d] = %v", j, x)
+			}
+		}
+		if !p.Feasible(sol.X, 1e-6) {
+			t.Fatalf("solution reported Optimal but violates constraints\nx = %v\nproblem: %+v", sol.X, p)
+		}
+	})
+}

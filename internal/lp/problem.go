@@ -19,6 +19,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"nocdeploy/internal/numeric"
 )
 
 // Op is a constraint sense.
@@ -172,10 +174,10 @@ func (o Options) withDefaults(m int) Options {
 	if o.MaxIters == 0 {
 		o.MaxIters = 20000 + 200*m
 	}
-	if o.FeasTol == 0 {
+	if numeric.IsZero(o.FeasTol) {
 		o.FeasTol = 1e-7
 	}
-	if o.OptTol == 0 {
+	if numeric.IsZero(o.OptTol) {
 		o.OptTol = 1e-9
 	}
 	if o.Refactor == 0 {
@@ -191,7 +193,7 @@ func (o Options) withDefaults(m int) Options {
 func (p *Problem) Eval(x []float64) float64 {
 	var s float64
 	for j, c := range p.Cost {
-		if c != 0 {
+		if !numeric.IsZero(c) {
 			s += c * x[j]
 		}
 	}

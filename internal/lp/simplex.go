@@ -3,6 +3,8 @@ package lp
 import (
 	"fmt"
 	"math"
+
+	"nocdeploy/internal/numeric"
 )
 
 // varState describes where a column currently sits.
@@ -218,7 +220,7 @@ func (s *simplex) build(p *Problem) {
 	res := make([]float64, m)
 	copy(res, s.rhs)
 	for j := 0; j < n; j++ {
-		if v := s.value(j); v != 0 {
+		if v := s.value(j); !numeric.IsZero(v) {
 			for k, r := range s.colIdx[j] {
 				res[r] -= s.colVal[j][k] * v
 			}
@@ -282,7 +284,7 @@ func (s *simplex) value(j int) float64 {
 func (s *simplex) phaseObj() float64 {
 	var obj float64
 	for j := range s.cost {
-		if s.cost[j] == 0 {
+		if numeric.IsZero(s.cost[j]) {
 			continue
 		}
 		if s.state[j] == inBasis {
@@ -314,7 +316,7 @@ func (s *simplex) iterate() (Status, error) {
 			y[i] = 0
 		}
 		for i, bj := range s.basis {
-			if cb := s.cost[bj]; cb != 0 {
+			if cb := s.cost[bj]; !numeric.IsZero(cb) {
 				row := s.binv[i*m : (i+1)*m]
 				for k := 0; k < m; k++ {
 					y[k] += cb * row[k]
@@ -327,7 +329,9 @@ func (s *simplex) iterate() (Status, error) {
 		bestScore := s.opt.OptTol
 		for j := range s.cost {
 			st := s.state[j]
-			if st == inBasis || s.lo[j] == s.hi[j] {
+			// Fixed columns compare their bounds exactly: bounds are set, not
+			// computed, and the ±Inf pairs must not trip NaN tolerance math.
+			if st == inBasis || s.lo[j] == s.hi[j] { //lint:allow floateq — exact fixed-column check over assigned bounds
 				continue
 			}
 			d := s.cost[j]
@@ -466,7 +470,7 @@ func (s *simplex) iterate() (Status, error) {
 				continue
 			}
 			f := w[i]
-			if f == 0 {
+			if numeric.IsZero(f) {
 				continue
 			}
 			row := s.binv[i*m : (i+1)*m]
@@ -509,7 +513,7 @@ func (s *simplex) refactorize() error {
 		if s.state[j] == inBasis {
 			continue
 		}
-		if v := s.value(j); v != 0 {
+		if v := s.value(j); !numeric.IsZero(v) {
 			for k, r := range s.colIdx[j] {
 				eff[r] -= s.colVal[j][k] * v
 			}
@@ -561,7 +565,7 @@ func invertDense(a []float64, m int) ([]float64, bool) {
 				continue
 			}
 			f := work[r*m+col]
-			if f == 0 {
+			if numeric.IsZero(f) {
 				continue
 			}
 			for k := 0; k < m; k++ {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nocdeploy/internal/lp"
+	"nocdeploy/internal/numeric"
 )
 
 // Status is the outcome of a branch & bound run.
@@ -62,7 +63,7 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 200000
 	}
-	if o.IntTol == 0 {
+	if numeric.IsZero(o.IntTol) {
 		o.IntTol = 1e-6
 	}
 	return o
@@ -250,7 +251,7 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 			if !deadline.IsZero() && time.Now().After(deadline) {
 				break
 			}
-			if sol.Obj >= incumbent-1e-9 {
+			if numeric.GeqTol(sol.Obj, incumbent, 1e-9) {
 				break // pruned by bound
 			}
 			j := fractional(sol.X)
@@ -293,7 +294,7 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 				if csol.Status != lp.Optimal {
 					continue // infeasible (or iter-limit: treated as pruned)
 				}
-				if csol.Obj >= incumbent-1e-9 {
+				if numeric.GeqTol(csol.Obj, incumbent, 1e-9) {
 					continue
 				}
 				child.bound = csol.Obj
@@ -314,7 +315,7 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 
 	res.Bound = bestBound() + m.objConst
 	if res.X != nil {
-		if pq.Len() == 0 || res.Obj-res.Bound <= 1e-9*math.Max(1, math.Abs(res.Obj)) {
+		if pq.Len() == 0 || numeric.LeqTol(res.Obj-res.Bound, 0, 1e-9*math.Max(1, math.Abs(res.Obj))) {
 			res.Status = Optimal
 			res.Bound = res.Obj
 		} else if opts.RelGap > 0 && res.Gap() <= opts.RelGap {

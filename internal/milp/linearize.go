@@ -26,7 +26,7 @@ func (m *Model) Product(name string, x, y VarID) VarID {
 // unchanged for a singleton.
 func (m *Model) ProductMany(name string, vars ...VarID) VarID {
 	if len(vars) == 0 {
-		panic("milp: ProductMany needs at least one variable")
+		panic("milp: ProductMany needs at least one variable") //lint:allow nopanic — programmer error: an empty product has no well-defined variable
 	}
 	acc := vars[0]
 	for i := 1; i < len(vars); i++ {

@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"nocdeploy/internal/lp"
+	"nocdeploy/internal/numeric"
 )
 
 // VarID names a model variable.
@@ -216,7 +217,7 @@ func (m *Model) Complete(fixed map[VarID]float64, opts lp.Options) ([]float64, e
 func (m *Model) Eval(x []float64) float64 {
 	s := m.objConst
 	for j, c := range m.obj {
-		if c != 0 {
+		if !numeric.IsZero(c) {
 			s += c * x[j]
 		}
 	}

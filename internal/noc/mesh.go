@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"nocdeploy/internal/numeric"
 )
 
 // LinkParams describes the cost of one directed link between adjacent
@@ -128,7 +130,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 	m.adj = make([][]link, n)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	jitter := func() float64 {
-		if cfg.Jitter == 0 {
+		if numeric.IsZero(cfg.Jitter) {
 			return 1
 		}
 		return 1 - cfg.Jitter + 2*cfg.Jitter*rng.Float64()
@@ -152,7 +154,9 @@ func NewMesh(cfg Config) (*Mesh, error) {
 			}
 		}
 	}
-	m.computePaths()
+	if err := m.computePaths(); err != nil {
+		return nil, err
+	}
 	return m, nil
 }
 
@@ -161,6 +165,7 @@ func NewMesh(cfg Config) (*Mesh, error) {
 func Default(w, h int) *Mesh {
 	m, err := NewMesh(Config{W: w, H: h, Link: DefaultLinkParams(), Jitter: 0.25, Seed: 1})
 	if err != nil {
+		//lint:allow nopanic — Must-style constructor on static defaults; NewMesh is the fallible path
 		panic("noc: default mesh construction failed: " + err.Error())
 	}
 	return m
@@ -240,19 +245,19 @@ func extractPath(prev []int, src, dst int) Path {
 	return Path{Nodes: nodes}
 }
 
-// linkBetween returns the directed link a→b. It panics if absent, which
-// would indicate a broken path.
-func (m *Mesh) linkBetween(a, b int) LinkParams {
+// linkBetween returns the directed link a→b, or an error if the mesh has
+// no such link — which would indicate a broken path.
+func (m *Mesh) linkBetween(a, b int) (LinkParams, error) {
 	for _, l := range m.adj[a] {
 		if l.to == b {
-			return l.LinkParams
+			return l.LinkParams, nil
 		}
 	}
-	panic(fmt.Sprintf("noc: no link %d→%d", a, b))
+	return LinkParams{}, fmt.Errorf("noc: no link %d→%d", a, b)
 }
 
 // computePaths fills the path, time and energy matrices.
-func (m *Mesh) computePaths() {
+func (m *Mesh) computePaths() error {
 	n := m.N()
 	m.paths = make([][][NumPaths]Path, n)
 	m.timeM = make([][][NumPaths]float64, n)
@@ -285,10 +290,17 @@ func (m *Mesh) computePaths() {
 			m.paths[src][dst][PathEnergy] = pe
 			m.paths[src][dst][PathTime] = pt
 			for rho, p := range [NumPaths]Path{pe, pt} {
-				m.timeM[src][dst][rho] = m.pathTimePerByte(p)
+				t, err := m.pathTimePerByte(p)
+				if err != nil {
+					return err
+				}
+				m.timeM[src][dst][rho] = t
 				for i := 0; i+1 < len(p.Nodes); i++ {
 					a, b := p.Nodes[i], p.Nodes[i+1]
-					lp := m.linkBetween(a, b)
+					lp, err := m.linkBetween(a, b)
+					if err != nil {
+						return err
+					}
 					// Wire energy split evenly between the two endpoints;
 					// router traversal energy charged to the forwarding node.
 					m.energy[src][dst][a][rho] += lp.RouterEnergy + lp.EnergyPerByte/2
@@ -300,6 +312,7 @@ func (m *Mesh) computePaths() {
 			}
 		}
 	}
+	return nil
 }
 
 // ejectEnergyPerByte is the cost of moving a byte from the destination
@@ -329,12 +342,16 @@ func timeWeight(l LinkParams) float64 {
 }
 
 // pathTimePerByte returns the per-byte latency along p under timeWeight.
-func (m *Mesh) pathTimePerByte(p Path) float64 {
+func (m *Mesh) pathTimePerByte(p Path) (float64, error) {
 	var t float64
 	for i := 0; i+1 < len(p.Nodes); i++ {
-		t += timeWeight(m.linkBetween(p.Nodes[i], p.Nodes[i+1]))
+		lp, err := m.linkBetween(p.Nodes[i], p.Nodes[i+1])
+		if err != nil {
+			return 0, err
+		}
+		t += timeWeight(lp)
 	}
-	return t
+	return t, nil
 }
 
 // dimensionOrdered returns the XY (xFirst) or YX route from src to dst.

@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/numeric"
 )
 
 // Config sets the microarchitectural constants of the simulation.
@@ -27,13 +28,13 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.FlitBytes == 0 {
+	if numeric.IsZero(c.FlitBytes) {
 		c.FlitBytes = 4
 	}
-	if c.CycleTime == 0 {
+	if numeric.IsZero(c.CycleTime) {
 		c.CycleTime = 1e-9
 	}
-	if c.RouterDelay == 0 {
+	if numeric.IsZero(c.RouterDelay) {
 		c.RouterDelay = 3
 	}
 	return c
@@ -88,7 +89,7 @@ type eventPQ []event
 
 func (q eventPQ) Len() int { return len(q) }
 func (q eventPQ) Less(i, j int) bool {
-	if q[i].at != q[j].at {
+	if q[i].at != q[j].at { //lint:allow floateq — event-queue tie-break; tolerance would break heap ordering
 		return q[i].at < q[j].at
 	}
 	return q[i].seq < q[j].seq

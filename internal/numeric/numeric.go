@@ -1,0 +1,86 @@
+// Package numeric centralizes the floating-point comparison policy of the
+// solver stack. Numerical code must not compare floats with == or != (the
+// noclint floateq analyzer enforces this repo-wide); instead it routes
+// comparisons through this package so every tolerance is explicit, named
+// and auditable.
+//
+// Two kinds of predicate are provided:
+//
+//   - Tolerance comparisons (Eq, Leq, Lt, ... and their *Tol variants):
+//     "equal/ordered up to a slack". Callers in the simplex, branch & bound
+//     and heuristic layers pass domain tolerances explicitly (optimality
+//     tolerance, integrality tolerance, energy tie-break, ...); the Eps
+//     default covers generic O(1) quantities.
+//
+//   - Sparsity guards (IsZero): "is this coefficient a structural zero so
+//     the work it drives can be skipped". The threshold ZeroTol is far
+//     below any meaningful coefficient of the deployment domain (link
+//     energies are ~1e-12 J/byte, latencies ~1e-9 s/byte), so skipping is
+//     always a true no-op; at the same time it absorbs underflow noise
+//     that an exact == 0 would miss.
+package numeric
+
+import "math"
+
+const (
+	// Eps is the solver-wide default tolerance for comparisons between
+	// quantities of order one (normalized objectives, ratios, residuals).
+	Eps = 1e-9
+
+	// ZeroTol is the sparsity-guard threshold used by IsZero. It is chosen
+	// orders of magnitude below the smallest physical coefficient in the
+	// model (pJ-scale energies) so that treating |x| <= ZeroTol as zero
+	// never discards real data.
+	ZeroTol = 1e-30
+)
+
+// EqTol reports |a-b| <= tol.
+func EqTol(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// LeqTol reports a <= b + tol ("a not greater than b beyond tolerance").
+func LeqTol(a, b, tol float64) bool { return a <= b+tol }
+
+// GeqTol reports a >= b - tol.
+func GeqTol(a, b, tol float64) bool { return a >= b-tol }
+
+// LtTol reports a < b - tol ("a strictly less than b beyond tolerance").
+func LtTol(a, b, tol float64) bool { return a < b-tol }
+
+// GtTol reports a > b + tol.
+func GtTol(a, b, tol float64) bool { return a > b+tol }
+
+// IsZeroTol reports |x| <= tol.
+func IsZeroTol(x, tol float64) bool { return math.Abs(x) <= tol }
+
+// Eq reports a ≈ b under the default Eps tolerance.
+func Eq(a, b float64) bool { return EqTol(a, b, Eps) }
+
+// Leq reports a ≤ b up to the default Eps tolerance.
+func Leq(a, b float64) bool { return LeqTol(a, b, Eps) }
+
+// Geq reports a ≥ b up to the default Eps tolerance.
+func Geq(a, b float64) bool { return GeqTol(a, b, Eps) }
+
+// Lt reports a < b beyond the default Eps tolerance.
+func Lt(a, b float64) bool { return LtTol(a, b, Eps) }
+
+// Gt reports a > b beyond the default Eps tolerance.
+func Gt(a, b float64) bool { return GtTol(a, b, Eps) }
+
+// IsZero reports whether x is a structural zero (|x| <= ZeroTol). Use it
+// for sparsity short-circuits ("skip this row, the coefficient is zero"),
+// not for feasibility or optimality decisions — those need a domain
+// tolerance via IsZeroTol or the comparison helpers.
+func IsZero(x float64) bool { return math.Abs(x) <= ZeroTol }
+
+// RelEq reports |a-b| <= tol·max(1, |a|, |b|): equality under a relative
+// tolerance with an absolute floor, suitable for comparing quantities whose
+// scale is unknown. Infinities are equal only to themselves; NaN is equal
+// to nothing.
+func RelEq(a, b, tol float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b //lint:allow floateq — exact identity is the only sane answer for ±Inf
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= tol*scale
+}

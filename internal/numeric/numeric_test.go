@@ -1,0 +1,80 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+)
+
+func TestToleranceComparisons(t *testing.T) {
+	cases := []struct {
+		name string
+		got  bool
+		want bool
+	}{
+		{"EqTol within", EqTol(1.0, 1.0+1e-10, 1e-9), true},
+		{"EqTol outside", EqTol(1.0, 1.0+1e-8, 1e-9), false},
+		{"LeqTol slack", LeqTol(1.0+1e-10, 1.0, 1e-9), true},
+		{"LeqTol violated", LeqTol(1.0+1e-8, 1.0, 1e-9), false},
+		{"GeqTol slack", GeqTol(1.0-1e-10, 1.0, 1e-9), true},
+		{"GeqTol violated", GeqTol(1.0-1e-8, 1.0, 1e-9), false},
+		{"LtTol strict", LtTol(1.0, 1.0+1e-8, 1e-9), true},
+		{"LtTol tie", LtTol(1.0, 1.0+1e-10, 1e-9), false},
+		{"GtTol strict", GtTol(1.0+1e-8, 1.0, 1e-9), true},
+		{"GtTol tie", GtTol(1.0+1e-10, 1.0, 1e-9), false},
+		{"Eq default", Eq(2.0, 2.0+1e-10), true},
+		{"Lt default", Lt(1.0, 2.0), true},
+		{"Gt default", Gt(2.0, 1.0), true},
+		{"Leq default", Leq(1.0, 1.0), true},
+		{"Geq default", Geq(1.0, 1.0), true},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s: got %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestIsZeroPreservesPhysicalCoefficients(t *testing.T) {
+	// Sparsity guards must never swallow real model coefficients: the
+	// smallest quantities in the deployment domain are pJ-scale energies.
+	physical := []float64{6e-12, 4e-12, 0.25e-9, 3e-9, 1e-15}
+	for _, v := range physical {
+		if IsZero(v) {
+			t.Errorf("IsZero(%g) = true; physical coefficient treated as zero", v)
+		}
+	}
+	if !IsZero(0) {
+		t.Error("IsZero(0) = false")
+	}
+	if !IsZero(1e-300) {
+		t.Error("IsZero(1e-300) = false; underflow noise should be a structural zero")
+	}
+	if !IsZero(-1e-300) {
+		t.Error("IsZero(-1e-300) = false")
+	}
+}
+
+func TestIsZeroTol(t *testing.T) {
+	if !IsZeroTol(5e-7, 1e-6) {
+		t.Error("IsZeroTol(5e-7, 1e-6) = false")
+	}
+	if IsZeroTol(5e-6, 1e-6) {
+		t.Error("IsZeroTol(5e-6, 1e-6) = true")
+	}
+}
+
+func TestRelEq(t *testing.T) {
+	if !RelEq(1e12, 1e12+1, 1e-9) {
+		t.Error("RelEq should scale with magnitude")
+	}
+	if RelEq(1.0, 1.1, 1e-9) {
+		t.Error("RelEq(1.0, 1.1) should be false")
+	}
+	// Absolute floor near zero.
+	if !RelEq(0, 1e-10, 1e-9) {
+		t.Error("RelEq should keep an absolute floor near zero")
+	}
+	if RelEq(math.Inf(1), 1, 1e-9) {
+		t.Error("RelEq(+Inf, 1) should be false")
+	}
+}

@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"nocdeploy/internal/numeric"
 )
 
 // VFLevel is a single voltage/frequency operating point.
@@ -94,7 +96,7 @@ func New(n int, levels []VFLevel, params PowerParams) (*Platform, error) {
 		if l.Freq <= 0 || l.Voltage <= 0 {
 			return nil, fmt.Errorf("platform: level %d has non-positive voltage or frequency", i)
 		}
-		if i > 0 && ls[i-1].Freq == l.Freq {
+		if i > 0 && numeric.RelEq(ls[i-1].Freq, l.Freq, numeric.Eps) {
 			return nil, fmt.Errorf("platform: duplicate frequency %g Hz", l.Freq)
 		}
 	}
@@ -124,7 +126,7 @@ func DefaultLevels() []VFLevel {
 func Default(n int) *Platform {
 	p, err := New(n, DefaultLevels(), DefaultPowerParams())
 	if err != nil {
-		panic("platform: default construction failed: " + err.Error())
+		panic("platform: default construction failed: " + err.Error()) //lint:allow nopanic — Must-style constructor over known-good constants
 	}
 	return p
 }

@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"nocdeploy/internal/core"
+	"nocdeploy/internal/numeric"
 )
 
 // Gantt renders the schedule as one row per (used) processor over a time
@@ -107,7 +108,7 @@ func EnergyBars(s *core.System, m *core.Metrics, width int) string {
 		}
 		n := int(frac * float64(width))
 		mark := " "
-		if e == m.MaxEnergy && e > 0 {
+		if numeric.RelEq(e, m.MaxEnergy, numeric.Eps) && e > 0 {
 			mark = "*"
 		}
 		fmt.Fprintf(&b, "proc %2d %s |%s%s| %.4g mJ\n",

@@ -49,7 +49,7 @@ func Execute(s *core.System, d *core.Deployment) (*Result, error) {
 	}
 	// Processor-local order: by static start time, ties by slot id.
 	sort.Slice(order, func(a, b int) bool {
-		if d.Start[order[a]] != d.Start[order[b]] {
+		if d.Start[order[a]] != d.Start[order[b]] { //lint:allow floateq — deterministic sort tie-break; tolerance would break transitivity
 			return d.Start[order[a]] < d.Start[order[b]]
 		}
 		return order[a] < order[b]

@@ -1,0 +1,50 @@
+package spec
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec feeds arbitrary bytes through the Instance JSON codec and
+// checks the round-trip contract: any JSON that decodes must re-encode to a
+// stable form (marshal → unmarshal → marshal is a fixed point), and
+// building the decoded instance must fail with an error, never a panic.
+func FuzzParseSpec(f *testing.F) {
+	f.Add([]byte(`{"mesh":{"w":2,"h":2},"graph":{"tasks":[{"wcec":1e6,"deadline":1}],"edges":[]},"alpha":1.5}`))
+	f.Add([]byte(`{"mesh":{"w":1,"h":1,"jitter":0.1,"seed":7},"graph":{"tasks":[],"edges":[]}}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var in Instance
+		if err := json.Unmarshal(data, &in); err != nil {
+			return // invalid JSON is rejected, nothing more to check
+		}
+		first, err := json.Marshal(in)
+		if err != nil {
+			// Fuzzer-supplied NaN/Inf cannot appear: JSON has no literal for
+			// them, so a decoded Instance always re-encodes.
+			t.Fatalf("re-encoding decoded instance failed: %v", err)
+		}
+		var again Instance
+		if err := json.Unmarshal(first, &again); err != nil {
+			t.Fatalf("decoding our own encoding failed: %v\njson: %s", err, first)
+		}
+		second, err := json.Marshal(again)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("round-trip is not a fixed point:\nfirst:  %s\nsecond: %s", first, second)
+		}
+
+		// Build must validate, not crash. Cap the dimensions so adversarial
+		// inputs cannot allocate unbounded systems.
+		if in.Mesh.W > 4 || in.Mesh.H > 4 || len(in.Graph.Tasks) > 16 || len(in.Graph.Edges) > 64 {
+			return
+		}
+		if _, err := in.Build(); err != nil {
+			return // structured rejection is the expected path for junk input
+		}
+	})
+}

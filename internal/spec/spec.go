@@ -12,6 +12,7 @@ import (
 
 	"nocdeploy/internal/core"
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/platform"
 	"nocdeploy/internal/reliability"
 	"nocdeploy/internal/task"
@@ -92,7 +93,7 @@ func (in Instance) Build() (*core.System, error) {
 		return nil, err
 	}
 	jitter := in.Mesh.Jitter
-	if jitter == 0 {
+	if numeric.IsZero(jitter) {
 		jitter = 0.25
 	}
 	seed := in.Mesh.Seed

@@ -155,11 +155,24 @@ func (g *Graph) TopoOrder() ([]int, error) {
 
 // Layers partitions tasks into levels by longest path from any source: a
 // task's layer is 1 + max over predecessors. This is the in/out-degree
-// layering used by Algorithm 2.
+// layering used by Algorithm 2. It panics on a cyclic graph; library code
+// that cannot guarantee a validated DAG must use LayersErr.
 func (g *Graph) Layers() [][]int {
+	layers, err := g.LayersErr()
+	if err != nil {
+		//lint:allow nopanic — convenience wrapper; LayersErr is the library path
+		panic("task: " + err.Error())
+	}
+	return layers
+}
+
+// LayersErr is the non-panicking variant of Layers: it reports the cycle
+// as an error instead of aborting, so long-running callers can refuse the
+// graph gracefully.
+func (g *Graph) LayersErr() ([][]int, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
-		panic("task: Layers called on cyclic graph: " + err.Error())
+		return nil, fmt.Errorf("task: Layers on cyclic graph: %w", err)
 	}
 	level := make([]int, g.M())
 	deepest := 0
@@ -177,16 +190,27 @@ func (g *Graph) Layers() [][]int {
 	for i := 0; i < g.M(); i++ {
 		layers[level[i]] = append(layers[level[i]], i)
 	}
-	return layers
+	return layers, nil
 }
 
 // CriticalPath returns the task ids of a path maximizing the summed node
 // weight, where weight(i) is supplied by the caller (e.g. average execution
 // plus communication time); this is the set C in the paper's horizon rule.
+// It panics on a cyclic graph; library code must use CriticalPathErr.
 func (g *Graph) CriticalPath(weight func(i int) float64) []int {
+	path, err := g.CriticalPathErr(weight)
+	if err != nil {
+		//lint:allow nopanic — convenience wrapper; CriticalPathErr is the library path
+		panic("task: " + err.Error())
+	}
+	return path
+}
+
+// CriticalPathErr is the non-panicking variant of CriticalPath.
+func (g *Graph) CriticalPathErr(weight func(i int) float64) ([]int, error) {
 	order, err := g.TopoOrder()
 	if err != nil {
-		panic("task: CriticalPath called on cyclic graph: " + err.Error())
+		return nil, fmt.Errorf("task: CriticalPath on cyclic graph: %w", err)
 	}
 	best := make([]float64, g.M())
 	from := make([]int, g.M())
@@ -214,7 +238,7 @@ func (g *Graph) CriticalPath(weight func(i int) float64) []int {
 	for i, v := range rev {
 		path[len(rev)-1-i] = v
 	}
-	return path
+	return path, nil
 }
 
 // Sources returns tasks with no predecessors, sorted by id.
@@ -246,6 +270,7 @@ func (g *Graph) Clone() *Graph {
 	c.Edges = append([]Edge(nil), g.Edges...)
 	if g.succ != nil {
 		if err := c.Validate(); err != nil {
+			//lint:allow nopanic — invariant: re-validating an already-validated graph cannot fail
 			panic("task: clone of valid graph failed: " + err.Error())
 		}
 	}
@@ -326,6 +351,7 @@ func (e *Expanded) DepEdges() [][2]int {
 // discrete-event simulator.
 func (e *Expanded) ExistingGraph(exists []bool) (*Graph, []int) {
 	if len(exists) != e.Size() {
+		//lint:allow nopanic — programmer error: the exists mask must match the expanded size
 		panic(fmt.Sprintf("task: exists length %d, want %d", len(exists), e.Size()))
 	}
 	idOf := make([]int, e.Size())
@@ -352,6 +378,7 @@ func (e *Expanded) ExistingGraph(exists []bool) (*Graph, []int) {
 		}
 	}
 	if err := g.Validate(); err != nil {
+		//lint:allow nopanic — invariant: a subgraph of a validated DAG is a valid DAG
 		panic("task: expanded subgraph invalid: " + err.Error())
 	}
 	return g, slots
