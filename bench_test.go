@@ -42,6 +42,34 @@ func BenchmarkFig2f(b *testing.B) { benchFigure(b, exp.RunFig2f) }
 func BenchmarkFig2g(b *testing.B) { benchFigure(b, exp.RunFig2g) }
 func BenchmarkFig2h(b *testing.B) { benchFigure(b, exp.RunFig2h) }
 
+// benchFigSuite runs every figure runner back to back at a fixed,
+// MaxNodes-bounded configuration, so the serial and parallel variants do
+// byte-identical work and their ns/op ratio in BENCH_PR2.json is the
+// recorded wall-clock speedup of the experiment engine's fan-out.
+func benchFigSuite(b *testing.B, parallel int) {
+	b.Helper()
+	cfg := exp.Config{Seed: 1, Quick: true, TimeLimit: time.Minute, MaxNodes: 50, Parallel: parallel}
+	for i := 0; i < b.N; i++ {
+		for _, r := range exp.Runners() {
+			tbl, err := r.Run(cfg)
+			if err != nil {
+				b.Fatalf("figure %s: %v", r.Name, err)
+			}
+			if len(tbl.Rows) == 0 {
+				b.Fatalf("figure %s: empty table", r.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigSuiteSerial is the Parallel=1 baseline for the speedup
+// record; compare against BenchmarkFigSuiteParallel.
+func BenchmarkFigSuiteSerial(b *testing.B) { benchFigSuite(b, 1) }
+
+// BenchmarkFigSuiteParallel fans instances out over all cores
+// (Parallel=0); its tables are byte-identical to the serial run's.
+func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, 0) }
+
 // ---------------------------------------------------------------------
 // Component benchmarks.
 // ---------------------------------------------------------------------

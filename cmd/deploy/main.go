@@ -4,7 +4,7 @@
 // Usage:
 //
 //	deploy -in instance.json [-method heuristic|optimal] [-objective be|me]
-//	       [-single] [-timeout 30s] [-seed 1] [-out deployment.json]
+//	       [-single] [-timeout 30s] [-workers 1] [-seed 1] [-out deployment.json]
 //
 // The instance format is documented in internal/spec; cmd/taskgen
 // generates compatible instances.
@@ -33,6 +33,7 @@ func main() {
 		objective = flag.String("objective", "be", "objective: be (balance) or me (minimize total)")
 		single    = flag.Bool("single", false, "single-path routing baseline")
 		timeout   = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
+		workers   = flag.Int("workers", 1, "parallel branch & bound workers for -method optimal (0/1 = serial, -1 = all cores)")
 		seed      = flag.Int64("seed", 1, "heuristic tie-break seed")
 		quiet     = flag.Bool("q", false, "suppress the metrics summary on stderr")
 		gantt     = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
@@ -75,7 +76,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		oo := core.OptimalOptions{TimeLimit: *timeout, RelGap: 0.01}
+		oo := core.OptimalOptions{TimeLimit: *timeout, RelGap: 0.01, Workers: *workers}
 		if hinfo.Feasible {
 			oo.WarmDeployment = hd
 		}

@@ -4,6 +4,12 @@
 // Usage:
 //
 //	experiments [-fig all|2a|2b|2c|2d|2e|2f|2g|2h] [-quick] [-seed 1] [-timeout 45s]
+//	            [-parallel N]
+//
+// Instance evaluations fan out over N workers (-parallel 0, the default,
+// uses all cores; -parallel 1 reproduces the serial run). Tables are
+// byte-identical for every N at a fixed seed — see DESIGN.md,
+// "Determinism contract".
 package main
 
 import (
@@ -21,15 +27,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate (all, 2a..2h)")
-		quick   = flag.Bool("quick", false, "reduced repetitions and time limits")
-		seed    = flag.Int64("seed", 1, "base seed for instance generation")
-		timeout = flag.Duration("timeout", 0, "per-solve time limit (0 = mode default)")
-		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+		fig      = flag.String("fig", "all", "figure to regenerate (all, 2a..2h)")
+		quick    = flag.Bool("quick", false, "reduced repetitions and time limits")
+		seed     = flag.Int64("seed", 1, "base seed for instance generation")
+		timeout  = flag.Duration("timeout", 0, "per-solve time limit (0 = mode default)")
+		parallel = flag.Int("parallel", 0, "concurrent instance evaluations (0 = all cores, 1 = serial)")
+		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Quick: *quick, TimeLimit: *timeout}
+	cfg := exp.Config{Seed: *seed, Quick: *quick, TimeLimit: *timeout, Parallel: *parallel}
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
 	ran := 0
 	runners := append(exp.Runners(), exp.ExtensionRunners()...)
 	match := func(name string) bool {

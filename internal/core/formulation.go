@@ -431,6 +431,11 @@ type OptimalOptions struct {
 	TimeLimit time.Duration
 	MaxNodes  int
 	RelGap    float64
+	// Workers is the number of parallel branch & bound workers: 0 or 1
+	// keeps the deterministic serial search, n > 1 searches the tree
+	// concurrently (same proven optimum, run-to-run node counts vary),
+	// negative uses all cores. See milp.SolveOptions.Workers.
+	Workers int
 	// WarmStart, if non-nil, supplies a heuristic objective value used as a
 	// branch & bound cutoff (plus a small margin so an equal optimum is
 	// still found).
@@ -452,6 +457,7 @@ func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInf
 		TimeLimit: oo.TimeLimit,
 		MaxNodes:  oo.MaxNodes,
 		RelGap:    oo.RelGap,
+		Workers:   oo.Workers,
 	}
 	if oo.WarmStart != nil {
 		so.Cutoff = *oo.WarmStart * (1 + 1e-6)

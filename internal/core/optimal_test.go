@@ -323,3 +323,61 @@ func TestOptimalWarmStartCutoff(t *testing.T) {
 		t.Errorf("warm start missed optimum %g below cutoff %g", ref.Objective, warm)
 	}
 }
+
+// TestParallelOptimalMatchesBruteForce re-runs the brute-force fixtures
+// with a parallel branch & bound: the proven optimum must be unchanged by
+// worker count.
+func TestParallelOptimalMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"BE", Options{}},
+		{"ME", Options{Objective: MinimizeEnergy}},
+		{"SinglePath", Options{SinglePath: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := tinySystem(t, 2, 3.0)
+			want, feasible := bruteForceOptimal(s, tc.opts)
+			if !feasible {
+				t.Fatal("brute force found no feasible deployment")
+			}
+			for _, workers := range []int{2, 4} {
+				d, info, err := Optimal(s, tc.opts, OptimalOptions{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !info.Feasible || d == nil {
+					t.Fatalf("workers=%d: optimal reported infeasible; brute force says %g", workers, want)
+				}
+				if math.Abs(info.Objective-want) > 1e-5*want {
+					t.Errorf("workers=%d: MILP optimum %g, brute force %g", workers, info.Objective, want)
+				}
+				if _, err := Validate(s, d); err != nil {
+					t.Errorf("workers=%d: deployment fails validation: %v", workers, err)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelOptimalMatchesSerialObjective checks serial and parallel
+// search agree on a slightly larger instance than the brute-force
+// fixtures, including the proven bound.
+func TestParallelOptimalMatchesSerialObjective(t *testing.T) {
+	s := tinySystem(t, 3, 4.0)
+	_, serial, err := Optimal(s, Options{}, OptimalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := Optimal(s, Options{}, OptimalOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Feasible != par.Feasible {
+		t.Fatalf("feasibility differs: serial %v, parallel %v", serial.Feasible, par.Feasible)
+	}
+	if serial.Feasible && math.Abs(serial.Objective-par.Objective) > 1e-6*math.Max(1, serial.Objective) {
+		t.Errorf("objective differs: serial %g, parallel %g", serial.Objective, par.Objective)
+	}
+}

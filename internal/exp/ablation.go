@@ -20,31 +20,45 @@ func RunAblationRepair(cfg Config) (*Table, error) {
 		Note:   "paper scale 4x4 mesh, L=6, M=16",
 		Header: []string{"alpha", "delta(plain)", "delta(repair)", "E(plain)", "E(repair)"},
 	}
-	for _, alpha := range alphas {
+	type result struct {
+		plainFeas, repFeas bool
+		eP, eR             float64
+	}
+	cells, err := evalGrid(cfg, len(alphas), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(paperScale(16, alphas[point], cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		_, plain, err := core.Heuristic(s, core.Options{}, 1)
+		if err != nil {
+			return r, err
+		}
+		_, repaired, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		r.plainFeas = plain.Feasible
+		r.repFeas = repaired.Feasible
+		r.eP, r.eR = plain.Objective, repaired.Objective
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, alpha := range alphas {
 		feasP, feasR := 0, 0
 		var eP, eR []float64
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(paperScale(16, alpha, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
-			}
-			_, plain, err := core.Heuristic(s, core.Options{}, 1)
-			if err != nil {
-				return nil, err
-			}
-			_, repaired, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			if plain.Feasible {
+		for _, r := range cells[point] {
+			if r.plainFeas {
 				feasP++
 			}
-			if repaired.Feasible {
+			if r.repFeas {
 				feasR++
 			}
-			if plain.Feasible && repaired.Feasible {
-				eP = append(eP, plain.Objective)
-				eR = append(eR, repaired.Objective)
+			if r.plainFeas && r.repFeas {
+				eP = append(eP, r.eP)
+				eR = append(eR, r.eR)
 			}
 		}
 		t.AddRow(f3(alpha),
@@ -65,24 +79,38 @@ func RunAblationImprove(cfg Config) (*Table, error) {
 		Note:   "paper scale 4x4 mesh, L=6; max per-processor energy (J)",
 		Header: []string{"M", "E(heuristic)", "E(+improve)", "gain", "moves(avg)"},
 	}
-	for _, m := range ms {
+	type result struct {
+		eH, eI, moves float64
+		ok            bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(paperScale(ms[point], 1.3, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		d, info, err := core.Heuristic(s, core.Options{}, 1)
+		if err != nil {
+			return r, err
+		}
+		if !info.Feasible {
+			return r, nil
+		}
+		_, obj, moves := core.Improve(s, d, core.Options{}, 0)
+		r.eH, r.eI, r.moves, r.ok = info.Objective, obj, float64(moves), true
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
 		var eH, eI, mv []float64
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(paperScale(m, 1.3, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
+		for _, r := range cells[point] {
+			if r.ok {
+				eH = append(eH, r.eH)
+				eI = append(eI, r.eI)
+				mv = append(mv, r.moves)
 			}
-			d, info, err := core.Heuristic(s, core.Options{}, 1)
-			if err != nil {
-				return nil, err
-			}
-			if !info.Feasible {
-				continue
-			}
-			_, obj, moves := core.Improve(s, d, core.Options{}, 0)
-			eH = append(eH, info.Objective)
-			eI = append(eI, obj)
-			mv = append(mv, float64(moves))
 		}
 		gain := ""
 		if mean(eH) > 0 {
@@ -102,43 +130,61 @@ func RunAblationWarmStart(cfg Config) (*Table, error) {
 		Note:   "reduced scale 2x2 mesh, M=4, L=3",
 		Header: []string{"variant", "time(avg)", "nodes(avg)", "feasible"},
 	}
-	type row struct {
-		name  string
-		warm  bool
-		times []float64
-		nodes []float64
-		feas  int
+	type variant struct {
+		t, nodes float64
+		feas     bool
 	}
-	rows := []*row{{name: "cold"}, {name: "warm", warm: true}}
-	for rep := 0; rep < reps; rep++ {
-		s, err := Build(smallOptimal(4, 1.4, cfg.Seed+int64(rep)))
+	type result struct {
+		cold, warm variant
+	}
+	cells, err := evalGrid(cfg, 1, reps, func(_, rep int) (result, error) {
+		var r result
+		s, err := Build(smallOptimal(4, 1.4, cfg.instanceSeed(0, rep)))
 		if err != nil {
-			return nil, err
+			return r, err
 		}
 		// Use the repair variant so a warm incumbent exists on most seeds.
 		hd, hinfo, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
 		if err != nil {
-			return nil, err
+			return r, err
 		}
-		for _, r := range rows {
-			oo := core.OptimalOptions{TimeLimit: cfg.timeLimit(), RelGap: 0.02}
-			if r.warm && hinfo.Feasible {
+		for _, warm := range []bool{false, true} {
+			oo := core.OptimalOptions{TimeLimit: cfg.timeLimit(), MaxNodes: cfg.MaxNodes, RelGap: 0.02}
+			if warm && hinfo.Feasible {
 				oo.WarmDeployment = hd
 			}
 			_, info, err := core.Optimal(s, core.Options{}, oo)
 			if err != nil {
-				return nil, err
+				return r, err
 			}
-			r.times = append(r.times, info.Runtime.Seconds())
-			r.nodes = append(r.nodes, float64(info.Nodes))
-			if info.Feasible {
-				r.feas++
+			v := variant{t: info.Runtime.Seconds(), nodes: float64(info.Nodes), feas: info.Feasible}
+			if warm {
+				r.warm = v
+			} else {
+				r.cold = v
 			}
 		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, r := range rows {
-		t.AddRow(r.name, fmt.Sprintf("%.3gs", mean(r.times)), f3(mean(r.nodes)),
-			fmt.Sprintf("%d/%d", r.feas, reps))
+	for _, name := range []string{"cold", "warm"} {
+		var times, nodes []float64
+		feas := 0
+		for _, r := range cells[0] {
+			v := r.cold
+			if name == "warm" {
+				v = r.warm
+			}
+			times = append(times, v.t)
+			nodes = append(nodes, v.nodes)
+			if v.feas {
+				feas++
+			}
+		}
+		t.AddRow(name, fmt.Sprintf("%.3gs", mean(times)), f3(mean(nodes)),
+			fmt.Sprintf("%d/%d", feas, reps))
 	}
 	return t, nil
 }
@@ -154,34 +200,54 @@ func RunAblationAnneal(cfg Config) (*Table, error) {
 		Note:   "paper scale 4x4 mesh, L=6; max per-processor energy (J)",
 		Header: []string{"M", "E(heur+repair)", "E(+improve)", "E(anneal)", "t(anneal)"},
 	}
-	for _, m := range ms {
+	type result struct {
+		eH, eI float64
+		ok     bool
+		eA, tA float64
+		okA    bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		m := ms[point]
+		s, err := Build(paperScale(m, 1.3, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		d, info, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		if !info.Feasible {
+			return r, nil
+		}
+		_, objI, _ := core.Improve(s, d, core.Options{}, 0)
+		iters := 2000 * m
+		if cfg.Quick {
+			iters = 400 * m
+		}
+		_, ainfo, err := core.Anneal(s, core.Options{}, core.AnnealOptions{Iters: iters, Seed: 1})
+		if err != nil {
+			return r, err
+		}
+		r.eH, r.eI, r.ok = info.Objective, objI, true
+		if ainfo.Feasible {
+			r.eA, r.tA, r.okA = ainfo.Objective, ainfo.Runtime.Seconds(), true
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
 		var eH, eI, eA, tA []float64
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(paperScale(m, 1.3, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
+		for _, r := range cells[point] {
+			if r.ok {
+				eH = append(eH, r.eH)
+				eI = append(eI, r.eI)
 			}
-			d, info, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			if !info.Feasible {
-				continue
-			}
-			_, objI, _ := core.Improve(s, d, core.Options{}, 0)
-			iters := 2000 * m
-			if cfg.Quick {
-				iters = 400 * m
-			}
-			_, ainfo, err := core.Anneal(s, core.Options{}, core.AnnealOptions{Iters: iters, Seed: 1})
-			if err != nil {
-				return nil, err
-			}
-			eH = append(eH, info.Objective)
-			eI = append(eI, objI)
-			if ainfo.Feasible {
-				eA = append(eA, ainfo.Objective)
-				tA = append(tA, ainfo.Runtime.Seconds())
+			if r.okA {
+				eA = append(eA, r.eA)
+				tA = append(tA, r.tA)
 			}
 		}
 		t.AddRow(fmt.Sprintf("%d", m), f3(mean(eH)), f3(mean(eI)), f3(mean(eA)),

@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -21,6 +22,7 @@ import (
 	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/platform"
 	"nocdeploy/internal/reliability"
+	"nocdeploy/internal/runner"
 	"nocdeploy/internal/taskgen"
 )
 
@@ -32,6 +34,65 @@ type Config struct {
 	Quick bool
 	// TimeLimit bounds each exact solve; 0 picks a mode-dependent default.
 	TimeLimit time.Duration
+	// MaxNodes bounds each exact solve by branch & bound node count;
+	// 0 keeps the solver default. Unlike TimeLimit, a node budget makes
+	// solver termination — and therefore every table cell except measured
+	// runtimes — deterministic, which is what the determinism tests use.
+	MaxNodes int
+	// Parallel is the number of instance evaluations each runner fans out
+	// concurrently: 0 means runtime.GOMAXPROCS(0), 1 is serial. Tables are
+	// byte-identical for every value (see DESIGN.md, "Determinism
+	// contract"); negative values are rejected by Validate.
+	Parallel int
+}
+
+// Validate checks the configuration. It is the single validation point for
+// Config: every runner goes through it (via evalGrid) before any instance
+// is built.
+func (c Config) Validate() error {
+	if c.Parallel < 0 {
+		return fmt.Errorf("exp: Parallel must be ≥ 0 (0 = GOMAXPROCS), got %d", c.Parallel)
+	}
+	if c.MaxNodes < 0 {
+		return fmt.Errorf("exp: MaxNodes must be ≥ 0, got %d", c.MaxNodes)
+	}
+	if c.TimeLimit < 0 {
+		return fmt.Errorf("exp: TimeLimit must be ≥ 0, got %v", c.TimeLimit)
+	}
+	return nil
+}
+
+// instanceSeed derives the RNG seed of the (point, trial) grid cell. The
+// derivation is a pure function of (Seed, point, trial) — never of
+// evaluation order — so results are independent of worker scheduling.
+// Points deliberately share trial seeds (the point index does not enter):
+// every sweep value sees the same task graphs, making each figure a paired
+// comparison across its x-axis exactly as in the serial implementation.
+func (c Config) instanceSeed(point, trial int) int64 {
+	_ = point
+	return c.Seed + int64(trial)
+}
+
+// evalGrid evaluates eval for every cell of a points×trials instance grid
+// through the worker pool and returns cells[point][trial] in grid order.
+// eval must be a pure function of its indices (plus the Config); it runs
+// concurrently with other cells when cfg.Parallel ≠ 1.
+func evalGrid[R any](cfg Config, points, trials int, eval func(point, trial int) (R, error)) ([][]R, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	flat, err := runner.Map(context.Background(), cfg.Parallel, points*trials,
+		func(_ context.Context, i int) (R, error) {
+			return eval(i/trials, i%trials)
+		})
+	if err != nil {
+		return nil, err
+	}
+	cells := make([][]R, points)
+	for p := range cells {
+		cells[p] = flat[p*trials : (p+1)*trials]
+	}
+	return cells, nil
 }
 
 func (c Config) reps(full int) int {
@@ -203,7 +264,7 @@ func solveOptimalWarm(s *core.System, opts core.Options, cfg Config) (*core.Depl
 	if err != nil {
 		return nil, nil, err
 	}
-	oo := core.OptimalOptions{TimeLimit: cfg.timeLimit(), RelGap: 0.01}
+	oo := core.OptimalOptions{TimeLimit: cfg.timeLimit(), MaxNodes: cfg.MaxNodes, RelGap: 0.01}
 	if hinfo.Feasible {
 		oo.WarmDeployment = hd
 	}

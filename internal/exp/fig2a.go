@@ -22,53 +22,71 @@ func RunFig2a(cfg Config) (*Table, error) {
 		Note:   "feasibility: optimal at 2x2/M=3; energy: heuristic at 4x4/M=16, comm-heavy; joules",
 		Header: []string{"alpha", "feas(multi)", "feas(single)", "E(multi)", "E(single)"},
 	}
-	for _, alpha := range alphas {
+	type result struct {
+		feasM, feasS bool
+		eM, eS       float64
+		okE          bool
+	}
+	cells, err := evalGrid(cfg, len(alphas), reps, func(point, rep int) (result, error) {
+		alpha, seed := alphas[point], cfg.instanceSeed(point, rep)
+		var r result
+		// Exact feasibility comparison at reduced scale.
+		p := smallOptimal(3, alpha, seed)
+		p.BytesScale = 8
+		p.MuScale = 50
+		s, err := Build(p)
+		if err != nil {
+			return r, err
+		}
+		_, multi, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		_, single, err := solveOptimalWarm(s, core.Options{SinglePath: true}, cfg)
+		if err != nil {
+			return r, err
+		}
+		r.feasM = multi.Feasible
+		r.feasS = single.Feasible
+
+		// Energy comparison at paper scale: a single-path deployment,
+		// then multi-path refinement of the same deployment (path
+		// flips only), so multi ≤ single holds per instance by
+		// construction — exactly the freedom the paper's c variable
+		// adds.
+		pp := paperScale(16, alpha, seed)
+		pp.BytesScale = 8
+		pp.MuScale = 50
+		sp, err := Build(pp)
+		if err != nil {
+			return r, err
+		}
+		dSingle, hSingle, err := core.HeuristicWithRepair(sp, core.Options{SinglePath: true}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		if hSingle.Feasible {
+			_, multiObj := core.ImprovePaths(sp, dSingle, core.Options{})
+			r.eM, r.eS, r.okE = multiObj, hSingle.Objective, true
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, alpha := range alphas {
 		var feasM, feasS int
 		var eM, eS []float64
-		for rep := 0; rep < reps; rep++ {
-			// Exact feasibility comparison at reduced scale.
-			p := smallOptimal(3, alpha, cfg.Seed+int64(rep))
-			p.BytesScale = 8
-			p.MuScale = 50
-			s, err := Build(p)
-			if err != nil {
-				return nil, err
-			}
-			_, multi, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			_, single, err := solveOptimalWarm(s, core.Options{SinglePath: true}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if multi.Feasible {
+		for _, r := range cells[point] {
+			if r.feasM {
 				feasM++
 			}
-			if single.Feasible {
+			if r.feasS {
 				feasS++
 			}
-
-			// Energy comparison at paper scale: a single-path deployment,
-			// then multi-path refinement of the same deployment (path
-			// flips only), so multi ≤ single holds per instance by
-			// construction — exactly the freedom the paper's c variable
-			// adds.
-			pp := paperScale(16, alpha, cfg.Seed+int64(rep))
-			pp.BytesScale = 8
-			pp.MuScale = 50
-			sp, err := Build(pp)
-			if err != nil {
-				return nil, err
-			}
-			dSingle, hSingle, err := core.HeuristicWithRepair(sp, core.Options{SinglePath: true}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			if hSingle.Feasible {
-				_, multiObj := core.ImprovePaths(sp, dSingle, core.Options{})
-				eM = append(eM, multiObj)
-				eS = append(eS, hSingle.Objective)
+			if r.okE {
+				eM = append(eM, r.eM)
+				eS = append(eS, r.eS)
 			}
 		}
 		t.AddRow(f3(alpha),

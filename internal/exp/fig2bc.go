@@ -18,33 +18,49 @@ func RunFig2b(cfg Config) (*Table, error) {
 		Header: []string{"mu", "M_max(avg)", "feasible"},
 	}
 	m := 4
-	for _, sc := range scales {
+	type result struct {
+		mu   float64
+		mmax float64
+		ok   bool
+	}
+	cells, err := evalGrid(cfg, len(scales), reps, func(point, rep int) (result, error) {
+		var r result
+		p := smallOptimal(m, 1.2, cfg.instanceSeed(point, rep))
+		p.MuScale = scales[point]
+		p.BytesScale = 4
+		s, err := Build(p)
+		if err != nil {
+			return r, err
+		}
+		r.mu = s.Mesh.MaxEnergyPerByte() / maxExecEnergyPerTask(s)
+		d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		if !info.Feasible || d == nil {
+			return r, nil
+		}
+		met, err := core.ComputeMetrics(s, d)
+		if err != nil {
+			return r, err
+		}
+		r.mmax, r.ok = float64(met.MMax), true
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point := range scales {
 		var mmax []float64
 		feas := 0
-		var mu float64
-		for rep := 0; rep < reps; rep++ {
-			p := smallOptimal(m, 1.2, cfg.Seed+int64(rep))
-			p.MuScale = sc
-			p.BytesScale = 4
-			s, err := Build(p)
-			if err != nil {
-				return nil, err
+		for _, r := range cells[point] {
+			if r.ok {
+				feas++
+				mmax = append(mmax, r.mmax)
 			}
-			mu = s.Mesh.MaxEnergyPerByte() / maxExecEnergyPerTask(s)
-			d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if !info.Feasible || d == nil {
-				continue
-			}
-			feas++
-			met, err := core.ComputeMetrics(s, d)
-			if err != nil {
-				return nil, err
-			}
-			mmax = append(mmax, float64(met.MMax))
 		}
+		// The serial loop reported the μ computed on the last trial.
+		mu := cells[point][reps-1].mu
 		t.AddRow(fmt.Sprintf("%.2g", mu), f3(mean(mmax)), fmt.Sprintf("%d/%d", feas, reps))
 	}
 	return t, nil
@@ -77,36 +93,53 @@ func RunFig2c(cfg Config) (*Table, error) {
 		Header: []string{"epsilon", "M_d(optimal)", "M_d(heuristic)", "feasible"},
 	}
 	m := 4
-	for _, gamma := range gammas {
+	type result struct {
+		eps          float64
+		mdOpt, mdHeu float64
+		okOpt, okHeu bool
+	}
+	cells, err := evalGrid(cfg, len(gammas), reps, func(point, rep int) (result, error) {
+		var r result
+		p := smallOptimal(m, 1.2, cfg.instanceSeed(point, rep))
+		p.Gamma = gammas[point]
+		p.WCECScale = 12
+		s, err := Build(p)
+		if err != nil {
+			return r, err
+		}
+		r.eps = s.Plat.Epsilon()
+		hd, hinfo, err := core.Heuristic(s, core.Options{}, 1)
+		if err != nil {
+			return r, err
+		}
+		if hinfo.Feasible {
+			r.mdHeu, r.okHeu = float64(hd.DupCount()), true
+		}
+		d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		if info.Feasible && d != nil {
+			r.mdOpt, r.okOpt = float64(d.DupCount()), true
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point := range gammas {
 		var mdOpt, mdHeu []float64
 		feas := 0
-		var eps float64
-		for rep := 0; rep < reps; rep++ {
-			p := smallOptimal(m, 1.2, cfg.Seed+int64(rep))
-			p.Gamma = gamma
-			p.WCECScale = 12
-			s, err := Build(p)
-			if err != nil {
-				return nil, err
+		for _, r := range cells[point] {
+			if r.okHeu {
+				mdHeu = append(mdHeu, r.mdHeu)
 			}
-			eps = s.Plat.Epsilon()
-			hd, hinfo, err := core.Heuristic(s, core.Options{}, 1)
-			if err != nil {
-				return nil, err
+			if r.okOpt {
+				feas++
+				mdOpt = append(mdOpt, r.mdOpt)
 			}
-			if hinfo.Feasible {
-				mdHeu = append(mdHeu, float64(hd.DupCount()))
-			}
-			d, info, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if !info.Feasible || d == nil {
-				continue
-			}
-			feas++
-			mdOpt = append(mdOpt, float64(d.DupCount()))
 		}
+		eps := cells[point][reps-1].eps
 		t.AddRow(f3(eps), f3(mean(mdOpt)), f3(mean(mdHeu)), fmt.Sprintf("%d/%d", feas, reps))
 	}
 	return t, nil

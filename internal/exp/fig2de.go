@@ -30,38 +30,52 @@ func runFig2de(cfg Config, phi bool) (*Table, error) {
 		Note:   "repair heuristic at paper scale: 4x4 mesh, L=6, alpha=1.5 (ME needs schedule slack)",
 		Header: []string{"M", col + "(BE)", col + "(ME)", "ME saving"},
 	}
-	for _, m := range ms {
+	type result struct {
+		be, me float64
+		ok     bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(paperScale(ms[point], 1.5, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		dBE, iBE, err := core.HeuristicWithRepair(s, core.Options{Objective: core.BalanceEnergy}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		dME, iME, err := core.HeuristicWithRepair(s, core.Options{Objective: core.MinimizeEnergy}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		if !iBE.Feasible || !iME.Feasible {
+			return r, nil
+		}
+		mBE, err := core.ComputeMetrics(s, dBE)
+		if err != nil {
+			return r, err
+		}
+		mME, err := core.ComputeMetrics(s, dME)
+		if err != nil {
+			return r, err
+		}
+		if phi {
+			r.be, r.me = mBE.Phi, mME.Phi
+		} else {
+			r.be, r.me = mBE.SumEnergy, mME.SumEnergy
+		}
+		r.ok = true
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
 		var be, me []float64
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(paperScale(m, 1.5, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
-			}
-			dBE, iBE, err := core.HeuristicWithRepair(s, core.Options{Objective: core.BalanceEnergy}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			dME, iME, err := core.HeuristicWithRepair(s, core.Options{Objective: core.MinimizeEnergy}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			if !iBE.Feasible || !iME.Feasible {
-				continue
-			}
-			mBE, err := core.ComputeMetrics(s, dBE)
-			if err != nil {
-				return nil, err
-			}
-			mME, err := core.ComputeMetrics(s, dME)
-			if err != nil {
-				return nil, err
-			}
-			if phi {
-				be = append(be, mBE.Phi)
-				me = append(me, mME.Phi)
-			} else {
-				be = append(be, mBE.SumEnergy)
-				me = append(me, mME.SumEnergy)
+		for _, r := range cells[point] {
+			if r.ok {
+				be = append(be, r.be)
+				me = append(me, r.me)
 			}
 		}
 		saving := ""

@@ -20,27 +20,43 @@ func RunFig2f(cfg Config) (*Table, error) {
 		Note:   fmt.Sprintf("optimal capped at %v per solve (censored entries marked >)", cfg.timeLimit()),
 		Header: []string{"M", "t(optimal)", "t(heuristic)", "nodes", "proven"},
 	}
-	for _, m := range ms {
+	type result struct {
+		tOpt, tHeu float64
+		nodes      int
+		proven     bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(smallOptimal(ms[point], 1.2, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		_, hinfo, err := core.Heuristic(s, core.Options{}, 1)
+		if err != nil {
+			return r, err
+		}
+		r.tHeu = hinfo.Runtime.Seconds()
+		_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		r.tOpt = oinfo.Runtime.Seconds()
+		r.nodes = oinfo.Nodes
+		r.proven = oinfo.Runtime < cfg.timeLimit()
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
 		var tOpt, tHeu []float64
 		nodes, proven := 0, 0
 		capped := false
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(smallOptimal(m, 1.2, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
-			}
-			_, hinfo, err := core.Heuristic(s, core.Options{}, 1)
-			if err != nil {
-				return nil, err
-			}
-			tHeu = append(tHeu, hinfo.Runtime.Seconds())
-			_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			tOpt = append(tOpt, oinfo.Runtime.Seconds())
-			nodes += oinfo.Nodes
-			if oinfo.Runtime < cfg.timeLimit() {
+		for _, r := range cells[point] {
+			tOpt = append(tOpt, r.tOpt)
+			tHeu = append(tHeu, r.tHeu)
+			nodes += r.nodes
+			if r.proven {
 				proven++
 			} else {
 				capped = true
@@ -72,34 +88,48 @@ func RunFig2g(cfg Config) (*Table, error) {
 		Note:   "alpha=1.0, comm-heavy (6x payloads, 30x NoC energy); 'paper-est' is Algorithm 2 with the paper's constant comm estimate, 'ours' the path-averaged variant (DESIGN.md); instances where all are feasible",
 		Header: []string{"M", "E(optimal)", "E(paper-est)", "gap", "E(ours)", "gap"},
 	}
-	for _, m := range ms {
+	type result struct {
+		eOpt, ePap, eOur float64
+		ok               bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		p := smallOptimal(ms[point], 1.0, cfg.instanceSeed(point, rep))
+		p.BytesScale = 6
+		p.MuScale = 30
+		s, err := Build(p)
+		if err != nil {
+			return r, err
+		}
+		_, paperInfo, err := core.HeuristicWithRepair(s, core.Options{CommEstimate: core.EstimateConstant}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		_, oursInfo, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
+		if err != nil {
+			return r, err
+		}
+		_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		if !paperInfo.Feasible || !oursInfo.Feasible || !oinfo.Feasible {
+			return r, nil
+		}
+		r.eOpt, r.ePap, r.eOur, r.ok = oinfo.Objective, paperInfo.Objective, oursInfo.Objective, true
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
 		var eOpt, ePap, eOur []float64
-		for rep := 0; rep < reps; rep++ {
-			p := smallOptimal(m, 1.0, cfg.Seed+int64(rep))
-			p.BytesScale = 6
-			p.MuScale = 30
-			s, err := Build(p)
-			if err != nil {
-				return nil, err
+		for _, r := range cells[point] {
+			if r.ok {
+				eOpt = append(eOpt, r.eOpt)
+				ePap = append(ePap, r.ePap)
+				eOur = append(eOur, r.eOur)
 			}
-			_, paperInfo, err := core.HeuristicWithRepair(s, core.Options{CommEstimate: core.EstimateConstant}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			_, oursInfo, err := core.HeuristicWithRepair(s, core.Options{}, 1, 0)
-			if err != nil {
-				return nil, err
-			}
-			_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if !paperInfo.Feasible || !oursInfo.Feasible || !oinfo.Feasible {
-				continue
-			}
-			eOpt = append(eOpt, oinfo.Objective)
-			ePap = append(ePap, paperInfo.Objective)
-			eOur = append(eOur, oursInfo.Objective)
 		}
 		gapP, gapO := "", ""
 		if mean(eOpt) > 0 {

@@ -14,26 +14,38 @@ func RunFig2h(cfg Config) (*Table, error) {
 		Header: []string{"alpha", "delta(optimal)", "delta(heuristic)", "n_a"},
 	}
 	m := 4
-	for _, alpha := range alphas {
+	type result struct {
+		feasO, feasH bool
+	}
+	cells, err := evalGrid(cfg, len(alphas), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(smallOptimal(m, alphas[point], cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		_, hinfo, err := core.Heuristic(s, core.Options{}, 1)
+		if err != nil {
+			return r, err
+		}
+		r.feasH = hinfo.Feasible
+		_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
+		if err != nil {
+			return r, err
+		}
+		r.feasO = oinfo.Feasible
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, alpha := range alphas {
 		feasO, feasH := 0, 0
-		for rep := 0; rep < reps; rep++ {
-			s, err := Build(smallOptimal(m, alpha, cfg.Seed+int64(rep)))
-			if err != nil {
-				return nil, err
-			}
-			_, hinfo, err := core.Heuristic(s, core.Options{}, 1)
-			if err != nil {
-				return nil, err
-			}
-			if hinfo.Feasible {
-				feasH++
-			}
-			_, oinfo, err := solveOptimalWarm(s, core.Options{}, cfg)
-			if err != nil {
-				return nil, err
-			}
-			if oinfo.Feasible {
+		for _, r := range cells[point] {
+			if r.feasO {
 				feasO++
+			}
+			if r.feasH {
+				feasH++
 			}
 		}
 		t.AddRow(f3(alpha),

@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceDetector reports whether the race detector is compiled in; the
+// determinism sweep restricts itself to a representative figure pair
+// under race so the exp CI shard stays within its 15-minute budget.
+const raceDetector = true

@@ -56,7 +56,16 @@ type SolveOptions struct {
 	// starting incumbent (typically built with Model.Complete from a
 	// heuristic). An infeasible vector is ignored.
 	Incumbent []float64
-	LP        lp.Options // passed through to the LP engine
+	// Workers is the number of concurrent branch & bound workers. 0 or 1
+	// runs the deterministic serial search (hybrid best-bound with
+	// plunging); n > 1 runs n workers pulling subproblems from a shared
+	// depth-prioritized queue with a shared incumbent. Parallel search
+	// returns the same proven optimum (and respects the same limits), but
+	// node counts — and, when stopped early by RelGap or a limit, which
+	// incumbent is returned — can vary run to run. Negative values select
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	LP      lp.Options // passed through to the LP engine
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -118,18 +127,25 @@ func (q *nodePQ) Pop() interface{} {
 	return it
 }
 
-// Solve runs branch & bound on the model.
+// Solve runs branch & bound on the model. With SolveOptions.Workers > 1
+// the search runs on a parallel worker pool (see solveParallel); the
+// default is the deterministic serial search.
 func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	opts = opts.withDefaults()
-	base := m.buildLP()
-	res := &Result{Bound: math.Inf(-1), Obj: math.Inf(1)}
-	deadline := time.Time{}
-	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+	if w := normalizeWorkers(opts.Workers); w > 1 {
+		return m.solveParallel(opts, w)
 	}
+	return m.solveSerial(opts)
+}
+
+// seedIncumbent applies the caller-supplied cutoff and incumbent vector,
+// returning the starting incumbent objective in LP scale (without the
+// model constant). It fills res.X/res.Obj when the incumbent vector is
+// accepted.
+func seedIncumbent(m *Model, base *lp.Problem, opts SolveOptions, res *Result) float64 {
 	incumbent := math.Inf(1)
 	if opts.CutoffSet {
 		incumbent = opts.Cutoff
@@ -145,6 +161,39 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 			}
 		}
 	}
+	return incumbent
+}
+
+// fractionalVar returns the branching variable of x — the integer variable
+// with the highest branching priority (ties broken by distance from
+// integrality) — or -1 if x is integral within tol.
+func (m *Model) fractionalVar(x []float64, tol float64) int {
+	bestJ, bestPrio, bestScore := -1, math.MinInt32, -1.0
+	for j := range m.vtype {
+		if m.vtype[j] == Continuous {
+			continue
+		}
+		f := x[j] - math.Floor(x[j])
+		if f < tol || f > 1-tol {
+			continue
+		}
+		score := 0.5 - math.Abs(f-0.5) // distance from integrality
+		if m.priority[j] > bestPrio || (m.priority[j] == bestPrio && score > bestScore) {
+			bestJ, bestPrio, bestScore = j, m.priority[j], score
+		}
+	}
+	return bestJ
+}
+
+// solveSerial is the deterministic hybrid best-bound/plunging search.
+func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
+	base := m.buildLP()
+	res := &Result{Bound: math.Inf(-1), Obj: math.Inf(1)}
+	deadline := time.Time{}
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+	incumbent := seedIncumbent(m, base, opts, res)
 
 	// Working bound arrays, rewritten per node.
 	lo := make([]float64, base.NumCols)
@@ -164,25 +213,6 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 		res.Nodes++
 		res.Iters += sol.Iters
 		return sol, nil
-	}
-
-	// fractional returns the branching variable of x, or -1 if integral.
-	fractional := func(x []float64) int {
-		bestJ, bestPrio, bestScore := -1, math.MinInt32, -1.0
-		for j := range m.vtype {
-			if m.vtype[j] == Continuous {
-				continue
-			}
-			f := x[j] - math.Floor(x[j])
-			if f < opts.IntTol || f > 1-opts.IntTol {
-				continue
-			}
-			score := 0.5 - math.Abs(f-0.5) // distance from integrality
-			if m.priority[j] > bestPrio || (m.priority[j] == bestPrio && score > bestScore) {
-				bestJ, bestPrio, bestScore = j, m.priority[j], score
-			}
-		}
-		return bestJ
 	}
 
 	root := &node{overrides: map[int][2]float64{}}
@@ -254,7 +284,7 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 			if numeric.GeqTol(sol.Obj, incumbent, 1e-9) {
 				break // pruned by bound
 			}
-			j := fractional(sol.X)
+			j := m.fractionalVar(sol.X, opts.IntTol)
 			if j < 0 {
 				// Integral: new incumbent.
 				if sol.Obj < incumbent {

@@ -1,0 +1,122 @@
+// Package runner is a bounded worker pool for embarrassingly parallel
+// instance evaluation with deterministic, index-ordered result collection.
+//
+// The experiment runners in internal/exp evaluate a (parameter point ×
+// trial) grid of independent problem instances; package runner fans those
+// evaluations out over a configurable number of goroutines while keeping
+// the collected results — and any reported error — independent of
+// goroutine scheduling:
+//
+//   - results are written to a slot indexed by the work item, so the
+//     returned slice is always in submission order;
+//   - when several items fail, the error with the lowest index wins, so
+//     the reported failure does not depend on which worker ran first;
+//   - a panic inside a work item is captured as a *PanicError (with the
+//     item index and stack) instead of crashing sibling workers.
+//
+// Cancellation is cooperative: once the context is done or an item has
+// failed, no further items start; items already running see the derived
+// context canceled and may return early.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError wraps a panic recovered from a work item.
+type PanicError struct {
+	Index int    // work-item index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack trace captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: work item %d panicked: %v", e.Index, e.Value)
+}
+
+// Workers normalizes a requested parallelism: values ≤ 0 select
+// runtime.GOMAXPROCS(0), anything else is returned unchanged. It is the
+// single place the "0 means all cores" convention is implemented.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n) on at most
+// Workers(workers) goroutines and returns the n results in index order.
+//
+// fn must be safe to call concurrently from multiple goroutines for
+// distinct indices. If any invocation returns an error or panics, the
+// remaining undispatched items are skipped, the context passed to
+// in-flight invocations is canceled, and Map returns the failure with the
+// lowest index (a recovered panic is returned as a *PanicError). If the
+// parent context is canceled before all items complete and no item
+// failed, Map returns ctx.Err().
+func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]T, n)
+	errs := make([]error, n)
+	var next atomic.Int64 // next index to dispatch
+	var failed atomic.Bool
+
+	runOne := func(i int) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+			}
+		}()
+		results[i], err = fn(ctx, i)
+		return err
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if failed.Load() || ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := runOne(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					cancel() // wake in-flight siblings
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic error selection: lowest failed index wins, regardless
+	// of which worker hit it first.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,246 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalization(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d", got)
+	}
+}
+
+// Results must come back in index order no matter how workers interleave.
+func TestMapOrdered(t *testing.T) {
+	const n = 200
+	got, err := Map(context.Background(), 8, n, func(_ context.Context, i int) (int, error) {
+		if i%7 == 0 {
+			time.Sleep(time.Duration(i%3) * time.Millisecond)
+		}
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("len = %d, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+// At most `workers` invocations may be in flight simultaneously.
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), workers, n, func(_ context.Context, i int) (struct{}, error) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent items, want ≤ %d", p, workers)
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map(context.Background(), 4, 0, func(_ context.Context, i int) (int, error) {
+		t.Error("fn called for empty input")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Errorf("Map(0 items) = %v, %v", got, err)
+	}
+}
+
+// The lowest failing index must win even when a later worker fails first.
+func TestMapErrorLowestIndexWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	_, err := Map(context.Background(), 2, 2, func(_ context.Context, i int) (int, error) {
+		if i == 0 {
+			time.Sleep(5 * time.Millisecond) // let index 1 fail first
+			return 0, errLow
+		}
+		return 0, errHigh
+	})
+	if !errors.Is(err, errLow) {
+		t.Errorf("err = %v, want %v", err, errLow)
+	}
+}
+
+// An error stops dispatch of pending items.
+func TestMapErrorStopsDispatch(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 1, 1000, func(_ context.Context, i int) (int, error) {
+		started.Add(1)
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if s := started.Load(); s > 5 {
+		t.Errorf("%d items started after the failure at index 4", s)
+	}
+}
+
+func TestMapPanicCaptured(t *testing.T) {
+	_, err := Map(context.Background(), 4, 32, func(_ context.Context, i int) (int, error) {
+		if i == 13 {
+			panic("unlucky")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Index != 13 || pe.Value != "unlucky" {
+		t.Errorf("PanicError = {Index: %d, Value: %v}", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(pe.Error(), "unlucky") {
+		t.Errorf("panic stack/message not captured: %q", pe.Error())
+	}
+}
+
+func TestMapPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 4, 100, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	// Workers may race one item each past the initial check, no more.
+	if r := ran.Load(); r > 4 {
+		t.Errorf("%d items ran under a pre-canceled context", r)
+	}
+}
+
+func TestMapCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	release := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 2, 1000, func(ctx context.Context, i int) (int, error) {
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return i, nil
+		})
+		done <- err
+	}()
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map did not return after cancellation")
+	}
+}
+
+// TestMapHammer drives the pool hard under the race detector: each round
+// randomly mixes panicking items, failing items, and a context canceled at
+// a random moment, and asserts the pool neither deadlocks nor corrupts
+// successful results.
+func TestMapHammer(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 60; round++ {
+		n := 1 + rng.Intn(120)
+		workers := 1 + rng.Intn(12)
+		panicAt, errAt := -1, -1
+		if rng.Intn(2) == 0 {
+			panicAt = rng.Intn(n)
+		}
+		if rng.Intn(2) == 0 {
+			errAt = rng.Intn(n)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		if rng.Intn(3) == 0 {
+			delay := time.Duration(rng.Intn(300)) * time.Microsecond
+			go func() { time.Sleep(delay); cancel() }()
+		}
+
+		wantErr := errors.New("hammer")
+		got, err := Map(ctx, workers, n, func(ctx context.Context, i int) (int, error) {
+			if i == panicAt {
+				panic(fmt.Sprintf("hammer panic at %d", i))
+			}
+			if i == errAt {
+				return 0, wantErr
+			}
+			if i%5 == 0 {
+				select {
+				case <-ctx.Done():
+				default:
+				}
+			}
+			return 3*i + 1, nil
+		})
+		cancel()
+
+		if err == nil {
+			if panicAt >= 0 || errAt >= 0 {
+				t.Fatalf("round %d: nil error despite panicAt=%d errAt=%d", round, panicAt, errAt)
+			}
+			for i, v := range got {
+				if v != 3*i+1 {
+					t.Fatalf("round %d: got[%d] = %d, want %d", round, i, v, 3*i+1)
+				}
+			}
+			continue
+		}
+		var pe *PanicError
+		switch {
+		case errors.As(err, &pe):
+			if pe.Index != panicAt {
+				t.Fatalf("round %d: panic at index %d, want %d", round, pe.Index, panicAt)
+			}
+		case errors.Is(err, wantErr):
+			if errAt < 0 {
+				t.Fatalf("round %d: unexpected item error %v", round, err)
+			}
+		case errors.Is(err, context.Canceled):
+			// cancellation won the race; fine
+		default:
+			t.Fatalf("round %d: unexpected error %v", round, err)
+		}
+	}
+}
