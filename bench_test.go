@@ -1,6 +1,7 @@
 package nocdeploy_test
 
 import (
+	"io"
 	"testing"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"nocdeploy/internal/lp"
 	"nocdeploy/internal/milp"
 	"nocdeploy/internal/nocsim"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/sim"
 )
 
@@ -45,10 +47,12 @@ func BenchmarkFig2h(b *testing.B) { benchFigure(b, exp.RunFig2h) }
 // benchFigSuite runs every figure runner back to back at a fixed,
 // MaxNodes-bounded configuration, so the serial and parallel variants do
 // byte-identical work and their ns/op ratio in BENCH_PR2.json is the
-// recorded wall-clock speedup of the experiment engine's fan-out.
-func benchFigSuite(b *testing.B, parallel int) {
+// recorded wall-clock speedup of the experiment engine's fan-out. A nil
+// tr benchmarks the untraced path (every emission site reduced to one
+// nil check); a live tr measures the enabled-tracer overhead.
+func benchFigSuite(b *testing.B, parallel int, tr *obs.Trace) {
 	b.Helper()
-	cfg := exp.Config{Seed: 1, Quick: true, TimeLimit: time.Minute, MaxNodes: 50, Parallel: parallel}
+	cfg := exp.Config{Seed: 1, Quick: true, TimeLimit: time.Minute, MaxNodes: 50, Parallel: parallel, Trace: tr}
 	for i := 0; i < b.N; i++ {
 		for _, r := range exp.Runners() {
 			tbl, err := r.Run(cfg)
@@ -63,12 +67,28 @@ func benchFigSuite(b *testing.B, parallel int) {
 }
 
 // BenchmarkFigSuiteSerial is the Parallel=1 baseline for the speedup
-// record; compare against BenchmarkFigSuiteParallel.
-func BenchmarkFigSuiteSerial(b *testing.B) { benchFigSuite(b, 1) }
+// record; compare against BenchmarkFigSuiteParallel. It is also the
+// nil-tracer baseline for BenchmarkFigSuiteSerialTraced: the delta
+// between the two is the full cost of observability, and must stay
+// within noise when tracing is off.
+func BenchmarkFigSuiteSerial(b *testing.B) { benchFigSuite(b, 1, nil) }
 
 // BenchmarkFigSuiteParallel fans instances out over all cores
 // (Parallel=0); its tables are byte-identical to the serial run's.
-func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, 0) }
+func BenchmarkFigSuiteParallel(b *testing.B) { benchFigSuite(b, 0, nil) }
+
+// BenchmarkFigSuiteSerialTraced is BenchmarkFigSuiteSerial with a live
+// JSONL trace draining to io.Discard — the enabled-tracer overhead on
+// real solver workloads. See BenchmarkEmitNil in internal/obs for the
+// per-site disabled cost.
+func BenchmarkFigSuiteSerialTraced(b *testing.B) {
+	tr := obs.New(obs.NewJSONLSink(io.Discard))
+	benchFigSuite(b, 1, tr)
+	b.StopTimer()
+	if err := tr.Close(); err != nil {
+		b.Fatal(err)
+	}
+}
 
 // ---------------------------------------------------------------------
 // Component benchmarks.

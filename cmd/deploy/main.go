@@ -5,19 +5,27 @@
 //
 //	deploy -in instance.json [-method heuristic|optimal] [-objective be|me]
 //	       [-single] [-timeout 30s] [-workers 1] [-seed 1] [-out deployment.json]
+//	       [-trace PREFIX] [-progress] [-metrics-out FILE] [-pprof FILE]
 //
 // The instance format is documented in internal/spec; cmd/taskgen
-// generates compatible instances.
+// generates compatible instances. -trace writes the solver event stream to
+// PREFIX.jsonl and a Chrome trace_event view to PREFIX.trace.json (open in
+// Perfetto or chrome://tracing); -progress prints a live ticker on stderr
+// (-q wins: a quiet run never prints progress); tracing never changes the
+// computed deployment.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"nocdeploy/internal/core"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/render"
 	"nocdeploy/internal/sim"
 	"nocdeploy/internal/spec"
@@ -27,19 +35,49 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("deploy: ")
 	var (
-		in        = flag.String("in", "-", "instance JSON file (- for stdin)")
-		out       = flag.String("out", "-", "deployment JSON output (- for stdout)")
-		method    = flag.String("method", "heuristic", "solver: heuristic, repair, anneal or optimal")
-		objective = flag.String("objective", "be", "objective: be (balance) or me (minimize total)")
-		single    = flag.Bool("single", false, "single-path routing baseline")
-		timeout   = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
-		workers   = flag.Int("workers", 1, "parallel branch & bound workers for -method optimal (0/1 = serial, -1 = all cores)")
-		seed      = flag.Int64("seed", 1, "heuristic tie-break seed")
-		quiet     = flag.Bool("q", false, "suppress the metrics summary on stderr")
-		gantt     = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
-		simulate  = flag.Int("simulate", 0, "run N fault-injection trials and report survival rates")
+		in         = flag.String("in", "-", "instance JSON file (- for stdin)")
+		out        = flag.String("out", "-", "deployment JSON output (- for stdout)")
+		method     = flag.String("method", "heuristic", "solver: heuristic, repair, anneal or optimal")
+		objective  = flag.String("objective", "be", "objective: be (balance) or me (minimize total)")
+		single     = flag.Bool("single", false, "single-path routing baseline")
+		timeout    = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
+		workers    = flag.Int("workers", 1, "parallel branch & bound workers for -method optimal (0/1 = serial, -1 = all cores)")
+		seed       = flag.Int64("seed", 1, "heuristic tie-break seed")
+		quiet      = flag.Bool("q", false, "suppress the metrics summary (and -progress) on stderr")
+		gantt      = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
+		simulate   = flag.Int("simulate", 0, "run N fault-injection trials and report survival rates")
+		traceOut   = flag.String("trace", "", "write the solver trace to PREFIX.jsonl and PREFIX.trace.json")
+		progress   = flag.Bool("progress", false, "print a live solver progress ticker on stderr (-q wins)")
+		metrics    = flag.String("metrics-out", "", "write a solver metrics snapshot (JSON) to this file")
+		cpuprofile = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	var progW io.Writer
+	if *progress && !*quiet {
+		progW = os.Stderr
+	}
+	obsSetup, err := obs.NewCLISetup(*traceOut, *metrics, progW)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cleanup := func() {
+		if err := obsSetup.Close(); err != nil {
+			log.Print(err)
+		}
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+	}
 
 	inst, err := spec.ReadInstance(*in)
 	if err != nil {
@@ -49,7 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	opts := core.Options{SinglePath: *single}
+	opts := core.Options{SinglePath: *single, Trace: obsSetup.Trace}
 	switch *objective {
 	case "be":
 		opts.Objective = core.BalanceEnergy
@@ -117,6 +155,7 @@ func main() {
 	if err := spec.WriteJSON(*out, spec.FromDeployment(d, m, info)); err != nil {
 		log.Fatal(err)
 	}
+	cleanup()
 	if !info.Feasible {
 		os.Exit(2)
 	}

@@ -4,12 +4,15 @@
 // Usage:
 //
 //	experiments [-fig all|2a|2b|2c|2d|2e|2f|2g|2h] [-quick] [-seed 1] [-timeout 45s]
-//	            [-parallel N]
+//	            [-parallel N] [-trace PREFIX] [-metrics-out FILE] [-pprof FILE]
 //
 // Instance evaluations fan out over N workers (-parallel 0, the default,
 // uses all cores; -parallel 1 reproduces the serial run). Tables are
 // byte-identical for every N at a fixed seed — see DESIGN.md,
-// "Determinism contract".
+// "Determinism contract" — and tracing never changes a cell: -trace writes
+// the solver/pool event stream to PREFIX.jsonl plus a Chrome trace_event
+// view to PREFIX.trace.json (open in Perfetto or chrome://tracing) without
+// perturbing results.
 package main
 
 import (
@@ -18,25 +21,45 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/pprof"
 	"time"
 
 	"nocdeploy/internal/exp"
+	"nocdeploy/internal/obs"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig      = flag.String("fig", "all", "figure to regenerate (all, 2a..2h)")
-		quick    = flag.Bool("quick", false, "reduced repetitions and time limits")
-		seed     = flag.Int64("seed", 1, "base seed for instance generation")
-		timeout  = flag.Duration("timeout", 0, "per-solve time limit (0 = mode default)")
-		parallel = flag.Int("parallel", 0, "concurrent instance evaluations (0 = all cores, 1 = serial)")
-		csvDir   = flag.String("csv", "", "also write each table as CSV into this directory")
+		fig        = flag.String("fig", "all", "figure to regenerate (all, 2a..2h)")
+		quick      = flag.Bool("quick", false, "reduced repetitions and time limits")
+		seed       = flag.Int64("seed", 1, "base seed for instance generation")
+		timeout    = flag.Duration("timeout", 0, "per-solve time limit (0 = mode default)")
+		parallel   = flag.Int("parallel", 0, "concurrent instance evaluations (0 = all cores, 1 = serial)")
+		csvDir     = flag.String("csv", "", "also write each table as CSV into this directory")
+		traceOut   = flag.String("trace", "", "write the solver/pool trace to PREFIX.jsonl and PREFIX.trace.json")
+		metrics    = flag.String("metrics-out", "", "write a solver metrics snapshot (JSON) to this file")
+		cpuprofile = flag.String("pprof", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
-	cfg := exp.Config{Seed: *seed, Quick: *quick, TimeLimit: *timeout, Parallel: *parallel}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	obsSetup, err := obs.NewCLISetup(*traceOut, *metrics, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := exp.Config{Seed: *seed, Quick: *quick, TimeLimit: *timeout, Parallel: *parallel, Trace: obsSetup.Trace}
 	if err := cfg.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -73,5 +96,8 @@ func main() {
 	}
 	if ran == 0 {
 		log.Fatalf("unknown figure %q", *fig)
+	}
+	if err := obsSetup.Close(); err != nil {
+		log.Fatal(err)
 	}
 }

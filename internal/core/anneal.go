@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/reliability"
 )
 
@@ -48,6 +49,10 @@ type annealEval struct {
 // objective.
 func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
+	tr := opts.Trace
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "anneal"})
+	}
 	ao = ao.withDefaults(s.Graph.M())
 	rng := rand.New(rand.NewSource(ao.Seed))
 
@@ -192,14 +197,23 @@ func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo,
 				best = cloneDeploymentCore(cand)
 				bestEval = ce
 			}
+			if tr.Enabled() {
+				tr.Emit(obs.Event{Kind: obs.AnnealAccept, Node: it, Obj: ce.obj})
+			}
+		} else if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.AnnealReject, Node: it})
 		}
 	}
 
-	return best, &SolveInfo{
+	info := &SolveInfo{
 		Runtime:   time.Since(startT),
 		Feasible:  bestEval.okFull && CheckConstraints(s, best) == nil,
 		Objective: objectiveOf(s, best, opts),
-	}, nil
+	}
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "anneal", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
+	}
+	return best, info, nil
 }
 
 func randomExisting(rng *rand.Rand, d *Deployment) int {

@@ -8,6 +8,7 @@ import (
 	"nocdeploy/internal/lp"
 	"nocdeploy/internal/milp"
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/reliability"
 )
 
@@ -452,12 +453,18 @@ type OptimalOptions struct {
 // and was found.
 func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
 	start := time.Now()
+	tr := opts.Trace
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "optimal"})
+	}
 	f := BuildFormulation(s, opts)
+	buildD := time.Since(start)
 	so := milp.SolveOptions{
 		TimeLimit: oo.TimeLimit,
 		MaxNodes:  oo.MaxNodes,
 		RelGap:    oo.RelGap,
 		Workers:   oo.Workers,
+		Trace:     opts.Trace,
 	}
 	if oo.WarmStart != nil {
 		so.Cutoff = *oo.WarmStart * (1 + 1e-6)
@@ -470,17 +477,30 @@ func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInf
 		}
 		so.Incumbent = inc // nil (ignored) if the deployment doesn't embed
 	}
+	solveStart := time.Now()
 	res, err := f.Model.Solve(so)
 	if err != nil {
 		return nil, nil, err
 	}
+	solveD := time.Since(solveStart)
+	extractStart := time.Now()
 	info := &SolveInfo{
-		Runtime: time.Since(start),
-		Nodes:   res.Nodes,
-		Iters:   res.Iters,
+		Nodes: res.Nodes,
+		Iters: res.Iters,
+	}
+	for _, inc := range res.Incumbents {
+		info.Incumbents = append(info.Incumbents, IncumbentPoint{T: inc.T, Obj: inc.Obj, Nodes: inc.Nodes})
+	}
+	finish := func() {
+		info.Phases = []PhaseTiming{{"build", buildD}, {"solve", solveD}, {"extract", time.Since(extractStart)}}
+		info.Runtime = time.Since(start)
+		if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "optimal", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
+		}
 	}
 	if res.X == nil {
 		info.Feasible = false
+		finish()
 		return nil, info, nil
 	}
 	d := f.Extract(res.X)
@@ -495,5 +515,6 @@ func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInf
 	}
 	info.Gap = res.Gap()
 	info.Feasible = CheckConstraints(s, d) == nil
+	finish()
 	return d, info, nil
 }

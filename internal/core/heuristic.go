@@ -8,6 +8,7 @@ import (
 
 	"nocdeploy/internal/noc"
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/reliability"
 )
 
@@ -22,10 +23,30 @@ type SolveInfo struct {
 	Runtime   time.Duration
 	Feasible  bool
 	Objective float64 // value of the chosen objective (BE: max_k, ME: Σ_k)
+	// Phases breaks Runtime into named solver phases (heuristic: P1/P2/P3;
+	// exact solver: build/solve/extract). Nil when the solver does not
+	// decompose (e.g. annealing).
+	Phases []PhaseTiming
 	// MILP-only fields; zero for the heuristic.
 	Nodes int
 	Iters int
 	Gap   float64
+	// Incumbents is the exact solver's incumbent trajectory (model-scale
+	// MILP objective per improvement); nil for the heuristic.
+	Incumbents []IncumbentPoint
+}
+
+// PhaseTiming is the wall-clock spent in one named solver phase.
+type PhaseTiming struct {
+	Name string
+	D    time.Duration
+}
+
+// IncumbentPoint is one improvement of the exact solver's incumbent.
+type IncumbentPoint struct {
+	T     time.Duration // since the MILP solve started
+	Obj   float64       // MILP objective at acceptance (model scale)
+	Nodes int           // LP relaxations solved at acceptance time
 }
 
 // Heuristic runs the paper's three-phase decomposition (Algorithms 1–3)
@@ -34,15 +55,24 @@ type SolveInfo struct {
 // reported via SolveInfo.Feasible with the best-effort deployment attached.
 func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
+	tr := opts.Trace
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "heuristic"})
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P1"})
+	}
 	d := NewDeployment(s)
 
 	ok1 := phase1FrequencyAndDuplication(s, d)
-	ok23, err := deployGivenLevels(s, d, seed, opts)
+	t1 := time.Since(startT)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P1", Dur: t1.Seconds()})
+	}
+	ok23, t2, t3, err := deployGivenLevels(s, d, seed, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 
-	info := &SolveInfo{Runtime: time.Since(startT)}
+	info := &SolveInfo{Phases: []PhaseTiming{{"P1", t1}, {"P2", t2}, {"P3", t3}}}
 	m, err := ComputeMetrics(s, d)
 	if err != nil {
 		return nil, nil, err
@@ -53,17 +83,48 @@ func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, er
 		info.Objective = m.MaxEnergy
 	}
 	info.Feasible = ok1 && ok23 && CheckConstraints(s, d) == nil
+	// Stamped last so Runtime covers the full solve including the metrics
+	// and constraint evaluation above.
+	info.Runtime = time.Since(startT)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "heuristic", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
+	}
 	return d, info, nil
 }
 
+// feasibilityOutcome names a solve outcome for telemetry.
+func feasibilityOutcome(feasible bool) string {
+	if feasible {
+		return "feasible"
+	}
+	return "infeasible"
+}
+
 // deployGivenLevels runs phases 2 and 3 for a deployment whose levels and
-// duplication flags are already decided, reporting horizon feasibility.
-func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) (bool, error) {
+// duplication flags are already decided, reporting horizon feasibility and
+// the wall-clock spent in each phase.
+func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) (ok bool, t2, t3 time.Duration, err error) {
+	tr := opts.Trace
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P2"})
+	}
+	p2Start := time.Now()
 	order, err := phase2Allocation(s, d, seed, opts)
 	if err != nil {
-		return false, err
+		return false, 0, 0, err
 	}
-	return phase3PathSelection(s, d, order, opts)
+	t2 = time.Since(p2Start)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P2", Dur: t2.Seconds()})
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P3"})
+	}
+	p3Start := time.Now()
+	ok, err = phase3PathSelection(s, d, order, opts)
+	t3 = time.Since(p3Start)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P3", Dur: t3.Seconds()})
+	}
+	return ok, t2, t3, err
 }
 
 // phase1FrequencyAndDuplication implements Algorithm 1: greedy V/F level

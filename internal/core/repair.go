@@ -2,9 +2,11 @@ package core
 
 import (
 	"math"
+	"strconv"
 	"time"
 
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 )
 
 // HeuristicWithRepair is an extension beyond the paper: it runs the
@@ -18,12 +20,22 @@ import (
 // maxRounds bounds the repair iterations; 0 picks 4·M.
 func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
+	tr := opts.Trace
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "heuristic+repair"})
+	}
+	done := func(info *SolveInfo) {
+		if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "heuristic+repair", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
+		}
+	}
 	d, info, err := Heuristic(s, opts, seed)
 	if err != nil {
 		return nil, nil, err
 	}
 	if info.Feasible {
 		info.Runtime = time.Since(startT)
+		done(info)
 		return d, info, nil
 	}
 	if maxRounds <= 0 {
@@ -46,6 +58,9 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 		if cand < 0 {
 			break // everything is already at the top level
 		}
+		if tr := opts.Trace; tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.HeurRepair, Node: round + 1, Label: "slot " + strconv.Itoa(cand)})
+		}
 		d.Level[cand]++
 		// Re-apply the duplication rule for the affected original: a
 		// faster original may clear the threshold on its own (h must drop
@@ -67,7 +82,7 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 				d.Exists[dup] = false
 			}
 		}
-		ok, err := deployGivenLevels(s, d, seed, opts)
+		ok, _, _, err := deployGivenLevels(s, d, seed, opts)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -80,11 +95,13 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 			if opts.Objective == MinimizeEnergy {
 				obj = m.SumEnergy
 			}
-			return d, &SolveInfo{
+			ri := &SolveInfo{
 				Runtime:   time.Since(startT),
 				Feasible:  true,
 				Objective: obj,
-			}, nil
+			}
+			done(ri)
+			return d, ri, nil
 		}
 	}
 	// Repair failed; report the (infeasible) best effort.
@@ -96,7 +113,9 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 	if opts.Objective == MinimizeEnergy {
 		obj = m.SumEnergy
 	}
-	return d, &SolveInfo{Runtime: time.Since(startT), Feasible: false, Objective: obj}, nil
+	ri := &SolveInfo{Runtime: time.Since(startT), Feasible: false, Objective: obj}
+	done(ri)
+	return d, ri, nil
 }
 
 // Improve is an extension beyond the paper: first-improvement local search

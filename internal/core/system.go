@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"nocdeploy/internal/noc"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/platform"
 	"nocdeploy/internal/reliability"
 	"nocdeploy/internal/task"
@@ -62,6 +63,11 @@ type Options struct {
 	// CommEstimate selects the phase-2 communication pricing (heuristic
 	// only; the exact solver prices communication exactly).
 	CommEstimate CommEstimate
+	// Trace, if non-nil, receives solver telemetry (solve spans, heuristic
+	// phase transitions, anneal accept/reject) and is forwarded to the MILP
+	// engine by Optimal. Observability only: the solvers never read it, so
+	// results are identical with tracing on or off.
+	Trace *obs.Trace
 }
 
 // System bundles one deployment problem instance.

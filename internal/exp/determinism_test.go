@@ -2,9 +2,12 @@ package exp
 
 import (
 	"bytes"
+	"io"
 	"regexp"
 	"testing"
 	"time"
+
+	"nocdeploy/internal/obs"
 )
 
 // durationCell matches cells whose value is a measured wall-clock time
@@ -104,6 +107,51 @@ func TestDefaultParallelMatchesSerial(t *testing.T) {
 	}
 	if canonical(ts) != canonical(td) {
 		t.Errorf("Parallel=0 (all cores) table differs from serial:\n%s\nvs\n%s", canonical(td), canonical(ts))
+	}
+}
+
+// TestDeterminismTracingInvariance is the observability half of the
+// determinism contract: attaching a live trace (JSONL sink plus metrics
+// fold) must not change a single table byte, at any parallelism. Solvers
+// only ever write to the trace, never read from it — this test is what
+// keeps that one-way rule honest.
+func TestDeterminismTracingInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("determinism sweep is slow")
+	}
+	ref := detCfg()
+	ref.Parallel = 1
+	tref, err := RunFig2h(ref)
+	if err != nil {
+		t.Fatalf("untraced reference run: %v", err)
+	}
+	want := canonical(tref)
+
+	for _, par := range []int{1, 8} {
+		cfg := detCfg()
+		cfg.Parallel = par
+		m := obs.NewMetrics()
+		tr := obs.New(obs.NewJSONLSink(io.Discard), obs.NewMetricsSink(m))
+		cfg.Trace = tr
+		tt, err := RunFig2h(cfg)
+		if err != nil {
+			t.Fatalf("traced run (Parallel=%d): %v", par, err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("closing trace (Parallel=%d): %v", par, err)
+		}
+		if got := canonical(tt); got != want {
+			t.Errorf("tracing perturbed the table at Parallel=%d:\n--- untraced\n%s\n--- traced\n%s", par, want, got)
+		}
+		// The trace must actually have observed the run, or the check above
+		// proves nothing.
+		snap := m.Snapshot()
+		if snap.Counters["pool.tasks"] == 0 {
+			t.Errorf("Parallel=%d: trace saw no pool tasks; instrumentation is disconnected", par)
+		}
+		if snap.Counters["bb.nodes"] == 0 {
+			t.Errorf("Parallel=%d: trace saw no branch & bound nodes", par)
+		}
 	}
 }
 

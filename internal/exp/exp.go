@@ -20,6 +20,7 @@ import (
 	"nocdeploy/internal/core"
 	"nocdeploy/internal/noc"
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/platform"
 	"nocdeploy/internal/reliability"
 	"nocdeploy/internal/runner"
@@ -44,6 +45,11 @@ type Config struct {
 	// byte-identical for every value (see DESIGN.md, "Determinism
 	// contract"); negative values are rejected by Validate.
 	Parallel int
+	// Trace, if non-nil, receives pool telemetry from the instance grid and
+	// solver telemetry from the warm-started exact solves. Tracing never
+	// changes a table cell — the determinism contract holds with tracing on
+	// or off (see TestDeterminismTracingInvariance).
+	Trace *obs.Trace
 }
 
 // Validate checks the configuration. It is the single validation point for
@@ -81,7 +87,7 @@ func evalGrid[R any](cfg Config, points, trials int, eval func(point, trial int)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	flat, err := runner.Map(context.Background(), cfg.Parallel, points*trials,
+	flat, err := runner.MapTraced(context.Background(), cfg.Parallel, points*trials, cfg.Trace,
 		func(_ context.Context, i int) (R, error) {
 			return eval(i/trials, i%trials)
 		})
@@ -260,6 +266,7 @@ func Build(p InstanceParams) (*core.System, error) {
 // & bound as the incumbent, mirroring how a practitioner would use the two
 // solvers.
 func solveOptimalWarm(s *core.System, opts core.Options, cfg Config) (*core.Deployment, *core.SolveInfo, error) {
+	opts.Trace = cfg.Trace
 	hd, hinfo, err := core.HeuristicWithRepair(s, opts, 1, 0)
 	if err != nil {
 		return nil, nil, err

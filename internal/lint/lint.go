@@ -77,7 +77,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, NoPanic, ErrDrop, LoopRange}
+	return []*Analyzer{FloatEq, NoPanic, ErrDrop, LoopRange, RawLog}
 }
 
 // ByName returns the analyzer with the given name, or nil.

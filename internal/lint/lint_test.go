@@ -53,6 +53,7 @@ func TestGoldenFixtures(t *testing.T) {
 		{"nopanic", "nopanic", []int{8}},
 		{"errdrop", "errdrop", []int{15, 16, 17, 18}},
 		{"looprange", "looprange", []int{7, 12}},
+		{"rawlog", "rawlog", []int{12, 13, 14}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RawLog flags library packages that write to the process streams — any use
+// of os.Stderr / os.Stdout, or any reference to the standard log package.
+// Solver and harness code must stay silent so its output composes (pipes,
+// tests, the experiment tables) and so telemetry flows through internal/obs
+// sinks the caller chose, not streams the library grabbed. Exempt:
+// package main (commands own the process streams), internal/obs (the sink
+// layer is exactly where stream handles are wired up) and internal/render
+// (ASCII renderers whose contract is the terminal). Deliberate uses — e.g.
+// "-" meaning stdout in a CLI-facing helper — must be annotated in place
+// with //lint:allow rawlog and a reason.
+var RawLog = &Analyzer{
+	Name: "rawlog",
+	Doc: "flags os.Stderr/os.Stdout and the log package in internal/ library code " +
+		"(except internal/obs and internal/render); take an io.Writer or emit " +
+		"through internal/obs, or annotate with //lint:allow rawlog",
+	Run: runRawLog,
+}
+
+func runRawLog(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	if !strings.Contains(pass.PkgPath, "internal/") {
+		return
+	}
+	if strings.Contains(pass.PkgPath, "internal/obs") || strings.Contains(pass.PkgPath, "internal/render") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "os":
+				if sel.Sel.Name == "Stderr" || sel.Sel.Name == "Stdout" {
+					pass.Reportf(sel.Pos(),
+						"library package %s uses os.%s; take an io.Writer or emit through internal/obs",
+						pass.Pkg.Name(), sel.Sel.Name)
+				}
+			case "log":
+				pass.Reportf(sel.Pos(),
+					"library package %s uses log.%s; return errors or emit through internal/obs",
+					pass.Pkg.Name(), sel.Sel.Name)
+			}
+			return true
+		})
+	}
+}

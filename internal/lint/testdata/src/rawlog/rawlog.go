@@ -1,0 +1,27 @@
+// Package rawlog seeds rawlog violations for the golden-fixture test.
+package rawlog
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+func bad() {
+	fmt.Fprintln(os.Stderr, "direct stderr write")
+	fmt.Fprintln(os.Stdout, "direct stdout write")
+	log.Println("package log in library code")
+}
+
+func allowed() {
+	fmt.Fprintln(os.Stderr, "by design") //lint:allow rawlog — fixture suppression
+}
+
+func clean(w io.Writer) {
+	fmt.Fprintln(w, "an injected writer is fine")
+}
+
+var _ = bad
+var _ = allowed
+var _ = clean

@@ -21,6 +21,7 @@ import (
 	"math"
 
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 )
 
 // Op is a constraint sense.
@@ -155,10 +156,11 @@ func (s Status) String() string {
 
 // Solution is the result of a solve.
 type Solution struct {
-	Status Status
-	X      []float64 // length NumCols; valid when Status is Optimal
-	Obj    float64   // cᵀx
-	Iters  int       // simplex iterations across both phases
+	Status  Status
+	X       []float64 // length NumCols; valid when Status is Optimal
+	Obj     float64   // cᵀx
+	Iters   int       // simplex iterations across both phases
+	ItersP1 int       // iterations spent in phase 1 (feasibility search)
 }
 
 // Options tunes the solver.
@@ -168,6 +170,10 @@ type Options struct {
 	OptTol     float64 // reduced-cost tolerance; 0 means 1e-9
 	Refactor   int     // refactorization interval; 0 means 128
 	BlandAfter int     // switch to Bland's rule after this many degenerate pivots; 0 means 64
+	// Trace, if non-nil, receives one obs.LPSolve event per Solve call
+	// (iteration counts and outcome). Observability only: the solver
+	// never reads it, so results are identical with tracing on or off.
+	Trace *obs.Trace
 }
 
 func (o Options) withDefaults(m int) Options {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 )
 
 // varState describes where a column currently sits.
@@ -64,6 +65,14 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 			return nil, fmt.Errorf("lp: basis singular even under conservative pivoting")
 		}
 	}
+	if err == nil && opt.Trace.Enabled() {
+		opt.Trace.Emit(obs.Event{
+			Kind:    obs.LPSolve,
+			Iters:   sol.Iters,
+			ItersP1: sol.ItersP1,
+			Phase:   sol.Status.String(),
+		})
+	}
 	return sol, err
 }
 
@@ -111,13 +120,14 @@ func solveOnce(p *Problem, opt Options) (*Solution, error) {
 		return nil, err
 	}
 	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+		return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: s.iters}, nil
 	}
+	p1Iters := s.iters
 	if infeas := s.phaseObj(); infeas > 1e-6 {
 		// Obj carries the residual infeasibility (sum of artificial
 		// values) to help callers distinguish numerical noise from real
 		// constraint conflicts.
-		return &Solution{Status: Infeasible, Iters: s.iters, Obj: infeas}, nil
+		return &Solution{Status: Infeasible, Iters: s.iters, ItersP1: p1Iters, Obj: infeas}, nil
 	}
 
 	// Phase 2: fix artificials at zero and optimize the real cost.
@@ -136,10 +146,10 @@ func solveOnce(p *Problem, opt Options) (*Solution, error) {
 		return nil, err
 	}
 	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iters: s.iters}, nil
+		return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: p1Iters}, nil
 	}
 	if st == Unbounded {
-		return &Solution{Status: Unbounded, Iters: s.iters}, nil
+		return &Solution{Status: Unbounded, Iters: s.iters, ItersP1: p1Iters}, nil
 	}
 
 	// Refresh basic values once more for accuracy before extraction.
@@ -164,7 +174,7 @@ func solveOnce(p *Problem, opt Options) (*Solution, error) {
 			x[j] = p.Upper[j]
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Obj: p.Eval(x), Iters: s.iters}, nil
+	return &Solution{Status: Optimal, X: x, Obj: p.Eval(x), Iters: s.iters, ItersP1: p1Iters}, nil
 }
 
 // build lays out columns (structural | slack | artificial) and the initial

@@ -7,6 +7,7 @@ import (
 
 	"nocdeploy/internal/lp"
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 )
 
 // Status is the outcome of a branch & bound run.
@@ -65,7 +66,13 @@ type SolveOptions struct {
 	// incumbent is returned — can vary run to run. Negative values select
 	// runtime.GOMAXPROCS(0).
 	Workers int
-	LP      lp.Options // passed through to the LP engine
+	// Trace, if non-nil, receives branch & bound telemetry (obs.BBNode,
+	// obs.BBIncumbent, obs.BBBound, obs.BBPrune) and is propagated to the
+	// LP engine unless LP.Trace is already set. Observability only: the
+	// search never reads it, so the solve is identical with tracing on or
+	// off.
+	Trace *obs.Trace
+	LP    lp.Options // passed through to the LP engine
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -86,6 +93,18 @@ type Result struct {
 	Bound  float64   // best proven lower bound (model constant included)
 	Nodes  int       // LP relaxations solved
 	Iters  int       // total simplex iterations
+	// Incumbents is the trajectory of accepted integral solutions in
+	// acceptance order (a caller-seeded incumbent appears at T=0). For
+	// parallel searches the trajectory depends on scheduling, like the
+	// node count.
+	Incumbents []Incumbent
+}
+
+// Incumbent records one improvement of the best integral solution.
+type Incumbent struct {
+	T     time.Duration // since the solve started
+	Obj   float64       // model-scale objective (constant included)
+	Nodes int           // LP relaxations solved at acceptance time
 }
 
 // Gap returns the relative optimality gap of the result, zero when proven
@@ -135,6 +154,9 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 		return nil, err
 	}
 	opts = opts.withDefaults()
+	if opts.LP.Trace == nil {
+		opts.LP.Trace = opts.Trace
+	}
 	if w := normalizeWorkers(opts.Workers); w > 1 {
 		return m.solveParallel(opts, w)
 	}
@@ -189,11 +211,19 @@ func (m *Model) fractionalVar(x []float64, tol float64) int {
 func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 	base := m.buildLP()
 	res := &Result{Bound: math.Inf(-1), Obj: math.Inf(1)}
+	tr := opts.Trace
+	startT := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		deadline = startT.Add(opts.TimeLimit)
 	}
 	incumbent := seedIncumbent(m, base, opts, res)
+	if res.X != nil {
+		res.Incumbents = append(res.Incumbents, Incumbent{Obj: res.Obj})
+		if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: res.Obj})
+		}
+	}
 
 	// Working bound arrays, rewritten per node.
 	lo := make([]float64, base.NumCols)
@@ -212,6 +242,13 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		}
 		res.Nodes++
 		res.Iters += sol.Iters
+		if tr.Enabled() {
+			e := obs.Event{Kind: obs.BBNode, Node: res.Nodes, Depth: nd.depth}
+			if sol.Status == lp.Optimal {
+				e.Bound = sol.Obj + m.objConst
+			}
+			tr.Emit(e)
+		}
 		return sol, nil
 	}
 
@@ -259,6 +296,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 	// after branching we plunge depth-first into the cheaper child (the
 	// other child is queued). Plunging finds integral incumbents early;
 	// best-first restarts keep the proven bound moving.
+	lastBound := math.Inf(-1)
 	for pq.Len() > 0 {
 		if res.Nodes >= opts.MaxNodes {
 			break
@@ -268,6 +306,12 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		}
 		if gapReached() {
 			break
+		}
+		if tr.Enabled() {
+			if b := bestBound(); !math.IsInf(b, 0) && b > lastBound {
+				lastBound = b
+				tr.Emit(obs.Event{Kind: obs.BBBound, Bound: b + m.objConst, Node: res.Nodes})
+			}
 		}
 		nd := heap.Pop(pq).(*node)
 		sol := solutions[nd]
@@ -282,6 +326,9 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 				break
 			}
 			if numeric.GeqTol(sol.Obj, incumbent, 1e-9) {
+				if tr.Enabled() {
+					tr.Emit(obs.Event{Kind: obs.BBPrune, Node: res.Nodes, Depth: nd.depth})
+				}
 				break // pruned by bound
 			}
 			j := m.fractionalVar(sol.X, opts.IntTol)
@@ -292,6 +339,10 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 					res.X = append([]float64(nil), sol.X...)
 					roundIntegers(m, res.X, opts.IntTol)
 					res.Obj = m.Eval(res.X)
+					res.Incumbents = append(res.Incumbents, Incumbent{T: time.Since(startT), Obj: res.Obj, Nodes: res.Nodes})
+					if tr.Enabled() {
+						tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: res.Obj, Node: res.Nodes})
+					}
 				}
 				break
 			}
@@ -325,6 +376,9 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 					continue // infeasible (or iter-limit: treated as pruned)
 				}
 				if numeric.GeqTol(csol.Obj, incumbent, 1e-9) {
+					if tr.Enabled() {
+						tr.Emit(obs.Event{Kind: obs.BBPrune, Node: res.Nodes, Depth: child.depth})
+					}
 					continue
 				}
 				child.bound = csol.Obj

@@ -10,6 +10,7 @@ import (
 
 	"nocdeploy/internal/lp"
 	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
 )
 
 // normalizeWorkers maps the SolveOptions.Workers convention to a concrete
@@ -67,6 +68,7 @@ type bbShared struct {
 	incObj       float64 // best integral objective, LP scale
 	incBits      atomic.Uint64
 	incX         []float64
+	incumbents   []Incumbent // acceptance-order trajectory, model scale
 
 	stopped    bool   // a limit fired, the gap closed, or an error occurred
 	done       bool   // frontier exhausted: queue empty and every worker idle
@@ -120,13 +122,19 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 		s.working[i] = math.Inf(1)
 	}
 	s.setIncumbent(seedIncumbent(m, seedBase, opts, res))
+	tr := opts.Trace
 	if res.X != nil {
 		s.incX = append([]float64(nil), res.X...)
+		res.Incumbents = append(res.Incumbents, Incumbent{Obj: res.Obj})
+		if tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: res.Obj})
+		}
 	}
 
+	startT := time.Now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+		deadline = startT.Add(opts.TimeLimit)
 	}
 
 	gapReached := func() bool { // with mu held
@@ -190,6 +198,9 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					// idle siblings to re-check termination.
 					s.cond.Broadcast()
 					s.mu.Unlock()
+					if tr.Enabled() {
+						tr.Emit(obs.Event{Kind: obs.BBPrune, Depth: nd.depth, Worker: id + 1})
+					}
 					continue
 				}
 				s.working[id] = nd.bound
@@ -203,6 +214,9 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					s.working[id] = math.Inf(1)
 					s.cond.Broadcast()
 					s.mu.Unlock()
+					if tr.Enabled() {
+						tr.Emit(obs.Event{Kind: obs.BBPrune, Depth: nd.depth, Worker: id + 1})
+					}
 					continue
 				}
 
@@ -227,6 +241,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 				}
 				s.nodes++
 				s.iters += sol.Iters
+				nodeCount := s.nodes
 				if nd.depth == 0 && sol.Status != lp.Optimal {
 					// The root relaxation decides a terminal status, as in
 					// the serial search.
@@ -242,8 +257,13 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					s.stopped = true
 					s.cond.Broadcast()
 					s.mu.Unlock()
+					if tr.Enabled() {
+						tr.Emit(obs.Event{Kind: obs.BBNode, Node: nodeCount, Depth: nd.depth, Worker: id + 1})
+					}
 					return
 				}
+				gotInc, pruned := false, false
+				var incObjModel float64
 				if sol.Status == lp.Optimal && !numeric.GeqTol(sol.Obj, s.incObj, 1e-9) {
 					if j := m.fractionalVar(sol.X, opts.IntTol); j < 0 {
 						// Integral: new incumbent (mutex-guarded, atomic
@@ -251,6 +271,9 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 						if sol.Obj < s.incObj {
 							s.setIncumbent(sol.Obj)
 							s.incX = append(s.incX[:0], sol.X...)
+							gotInc = true
+							incObjModel = sol.Obj + m.objConst
+							s.incumbents = append(s.incumbents, Incumbent{T: time.Since(startT), Obj: incObjModel, Nodes: nodeCount})
 						}
 					} else {
 						floorV := math.Floor(sol.X[j])
@@ -276,9 +299,24 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 							heap.Push(&s.pq, &pnode{overrides: ov, bound: sol.Obj, depth: nd.depth + 1})
 						}
 					}
+				} else if sol.Status == lp.Optimal {
+					pruned = true // dominated by the incumbent after its LP
 				}
 				s.cond.Broadcast()
 				s.mu.Unlock()
+				if tr.Enabled() {
+					e := obs.Event{Kind: obs.BBNode, Node: nodeCount, Depth: nd.depth, Worker: id + 1}
+					if sol.Status == lp.Optimal {
+						e.Bound = sol.Obj + m.objConst
+					}
+					tr.Emit(e)
+					if gotInc {
+						tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: incObjModel, Node: nodeCount, Worker: id + 1})
+					}
+					if pruned {
+						tr.Emit(obs.Event{Kind: obs.BBPrune, Node: nodeCount, Depth: nd.depth, Worker: id + 1})
+					}
+				}
 			}
 		}(w)
 	}
@@ -288,6 +326,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 		return nil, s.err
 	}
 	res.Nodes, res.Iters = s.nodes, s.iters
+	res.Incumbents = append(res.Incumbents, s.incumbents...)
 	if s.rootSet {
 		res.Status = s.rootStatus
 		return res, nil

@@ -1,0 +1,77 @@
+package obs
+
+// Kind identifies what happened. Kinds are dotted strings, stable across
+// releases: they are the vocabulary of archived JSONL traces.
+type Kind string
+
+// Event kinds, grouped by emitting subsystem.
+const (
+	// SolveStart/SolveDone bracket one top-level solve. Label names the
+	// solver ("heuristic", "repair", "anneal", "optimal"); SolveDone
+	// carries the objective in Obj and the outcome in Phase
+	// ("feasible" / "infeasible" / a milp.Status string).
+	SolveStart Kind = "solve.start"
+	SolveDone  Kind = "solve.done"
+
+	// BBNode: one branch & bound subproblem's LP relaxation was solved.
+	// Node is the running node count, Depth the tree depth, Bound the
+	// node's LP bound (model scale), Worker the solver worker.
+	BBNode Kind = "bb.node"
+	// BBIncumbent: a better integral solution was accepted. Obj is its
+	// objective (model scale), Node the node count at acceptance.
+	BBIncumbent Kind = "bb.incumbent"
+	// BBBound: the global dual bound tightened (serial search only, where
+	// the frontier minimum is cheap to observe). Bound is model-scale.
+	BBBound Kind = "bb.bound"
+	// BBPrune: a subproblem was discarded against the incumbent before or
+	// after its LP solve. Depth/Bound describe the pruned node.
+	BBPrune Kind = "bb.prune"
+
+	// LPSolve: one simplex solve finished. Iters is the total iteration
+	// count, ItersP1 the phase-1 share, Phase the lp.Status string.
+	LPSolve Kind = "lp.solve"
+
+	// HeurPhaseStart/HeurPhaseEnd bracket one phase of the three-phase
+	// heuristic; Phase is "P1" (frequency & duplication), "P2"
+	// (allocation) or "P3" (path selection). End events carry the phase
+	// wall time in Dur.
+	HeurPhaseStart Kind = "heur.phase.start"
+	HeurPhaseEnd   Kind = "heur.phase.end"
+	// HeurRepair: one repair round re-deployed after raising a level.
+	// Node is the round number, Label the adjusted slot.
+	HeurRepair Kind = "heur.repair"
+
+	// AnnealAccept/AnnealReject: one Metropolis decision. Node is the
+	// iteration, Obj the candidate's scalar energy (accept only).
+	AnnealAccept Kind = "anneal.accept"
+	AnnealReject Kind = "anneal.reject"
+
+	// PoolTaskStart/PoolTaskDone bracket one work item on the experiment
+	// runner pool. Node is the item index, Worker the pool worker; done
+	// events carry the item wall time in Dur and "error" in Phase when
+	// the item failed.
+	PoolTaskStart Kind = "pool.task.start"
+	PoolTaskDone  Kind = "pool.task.done"
+)
+
+// Event is one observation. The zero value of every optional field is
+// omitted from JSON, so archived JSONL stays compact; which fields are
+// meaningful per kind is documented on the Kind constants.
+//
+// Seq and T are stamped by Trace.Emit: Seq is the 1-based total order of
+// the event stream, T the time in seconds since the trace epoch.
+type Event struct {
+	Seq     int64   `json:"seq"`
+	T       float64 `json:"t"`
+	Kind    Kind    `json:"kind"`
+	Worker  int     `json:"worker,omitempty"`
+	Node    int     `json:"node,omitempty"`
+	Depth   int     `json:"depth,omitempty"`
+	Obj     float64 `json:"obj,omitempty"`
+	Bound   float64 `json:"bound,omitempty"`
+	Iters   int     `json:"iters,omitempty"`
+	ItersP1 int     `json:"itersP1,omitempty"`
+	Dur     float64 `json:"dur,omitempty"` // seconds
+	Phase   string  `json:"phase,omitempty"`
+	Label   string  `json:"label,omitempty"`
+}

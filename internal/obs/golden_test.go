@@ -1,0 +1,128 @@
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/lp"
+	"nocdeploy/internal/milp"
+	"nocdeploy/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// tinyKnapsack is a 3-item knapsack (max 3x+4y+5z s.t. 2x+3y+4z ≤ 4,
+// binaries) whose LP relaxation is fractional, so the serial branch &
+// bound branches, improves the incumbent and prunes — exercising every
+// bb.* and lp.* event kind on a solve small enough to pin byte-for-byte.
+func tinyKnapsack() *milp.Model {
+	m := milp.NewModel()
+	x := m.AddBinary("x")
+	y := m.AddBinary("y")
+	z := m.AddBinary("z")
+	m.SetObjective(milp.NewExpr(0).Add(x, -3).Add(y, -4).Add(z, -5))
+	m.AddConstr(milp.NewExpr(0).Add(x, 2).Add(y, 3).Add(z, 4), lp.LE, 4)
+	return m
+}
+
+// TestGoldenTraceJSONL solves a fixed model under an injected clock and
+// compares the JSONL event stream byte-for-byte against
+// testdata/golden.jsonl. Run with -update to regenerate after a
+// deliberate event-schema or search-order change. A drift here means the
+// trace format or the serial search order changed — both are contracts.
+func TestGoldenTraceJSONL(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewWithClock(fakeClock(time.Millisecond), obs.NewJSONLSink(&buf))
+	res, err := tinyKnapsack().Solve(milp.SolveOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != milp.Optimal {
+		t.Fatalf("solve status = %v, want Optimal", res.Status)
+	}
+	if res.Obj != -5 { //lint:allow floateq — exact integral optimum of an integer model
+		t.Fatalf("objective = %v, want -5", res.Obj)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "golden.jsonl")
+	if *update {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden fixture (run `go test ./internal/obs -run Golden -update` to create it): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("trace drifted from golden fixture.\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+
+	// The stream must round-trip through encoding/json and contain the
+	// expected event mix.
+	events, err := obs.ReadJSONL(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden fixture does not round-trip: %v", err)
+	}
+	counts := map[obs.Kind]int{}
+	var lastSeq int64
+	for _, e := range events {
+		counts[e.Kind]++
+		if e.Seq <= lastSeq {
+			t.Errorf("Seq not strictly increasing: %d after %d", e.Seq, lastSeq)
+		}
+		lastSeq = e.Seq
+	}
+	for _, k := range []obs.Kind{obs.BBNode, obs.BBIncumbent, obs.BBBound, obs.LPSolve} {
+		if counts[k] == 0 {
+			t.Errorf("golden trace has no %s events; model no longer exercises the search", k)
+		}
+	}
+	if counts[obs.LPSolve] != counts[obs.BBNode] {
+		t.Errorf("lp.solve count %d != bb.node count %d; every evaluated node solves one LP",
+			counts[obs.LPSolve], counts[obs.BBNode])
+	}
+
+	// Incumbent trajectory in Result mirrors the bb.incumbent events.
+	if len(res.Incumbents) != counts[obs.BBIncumbent] {
+		t.Errorf("Result.Incumbents has %d entries, trace has %d bb.incumbent events",
+			len(res.Incumbents), counts[obs.BBIncumbent])
+	}
+	if n := len(res.Incumbents); n == 0 || res.Incumbents[n-1].Obj != -5 { //lint:allow floateq — exact integral optimum
+		t.Errorf("incumbent trajectory %+v does not end at the optimum", res.Incumbents)
+	}
+}
+
+// TestTraceDoesNotPerturbSolve pins the no-perturbation rule at the milp
+// level: the same model solved with and without a trace returns identical
+// results.
+func TestTraceDoesNotPerturbSolve(t *testing.T) {
+	plain, err := tinyKnapsack().Solve(milp.SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := obs.New(obs.NewJSONLSink(&bytes.Buffer{}))
+	traced, err := tinyKnapsack().Solve(milp.SolveOptions{Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != traced.Status || plain.Obj != traced.Obj || plain.Nodes != traced.Nodes { //lint:allow floateq — identical code paths must produce identical bits
+		t.Errorf("tracing perturbed the solve: plain {%v %v %d} vs traced {%v %v %d}",
+			plain.Status, plain.Obj, plain.Nodes, traced.Status, traced.Obj, traced.Nodes)
+	}
+	for i := range plain.X {
+		if plain.X[i] != traced.X[i] { //lint:allow floateq — identical code paths must produce identical bits
+			t.Errorf("solution vector differs at %d: %v vs %v", i, plain.X[i], traced.X[i])
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sync"
+)
+
+// histBounds is the shared decade ladder of every histogram: wide enough
+// for sub-microsecond task times and 10⁵-iteration simplex solves alike,
+// coarse enough that snapshots stay small. Values land in the first bucket
+// whose upper bound is ≥ the observation; larger values go to +Inf.
+var histBounds = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1,
+	1, 10, 100, 1e3, 1e4, 1e5, 1e6,
+}
+
+// hist is one histogram's state.
+type hist struct {
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets []int64 // len(histBounds)+1, last is the overflow bucket
+}
+
+// Metrics is a small counter/gauge/histogram/series registry. All methods
+// are safe for concurrent use and nil-safe (a nil *Metrics discards
+// updates), mirroring the nil-Trace convention.
+type Metrics struct {
+	mu       sync.Mutex
+	counters map[string]int64
+	gauges   map[string]float64
+	hists    map[string]*hist
+	series   map[string][]Point
+}
+
+// Point is one sample of a time series: T seconds since the trace epoch.
+type Point struct {
+	T float64 `json:"t"`
+	V float64 `json:"v"`
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[string]int64{},
+		gauges:   map[string]float64{},
+		hists:    map[string]*hist{},
+		series:   map[string][]Point{},
+	}
+}
+
+// Add increments counter name by delta.
+func (m *Metrics) Add(name string, delta int64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.counters[name] += delta
+	m.mu.Unlock()
+}
+
+// Set records gauge name's latest value.
+func (m *Metrics) Set(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.gauges[name] = v
+	m.mu.Unlock()
+}
+
+// SetMax records gauge name's running maximum.
+func (m *Metrics) SetMax(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if cur, ok := m.gauges[name]; !ok || v > cur {
+		m.gauges[name] = v
+	}
+	m.mu.Unlock()
+}
+
+// Observe adds one sample to histogram name.
+func (m *Metrics) Observe(name string, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	h := m.hists[name]
+	if h == nil {
+		h = &hist{min: math.Inf(1), max: math.Inf(-1), buckets: make([]int64, len(histBounds)+1)}
+		m.hists[name] = h
+	}
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	b := len(histBounds)
+	for i, ub := range histBounds {
+		if v <= ub {
+			b = i
+			break
+		}
+	}
+	h.buckets[b]++
+	m.mu.Unlock()
+}
+
+// Append adds one point to time series name.
+func (m *Metrics) Append(name string, t, v float64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.series[name] = append(m.series[name], Point{T: t, V: v})
+	m.mu.Unlock()
+}
+
+// HistSnapshot is the frozen view of one histogram. Bounds are the shared
+// bucket upper bounds; Buckets has one extra overflow cell.
+type HistSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Min     float64   `json:"min"`
+	Max     float64   `json:"max"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []int64   `json:"buckets"`
+}
+
+// Snapshot is a frozen, JSON-stable view of the registry: encoding/json
+// sorts map keys, so two snapshots of the same state marshal identically.
+type Snapshot struct {
+	Counters map[string]int64        `json:"counters"`
+	Gauges   map[string]float64      `json:"gauges"`
+	Hists    map[string]HistSnapshot `json:"histograms"`
+	Series   map[string][]Point      `json:"series"`
+}
+
+// Snapshot copies the current state. Nil-safe: a nil registry snapshots
+// empty.
+func (m *Metrics) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+		Hists:    map[string]HistSnapshot{},
+		Series:   map[string][]Point{},
+	}
+	if m == nil {
+		return s
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range m.counters {
+		s.Counters[k] = v
+	}
+	for k, v := range m.gauges {
+		s.Gauges[k] = v
+	}
+	for k, h := range m.hists {
+		s.Hists[k] = HistSnapshot{
+			Count:   h.count,
+			Sum:     h.sum,
+			Min:     h.min,
+			Max:     h.max,
+			Bounds:  histBounds,
+			Buckets: append([]int64(nil), h.buckets...),
+		}
+	}
+	for k, pts := range m.series {
+		s.Series[k] = append([]Point(nil), pts...)
+	}
+	return s
+}
+
+// WriteJSON writes the current snapshot as indented JSON.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.Snapshot())
+}

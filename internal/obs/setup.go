@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"io"
+	"os"
+)
+
+// CLISetup wires the standard command-line observability surface shared by
+// cmd/deploy and cmd/experiments: a trace writing PREFIX.jsonl (the raw
+// event stream) and PREFIX.trace.json (Chrome trace_event JSON for
+// Perfetto / chrome://tracing), an optional metrics snapshot file, and an
+// optional human progress ticker.
+type CLISetup struct {
+	// Trace is the configured trace, or nil when no sink was requested —
+	// passing it straight to the solvers then costs nothing.
+	Trace *Trace
+
+	metrics     *Metrics
+	metricsPath string
+}
+
+// NewCLISetup opens the requested sinks. An empty tracePrefix or
+// metricsPath and a nil progress writer each disable the corresponding
+// sink; when nothing is requested the returned setup carries a nil Trace.
+func NewCLISetup(tracePrefix, metricsPath string, progress io.Writer) (*CLISetup, error) {
+	s := &CLISetup{metricsPath: metricsPath}
+	var sinks []Sink
+	if tracePrefix != "" {
+		jf, err := os.Create(tracePrefix + ".jsonl")
+		if err != nil {
+			return nil, err
+		}
+		cf, err := os.Create(tracePrefix + ".trace.json")
+		if err != nil {
+			jf.Close() //lint:allow errdrop — already failing; nothing was written to jf
+			return nil, err
+		}
+		sinks = append(sinks, NewJSONLSink(jf), NewChromeSink(cf))
+	}
+	if metricsPath != "" {
+		s.metrics = NewMetrics()
+		sinks = append(sinks, NewMetricsSink(s.metrics))
+	}
+	if progress != nil {
+		sinks = append(sinks, NewProgressSink(progress, 0))
+	}
+	if len(sinks) > 0 {
+		s.Trace = New(sinks...)
+	}
+	return s, nil
+}
+
+// Close closes the trace (flushing every sink) and then writes the metrics
+// snapshot, so the snapshot reflects the complete event stream. The first
+// error wins.
+func (s *CLISetup) Close() error {
+	err := s.Trace.Close()
+	if s.metrics != nil && s.metricsPath != "" {
+		f, ferr := os.Create(s.metricsPath)
+		if ferr != nil {
+			if err == nil {
+				err = ferr
+			}
+			return err
+		}
+		if werr := s.metrics.WriteJSON(f); werr != nil && err == nil {
+			err = werr
+		}
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

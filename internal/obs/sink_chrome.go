@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome trace_event pids: solver events (branch & bound, heuristic
+// phases, whole solves) versus experiment-pool events, so Perfetto groups
+// them as two processes with one track per worker.
+const (
+	chromePidSolver = 1
+	chromePidPool   = 2
+)
+
+// chromeEvent is one entry of the trace_event JSON array format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds since trace epoch
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// ChromeSink renders events in the Chrome trace_event array format, for
+// chrome://tracing and https://ui.perfetto.dev. Duration pairs (pool
+// tasks, heuristic phases, whole solves) become B/E spans on the emitting
+// worker's track; incumbent and bound updates become counter tracks;
+// branch & bound nodes become thread-scoped instants, so a parallel solve
+// reads as a flame view with one row per worker. Close terminates the
+// array, making the file a complete, valid JSON document.
+type ChromeSink struct {
+	w     io.Writer
+	buf   *bufio.Writer
+	wrote bool
+	err   error
+}
+
+// NewChromeSink wraps w and emits process-name metadata immediately. The
+// destination is closed by Close when it implements io.Closer.
+func NewChromeSink(w io.Writer) *ChromeSink {
+	s := &ChromeSink{w: w, buf: bufio.NewWriter(w)}
+	_, s.err = s.buf.WriteString("[")
+	s.meta(chromePidSolver, "solver")
+	s.meta(chromePidPool, "experiment pool")
+	return s
+}
+
+func (s *ChromeSink) meta(pid int, name string) {
+	s.entry(chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Args: map[string]any{"name": name}})
+}
+
+func (s *ChromeSink) entry(ce chromeEvent) {
+	if s.err != nil {
+		return
+	}
+	data, err := json.Marshal(ce)
+	if err != nil {
+		s.err = err
+		return
+	}
+	if s.wrote {
+		if _, s.err = s.buf.WriteString(",\n"); s.err != nil {
+			return
+		}
+	}
+	s.wrote = true
+	_, s.err = s.buf.Write(data)
+}
+
+// Write translates one solver event into zero or more trace_event entries.
+func (s *ChromeSink) Write(e Event) {
+	ts := e.T * 1e6
+	switch e.Kind {
+	case SolveStart:
+		s.entry(chromeEvent{Name: e.Label, Cat: "solve", Ph: "B", Ts: ts, Pid: chromePidSolver, Tid: e.Worker})
+	case SolveDone:
+		s.entry(chromeEvent{Name: e.Label, Cat: "solve", Ph: "E", Ts: ts, Pid: chromePidSolver, Tid: e.Worker,
+			Args: map[string]any{"obj": e.Obj, "outcome": e.Phase}})
+	case HeurPhaseStart:
+		s.entry(chromeEvent{Name: e.Phase, Cat: "heur", Ph: "B", Ts: ts, Pid: chromePidSolver, Tid: e.Worker})
+	case HeurPhaseEnd:
+		s.entry(chromeEvent{Name: e.Phase, Cat: "heur", Ph: "E", Ts: ts, Pid: chromePidSolver, Tid: e.Worker})
+	case BBNode:
+		s.entry(chromeEvent{Name: "node", Cat: "bb", Ph: "i", Ts: ts, Pid: chromePidSolver, Tid: e.Worker, S: "t",
+			Args: map[string]any{"depth": e.Depth, "bound": e.Bound}})
+	case BBIncumbent:
+		s.entry(chromeEvent{Name: "incumbent", Ph: "C", Ts: ts, Pid: chromePidSolver, Tid: 0,
+			Args: map[string]any{"obj": e.Obj}})
+	case BBBound:
+		s.entry(chromeEvent{Name: "bound", Ph: "C", Ts: ts, Pid: chromePidSolver, Tid: 0,
+			Args: map[string]any{"bound": e.Bound}})
+	case PoolTaskStart:
+		s.entry(chromeEvent{Name: fmt.Sprintf("task %d", e.Node), Cat: "pool", Ph: "B", Ts: ts,
+			Pid: chromePidPool, Tid: e.Worker})
+	case PoolTaskDone:
+		args := map[string]any{}
+		if e.Phase != "" {
+			args["outcome"] = e.Phase
+		}
+		s.entry(chromeEvent{Name: fmt.Sprintf("task %d", e.Node), Cat: "pool", Ph: "E", Ts: ts,
+			Pid: chromePidPool, Tid: e.Worker, Args: args})
+	}
+	// BBPrune, LPSolve, anneal and repair events are deliberately not
+	// rendered: they are per-iteration noise at flame-view zoom and remain
+	// available in the JSONL trace.
+}
+
+// Close terminates the JSON array, flushes, and closes a closable
+// destination.
+func (s *ChromeSink) Close() error {
+	if s.err == nil {
+		_, s.err = s.buf.WriteString("]\n")
+	}
+	if err := s.buf.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// JSONLSink writes one JSON object per event, newline-delimited — the
+// archival trace format. Every line round-trips through encoding/json back
+// into an Event. Output is buffered; Close flushes and, when the
+// destination is an io.Closer, closes it.
+type JSONLSink struct {
+	w   io.Writer
+	buf *bufio.Writer
+	enc *json.Encoder
+	err error // first write error, surfaced by Close
+}
+
+// NewJSONLSink wraps w. The caller keeps ownership of w unless it
+// implements io.Closer, in which case Close closes it.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	buf := bufio.NewWriter(w)
+	return &JSONLSink{w: w, buf: buf, enc: json.NewEncoder(buf)}
+}
+
+// Write encodes e as one line. Errors are sticky and reported by Close so
+// emission sites stay error-free.
+func (s *JSONLSink) Write(e Event) {
+	if s.err != nil {
+		return
+	}
+	s.err = s.enc.Encode(e)
+}
+
+// Close flushes the buffer and closes the destination if it is closable.
+func (s *JSONLSink) Close() error {
+	flushErr := s.buf.Flush()
+	if s.err == nil {
+		s.err = flushErr
+	}
+	if c, ok := s.w.(io.Closer); ok {
+		if err := c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+	}
+	return s.err
+}
+
+// ReadJSONL decodes a JSONL trace back into events — the inverse of
+// JSONLSink, used by tests and analysis tooling.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for {
+		var e Event
+		if err := dec.Decode(&e); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+}

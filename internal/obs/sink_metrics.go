@@ -1,0 +1,96 @@
+package obs
+
+import "math"
+
+// MetricsSink aggregates the event stream into a Metrics registry — the
+// canonical solver metrics: node throughput, incumbent trajectory, bound
+// gap over time, simplex work, pool occupancy. It needs no locking of its
+// own: Write runs under the Trace mutex, and the registry's own mutex
+// covers concurrent Snapshot calls.
+type MetricsSink struct {
+	m *Metrics
+
+	active    int // running pool tasks
+	incumbent float64
+	bound     float64
+	haveInc   bool
+	haveBound bool
+}
+
+// NewMetricsSink aggregates into m (which the caller typically snapshots
+// after the run, or periodically during it).
+func NewMetricsSink(m *Metrics) *MetricsSink {
+	return &MetricsSink{m: m, incumbent: math.Inf(1), bound: math.Inf(-1)}
+}
+
+// Metrics returns the backing registry.
+func (s *MetricsSink) Metrics() *Metrics { return s.m }
+
+// Write folds one event into the registry.
+func (s *MetricsSink) Write(e Event) {
+	s.m.SetMax("trace.elapsed_seconds", e.T)
+	switch e.Kind {
+	case BBNode:
+		s.m.Add("bb.nodes", 1)
+		s.m.Observe("bb.node_depth", float64(e.Depth))
+	case BBIncumbent:
+		s.m.Add("bb.incumbents", 1)
+		s.m.Set("bb.incumbent", e.Obj)
+		s.m.Append("bb.incumbent", e.T, e.Obj)
+		s.incumbent, s.haveInc = e.Obj, true
+		s.gapPoint(e.T)
+	case BBBound:
+		s.m.Set("bb.bound", e.Bound)
+		s.m.Append("bb.bound", e.T, e.Bound)
+		s.bound, s.haveBound = e.Bound, true
+		s.gapPoint(e.T)
+	case BBPrune:
+		s.m.Add("bb.pruned", 1)
+	case LPSolve:
+		s.m.Add("lp.solves", 1)
+		s.m.Add("lp.iters", int64(e.Iters))
+		s.m.Add("lp.iters_phase1", int64(e.ItersP1))
+		s.m.Observe("lp.iters_per_solve", float64(e.Iters))
+	case HeurPhaseEnd:
+		s.m.Observe("heur.phase_seconds", e.Dur)
+	case HeurRepair:
+		s.m.Add("heur.repair_rounds", 1)
+	case AnnealAccept:
+		s.m.Add("anneal.accepted", 1)
+	case AnnealReject:
+		s.m.Add("anneal.rejected", 1)
+	case PoolTaskStart:
+		s.m.Add("pool.tasks", 1)
+		s.active++
+		s.m.Set("pool.active", float64(s.active))
+		s.m.SetMax("pool.active_max", float64(s.active))
+	case PoolTaskDone:
+		s.active--
+		s.m.Set("pool.active", float64(s.active))
+		s.m.Observe("pool.task_seconds", e.Dur)
+		if e.Phase == "error" {
+			s.m.Add("pool.errors", 1)
+		}
+	}
+}
+
+// gapPoint appends the relative optimality gap whenever both sides are
+// known (matching milp.Result.Gap's definition).
+func (s *MetricsSink) gapPoint(t float64) {
+	if !s.haveInc || !s.haveBound {
+		return
+	}
+	denom := math.Abs(s.incumbent)
+	if denom < 1e-12 {
+		denom = 1e-12
+	}
+	gap := (s.incumbent - s.bound) / denom
+	if gap < 0 {
+		gap = 0
+	}
+	s.m.Set("bb.gap", gap)
+	s.m.Append("bb.gap", t, gap)
+}
+
+// Close is a no-op; the registry outlives the trace.
+func (s *MetricsSink) Close() error { return nil }

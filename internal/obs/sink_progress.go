@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// ProgressSink is the human ticker behind `deploy -progress`: a throttled
+// one-line-per-update view of the solve on a terminal. It prints
+// immediately on milestones (incumbent improvements, heuristic phase
+// starts, solve begin/end) and at most once per interval otherwise,
+// throttled by event time so a fake-clock trace renders deterministically.
+type ProgressSink struct {
+	w        io.Writer
+	interval float64 // seconds of event time between periodic lines
+
+	nodes     int
+	incumbent float64
+	bound     float64
+	lastPrint float64
+	err       error
+}
+
+// NewProgressSink writes progress lines to w (conventionally os.Stderr,
+// passed in by the command — library code never touches the process
+// streams itself). interval ≤ 0 defaults to 500ms.
+func NewProgressSink(w io.Writer, interval time.Duration) *ProgressSink {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &ProgressSink{
+		w:         w,
+		interval:  interval.Seconds(),
+		incumbent: math.Inf(1),
+		bound:     math.Inf(-1),
+		lastPrint: math.Inf(-1),
+	}
+}
+
+func (s *ProgressSink) printf(format string, args ...any) {
+	if s.err != nil {
+		return
+	}
+	_, s.err = fmt.Fprintf(s.w, format, args...)
+}
+
+func (s *ProgressSink) line(t float64) {
+	s.lastPrint = t
+	inc, gap := "-", "-"
+	if !math.IsInf(s.incumbent, 1) {
+		inc = fmt.Sprintf("%.6g", s.incumbent)
+		if !math.IsInf(s.bound, -1) {
+			denom := math.Max(math.Abs(s.incumbent), 1e-12)
+			gap = fmt.Sprintf("%.1f%%", 100*math.Max(0, (s.incumbent-s.bound)/denom))
+		}
+	}
+	s.printf("progress: t=%.2fs nodes=%d incumbent=%s gap=%s\n", t, s.nodes, inc, gap)
+}
+
+// Write updates the tracked state and decides whether a line is due.
+func (s *ProgressSink) Write(e Event) {
+	switch e.Kind {
+	case SolveStart:
+		s.printf("progress: %s started\n", e.Label)
+		s.lastPrint = e.T
+		return
+	case SolveDone:
+		s.printf("progress: %s done (%s) obj=%.6g t=%.2fs\n", e.Label, e.Phase, e.Obj, e.T)
+		s.lastPrint = e.T
+		return
+	case HeurPhaseStart:
+		s.printf("progress: phase %s t=%.2fs\n", e.Phase, e.T)
+		s.lastPrint = e.T
+		return
+	case BBNode:
+		s.nodes = e.Node
+	case BBIncumbent:
+		s.incumbent = e.Obj
+		s.line(e.T)
+		return
+	case BBBound:
+		s.bound = e.Bound
+	default:
+		return
+	}
+	if e.T-s.lastPrint >= s.interval {
+		s.line(e.T)
+	}
+}
+
+// Close prints a final summary line.
+func (s *ProgressSink) Close() error {
+	if s.nodes > 0 {
+		s.line(math.Max(s.lastPrint, 0))
+	}
+	return s.err
+}

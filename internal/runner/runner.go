@@ -26,6 +26,9 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"nocdeploy/internal/obs"
 )
 
 // PanicError wraps a panic recovered from a work item.
@@ -60,6 +63,15 @@ func Workers(n int) int {
 // parent context is canceled before all items complete and no item
 // failed, Map returns ctx.Err().
 func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapTraced[T](ctx, workers, n, nil, fn)
+}
+
+// MapTraced is Map with pool telemetry: when tr is non-nil, each work item
+// emits an obs.PoolTaskStart/obs.PoolTaskDone pair carrying the item index,
+// the 1-based worker id and the item's wall-clock duration. Tracing is
+// observability only — dispatch order, results and error selection are
+// identical to Map.
+func MapTraced[T any](ctx context.Context, workers, n int, tr *obs.Trace, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -88,7 +100,7 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if failed.Load() || ctx.Err() != nil {
@@ -98,13 +110,26 @@ func Map[T any](ctx context.Context, workers, n int, fn func(ctx context.Context
 				if i >= n {
 					return
 				}
-				if err := runOne(i); err != nil {
+				var itemStart time.Time
+				if tr.Enabled() {
+					itemStart = time.Now()
+					tr.Emit(obs.Event{Kind: obs.PoolTaskStart, Node: i, Worker: worker})
+				}
+				err := runOne(i)
+				if tr.Enabled() {
+					e := obs.Event{Kind: obs.PoolTaskDone, Node: i, Worker: worker, Dur: time.Since(itemStart).Seconds()}
+					if err != nil {
+						e.Phase = "error"
+					}
+					tr.Emit(e)
+				}
+				if err != nil {
 					errs[i] = err
 					failed.Store(true)
 					cancel() // wake in-flight siblings
 				}
 			}
-		}()
+		}(w + 1)
 	}
 	wg.Wait()
 

@@ -237,7 +237,7 @@ func WriteJSON(path string, v interface{}) error {
 	}
 	data = append(data, '\n')
 	if path == "-" || path == "" {
-		_, err = os.Stdout.Write(data)
+		_, err = os.Stdout.Write(data) //lint:allow rawlog — "-" means stdout by CLI contract
 		return err
 	}
 	return os.WriteFile(path, data, 0o644)
