@@ -5,17 +5,22 @@
 //
 //	deploy -in instance.json [-method heuristic|optimal] [-objective be|me]
 //	       [-single] [-timeout 30s] [-workers 1] [-seed 1] [-out deployment.json]
-//	       [-trace PREFIX] [-progress] [-metrics-out FILE] [-pprof FILE]
+//	       [-cache-dir DIR] [-trace PREFIX] [-progress] [-metrics-out FILE]
+//	       [-pprof FILE]
 //
 // The instance format is documented in internal/spec; cmd/taskgen
-// generates compatible instances. -trace writes the solver event stream to
-// PREFIX.jsonl and a Chrome trace_event view to PREFIX.trace.json (open in
-// Perfetto or chrome://tracing); -progress prints a live ticker on stderr
-// (-q wins: a quiet run never prints progress); tracing never changes the
-// computed deployment.
+// generates compatible instances. -cache-dir keeps solved deployments in a
+// content-addressed directory cache (keyed by the canonical instance hash
+// plus the solver options), so repeated invocations on the same input are
+// near-instant; the summary reports cache: hit|miss. -trace writes the
+// solver event stream to PREFIX.jsonl and a Chrome trace_event view to
+// PREFIX.trace.json (open in Perfetto or chrome://tracing); -progress
+// prints a live ticker on stderr (-q wins: a quiet run never prints
+// progress); tracing never changes the computed deployment.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +29,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"nocdeploy/internal/cache"
 	"nocdeploy/internal/core"
 	"nocdeploy/internal/obs"
 	"nocdeploy/internal/render"
@@ -43,6 +49,7 @@ func main() {
 		timeout    = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
 		workers    = flag.Int("workers", 1, "parallel branch & bound workers for -method optimal (0/1 = serial, -1 = all cores)")
 		seed       = flag.Int64("seed", 1, "heuristic tie-break seed")
+		cacheDir   = flag.String("cache-dir", "", "cache solved deployments in this directory (repeat runs are near-instant)")
 		quiet      = flag.Bool("q", false, "suppress the metrics summary (and -progress) on stderr")
 		gantt      = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
 		simulate   = flag.Int("simulate", 0, "run N fault-injection trials and report survival rates")
@@ -97,33 +104,79 @@ func main() {
 		log.Fatalf("unknown objective %q (want be or me)", *objective)
 	}
 
-	var d *core.Deployment
-	var info *core.SolveInfo
-	switch *method {
-	case "heuristic":
-		d, info, err = core.Heuristic(sys, opts, *seed)
-	case "repair":
-		d, info, err = core.HeuristicWithRepair(sys, opts, *seed, 0)
-	case "anneal":
-		d, info, err = core.Anneal(sys, opts, core.AnnealOptions{Seed: *seed})
-	case "optimal":
-		// Warm-start branch & bound from the heuristic when it is feasible.
-		var hd *core.Deployment
-		var hinfo *core.SolveInfo
-		hd, hinfo, err = core.Heuristic(sys, opts, *seed)
+	// The directory cache is keyed by the canonical instance hash plus every
+	// option that changes the answer; -timeout and -workers matter only to
+	// the exact solver (a limit-hit solve depends on both), so the other
+	// methods ignore them and stay cacheable across budget tweaks.
+	var store *cache.DirStore
+	var key string
+	cacheState := ""
+	if *cacheDir != "" {
+		store, err = cache.NewDirStore(*cacheDir)
 		if err != nil {
 			log.Fatal(err)
 		}
-		oo := core.OptimalOptions{TimeLimit: *timeout, RelGap: 0.01, Workers: *workers}
-		if hinfo.Feasible {
-			oo.WarmDeployment = hd
+		h, herr := inst.CanonicalHash()
+		if herr != nil {
+			log.Fatal(herr)
 		}
-		d, info, err = core.Optimal(sys, opts, oo)
-	default:
-		log.Fatalf("unknown method %q (want heuristic or optimal)", *method)
+		key = fmt.Sprintf("%s|method=%s|obj=%s|single=%v|seed=%d", h, *method, *objective, *single, *seed)
+		if *method == "optimal" {
+			key += fmt.Sprintf("|timeout=%s|workers=%d", *timeout, *workers)
+		}
 	}
-	if err != nil {
-		log.Fatal(err)
+
+	var d *core.Deployment
+	var info *core.SolveInfo
+	if store != nil {
+		data, ok, gerr := store.Get(key)
+		if gerr != nil {
+			log.Fatal(gerr)
+		}
+		if ok {
+			var dep spec.Deployment
+			// An undecodable or no-longer-valid entry (e.g. a stale file from
+			// an older format) silently falls through to a fresh solve.
+			if json.Unmarshal(data, &dep) == nil {
+				cand := dep.ToDeployment()
+				if _, verr := core.Validate(sys, cand); verr == nil {
+					d = cand
+					info = &core.SolveInfo{Feasible: dep.Feasible, Objective: dep.Objective}
+					cacheState = "hit"
+				}
+			}
+		}
+		if cacheState == "" {
+			cacheState = "miss"
+		}
+	}
+	if d == nil {
+		switch *method {
+		case "heuristic":
+			d, info, err = core.Heuristic(sys, opts, *seed)
+		case "repair":
+			d, info, err = core.HeuristicWithRepair(sys, opts, *seed, 0)
+		case "anneal":
+			d, info, err = core.Anneal(sys, opts, core.AnnealOptions{Seed: *seed})
+		case "optimal":
+			// Warm-start branch & bound from the heuristic when it is feasible.
+			var hd *core.Deployment
+			var hinfo *core.SolveInfo
+			hd, hinfo, err = core.Heuristic(sys, opts, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			oo := core.OptimalOptions{TimeLimit: *timeout, RelGap: 0.01, Workers: *workers}
+			if hinfo.Feasible {
+				oo.WarmDeployment = hd
+			}
+			d, info, err = core.Optimal(sys, opts, oo)
+		default:
+			log.Fatalf("unknown method %q (want heuristic or optimal)", *method)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	if d == nil {
 		log.Fatal("no deployment found (infeasible or solver limits hit)")
@@ -132,8 +185,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	if store != nil && cacheState == "miss" && info.Feasible {
+		// Only feasible deployments are worth replaying; infeasible runs are
+		// cheap to repeat and their exit code must come from a live solve.
+		data, merr := json.Marshal(spec.FromDeployment(d, m, info))
+		if merr == nil {
+			merr = store.Put(key, data)
+		}
+		if merr != nil {
+			log.Printf("cache-dir: %v", merr)
+		}
+	}
 	if !*quiet {
-		printSummary(sys, d, m, info)
+		printSummary(sys, d, m, info, cacheState)
 	}
 	if *gantt {
 		fmt.Fprintln(os.Stderr)
@@ -161,8 +225,11 @@ func main() {
 	}
 }
 
-func printSummary(sys *core.System, d *core.Deployment, m *core.Metrics, info *core.SolveInfo) {
+func printSummary(sys *core.System, d *core.Deployment, m *core.Metrics, info *core.SolveInfo, cacheState string) {
 	w := os.Stderr
+	if cacheState != "" {
+		fmt.Fprintf(w, "cache:          %s\n", cacheState)
+	}
 	fmt.Fprintf(w, "feasible:       %v\n", info.Feasible)
 	fmt.Fprintf(w, "objective:      %.6g J\n", info.Objective)
 	fmt.Fprintf(w, "max energy:     %.6g J\n", m.MaxEnergy)

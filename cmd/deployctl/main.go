@@ -1,0 +1,317 @@
+// Command deployctl is the client for nocdeployd (see internal/service).
+//
+// Usage:
+//
+//	deployctl [-server URL] solve  [-in FILE] [-solver S] [-objective O]
+//	                               [-seed N] [-timeout D] [-async] [-check]
+//	                               [-out FILE]
+//	deployctl [-server URL] job    ID
+//	deployctl [-server URL] health
+//	deployctl [-server URL] metrics
+//	deployctl [-server URL] load   [-in FILE] [-n N] [-c N] [-solver S]
+//	                               [-timeout D] [-spread]
+//
+// solve posts an instance and writes the returned deployment; -check
+// rebuilds the instance locally and validates the deployment against it,
+// exiting non-zero on mismatch. load is a small generator: n requests at
+// concurrency c, reporting status/cache-outcome counts and latency
+// percentiles; -spread gives every request a distinct seed so nothing
+// coalesces (the default hammers one cache key).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/runner"
+	"nocdeploy/internal/spec"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("deployctl: ")
+	server := flag.String("server", "http://127.0.0.1:7077", "nocdeployd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		log.Fatal("missing subcommand: solve, job, health, metrics or load")
+	}
+	c := &client{base: *server}
+	var err error
+	switch args[0] {
+	case "solve":
+		err = cmdSolve(c, args[1:])
+	case "job":
+		err = cmdJob(c, args[1:])
+	case "health":
+		err = cmdGet(c, "/healthz")
+	case "metrics":
+		err = cmdGet(c, "/metrics")
+	case "load":
+		err = cmdLoad(c, args[1:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", args[0])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+type client struct {
+	base string
+}
+
+func (c *client) post(path string, q url.Values, body []byte, timeout time.Duration) (*http.Response, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		// Allow generous slack over the server-side solve budget.
+		ctx, cancel = context.WithTimeout(ctx, timeout+time.Minute)
+		defer cancel()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return http.DefaultClient.Do(req)
+}
+
+func (c *client) get(path string) (*http.Response, error) {
+	return http.Get(c.base + path)
+}
+
+func drainBody(resp *http.Response) ([]byte, error) {
+	b, err := io.ReadAll(resp.Body)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return b, err
+}
+
+func solveQuery(solver, objective string, seed int64, timeout time.Duration) url.Values {
+	q := url.Values{}
+	if solver != "" {
+		q.Set("solver", solver)
+	}
+	if objective != "" {
+		q.Set("objective", objective)
+	}
+	if seed != 0 {
+		q.Set("seed", strconv.FormatInt(seed, 10))
+	}
+	if timeout > 0 {
+		q.Set("timeout", timeout.String())
+	}
+	return q
+}
+
+func cmdSolve(c *client, args []string) error {
+	fs := flag.NewFlagSet("solve", flag.ExitOnError)
+	in := fs.String("in", "-", "instance JSON file (- for stdin)")
+	out := fs.String("out", "-", "deployment JSON output (- for stdout)")
+	solver := fs.String("solver", "heuristic", "solver: heuristic, repair, anneal or optimal")
+	objective := fs.String("objective", "", "objective: be (default) or me")
+	seed := fs.Int64("seed", 0, "solver tie-break seed")
+	timeout := fs.Duration("timeout", 0, "per-request solve budget")
+	async := fs.Bool("async", false, "submit as an async job and print the job id")
+	check := fs.Bool("check", false, "rebuild the instance locally and validate the deployment")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := spec.ReadInstance(*in)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	q := solveQuery(*solver, *objective, *seed, *timeout)
+	if *async {
+		q.Set("mode", "async")
+	}
+	resp, err := c.post("/v1/solve", q, body, *timeout)
+	if err != nil {
+		return err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return err
+	}
+	if *async {
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("server: %s: %s", resp.Status, got)
+		}
+		_, err := os.Stdout.Write(got)
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	fmt.Fprintf(os.Stderr, "request:   %s\n", resp.Header.Get("X-Request-ID"))
+	fmt.Fprintf(os.Stderr, "cache:     %s\n", resp.Header.Get("X-Cache"))
+	fmt.Fprintf(os.Stderr, "solver:    %s\n", resp.Header.Get("X-Solver"))
+	fmt.Fprintf(os.Stderr, "feasible:  %s\n", resp.Header.Get("X-Solve-Feasible"))
+	fmt.Fprintf(os.Stderr, "cancelled: %s\n", resp.Header.Get("X-Solve-Cancelled"))
+	var dep spec.Deployment
+	if err := json.Unmarshal(got, &dep); err != nil {
+		return fmt.Errorf("decoding deployment: %w", err)
+	}
+	if *check {
+		sys, err := inst.Build()
+		if err != nil {
+			return err
+		}
+		if _, err := core.Validate(sys, dep.ToDeployment()); err != nil {
+			return fmt.Errorf("validation failed: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "check:     deployment validates against the instance")
+	}
+	return spec.WriteJSON(*out, dep)
+}
+
+func cmdJob(c *client, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: deployctl job ID")
+	}
+	return cmdGet(c, "/v1/jobs/"+url.PathEscape(args[0]))
+}
+
+func cmdGet(c *client, path string) error {
+	resp, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	_, err = os.Stdout.Write(got)
+	return err
+}
+
+func cmdLoad(c *client, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	in := fs.String("in", "-", "instance JSON file (- for stdin)")
+	n := fs.Int("n", 100, "total requests")
+	conc := fs.Int("c", 8, "concurrent requests")
+	solver := fs.String("solver", "heuristic", "solver to request")
+	objective := fs.String("objective", "", "objective: be (default) or me")
+	timeout := fs.Duration("timeout", 0, "per-request solve budget")
+	spread := fs.Bool("spread", false, "distinct seed per request (defeats coalescing)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := spec.ReadInstance(*in)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	type sample struct {
+		status  int
+		outcome string
+		latency time.Duration
+	}
+	start := time.Now()
+	samples, err := runner.Map(context.Background(), *conc, *n, func(ctx context.Context, i int) (sample, error) {
+		seed := int64(0)
+		if *spread {
+			seed = int64(i + 1)
+		}
+		t0 := time.Now()
+		resp, err := c.post("/v1/solve", solveQuery(*solver, *objective, seed, *timeout), body, *timeout)
+		if err != nil {
+			return sample{}, err
+		}
+		if _, err := drainBody(resp); err != nil {
+			return sample{}, err
+		}
+		return sample{
+			status:  resp.StatusCode,
+			outcome: resp.Header.Get("X-Cache"),
+			latency: time.Since(t0),
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	statuses := map[int]int{}
+	outcomes := map[string]int{}
+	lats := make([]time.Duration, 0, len(samples))
+	for _, s := range samples {
+		statuses[s.status]++
+		if s.outcome != "" {
+			outcomes[s.outcome]++
+		}
+		lats = append(lats, s.latency)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(q*float64(len(lats)-1))]
+	}
+	fmt.Printf("requests:  %d in %v (%.1f req/s, concurrency %d)\n",
+		len(samples), wall.Round(time.Millisecond), float64(len(samples))/wall.Seconds(), *conc)
+	fmt.Printf("status:    ")
+	printCounts(statuses)
+	fmt.Printf("cache:     ")
+	printStrCounts(outcomes)
+	fmt.Printf("latency:   min %v  p50 %v  p90 %v  max %v\n",
+		pct(0).Round(time.Microsecond), pct(0.5).Round(time.Microsecond),
+		pct(0.9).Round(time.Microsecond), pct(1).Round(time.Microsecond))
+	if statuses[http.StatusOK] != len(samples) {
+		return fmt.Errorf("%d of %d requests did not return 200", len(samples)-statuses[http.StatusOK], len(samples))
+	}
+	return nil
+}
+
+func printCounts(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		fmt.Printf("%d×%d  ", k, m[k])
+	}
+	fmt.Println()
+}
+
+func printStrCounts(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%s×%d  ", k, m[k])
+	}
+	fmt.Println()
+}

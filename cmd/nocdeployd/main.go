@@ -1,0 +1,95 @@
+// Command nocdeployd runs the deployment service: an HTTP daemon exposing
+// the solver stack behind a bounded job queue and a content-addressed
+// solution cache (see internal/service).
+//
+// Usage:
+//
+//	nocdeployd [-addr HOST:PORT] [-addr-file FILE] [-workers N] [-queue N]
+//	           [-cache-size N] [-max-jobs N] [-default-timeout D]
+//	           [-max-timeout D] [-drain-grace D]
+//
+// The daemon answers POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and
+// GET /metrics; cmd/deployctl is the matching client. On SIGTERM/SIGINT it
+// stops accepting work, drains in-flight requests and queued solves, and
+// exits 0 — orchestrators can treat a non-zero exit as a failed drain.
+// -addr-file writes the actually-bound address (useful with ":0" for tests
+// and CI smoke runs).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nocdeploy/internal/obs"
+	"nocdeploy/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("nocdeployd: ")
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers    = flag.Int("workers", 0, "solver pool workers (0 = all cores)")
+		queue      = flag.Int("queue", 64, "queued solves before requests are rejected with 429")
+		cacheSize  = flag.Int("cache-size", 256, "solution cache entries (LRU)")
+		maxJobs    = flag.Int("max-jobs", 256, "live async jobs before 429")
+		defTimeout = flag.Duration("default-timeout", 0, "solve budget for requests without an explicit timeout (0 = none)")
+		maxTimeout = flag.Duration("max-timeout", time.Hour, "clamp on per-request timeouts")
+		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown grace for in-flight HTTP requests")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheSize:      *cacheSize,
+		MaxJobs:        *maxJobs,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Metrics:        obs.NewMetrics(),
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("listening on http://%s", bound)
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err) // Serve never returns nil before Shutdown
+	case <-ctx.Done():
+	}
+	log.Print("shutting down: draining in-flight requests and queued solves")
+	shCtx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Fatalf("http shutdown: %v", err)
+	}
+	svc.Close() // runs every admitted solve and async job to completion
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Print("drained cleanly")
+}

@@ -1,0 +1,195 @@
+// Package cache provides a content-addressed in-memory LRU cache with
+// singleflight coalescing, plus a directory-backed byte store for
+// cross-process reuse. The deployment service keys both by the canonical
+// hash of (instance, solver options) — see spec.Instance.CanonicalHash —
+// so identical requests share one solve and then one cached solution.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// Outcome classifies what Acquire found for a key.
+type Outcome int
+
+const (
+	// Hit: the value was cached; Acquire returned it directly.
+	Hit Outcome = iota
+	// Miss: nothing cached or in flight. The caller is the flight leader
+	// and must call Finish exactly once with the computed value.
+	Miss
+	// Coalesced: another caller is already computing this key. Wait on the
+	// returned Flight for the leader's result.
+	Coalesced
+)
+
+// String names the outcome the way the service reports it in headers and
+// metrics.
+func (o Outcome) String() string {
+	switch o {
+	case Hit:
+		return "hit"
+	case Miss:
+		return "miss"
+	case Coalesced:
+		return "coalesced"
+	}
+	return "unknown"
+}
+
+// Flight is one in-progress computation of a key's value. The leader (the
+// Acquire caller that got Miss) resolves it with Cache.Finish; every
+// coalesced caller observes the same result via Wait.
+type Flight[V any] struct {
+	key  string
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// Wait blocks until the flight leader calls Finish or ctx is done,
+// whichever comes first. A context abort returns ctx.Err(); the flight
+// itself keeps flying for the remaining waiters.
+func (f *Flight[V]) Wait(ctx context.Context) (V, error) {
+	select {
+	case <-f.done:
+		return f.val, f.err
+	case <-ctx.Done():
+		var zero V
+		return zero, ctx.Err()
+	}
+}
+
+// Stats is a snapshot of cache accounting. Hits, Misses and Coalesced
+// partition Acquire calls; Evictions counts LRU removals.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Coalesced int64
+	Evictions int64
+	Entries   int
+}
+
+// HitRatio is the fraction of Acquire calls answered without a new
+// computation (hits plus coalesced waiters). Zero when nothing was asked.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses + s.Coalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits+s.Coalesced) / float64(total)
+}
+
+type entry[V any] struct {
+	key string
+	val V
+}
+
+// Cache is a bounded LRU map with singleflight coalescing. All methods are
+// safe for concurrent use.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	flights  map[string]*Flight[V]
+	stats    Stats
+}
+
+// New returns a cache holding at most capacity entries (at least one).
+func New[V any](capacity int) *Cache[V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		entries:  map[string]*list.Element{},
+		order:    list.New(),
+		flights:  map[string]*Flight[V]{},
+	}
+}
+
+// Acquire looks up key and returns one of three shapes:
+//
+//   - (value, nil, Hit): the cached value.
+//   - (zero, flight, Miss): the caller is the leader and MUST call Finish
+//     on the flight exactly once, or every coalesced waiter blocks forever.
+//   - (zero, flight, Coalesced): someone else is computing; Wait on it.
+func (c *Cache[V]) Acquire(key string) (V, *Flight[V], Outcome) {
+	var zero V
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return el.Value.(*entry[V]).val, nil, Hit
+	}
+	if f, ok := c.flights[key]; ok {
+		c.stats.Coalesced++
+		return zero, f, Coalesced
+	}
+	c.stats.Misses++
+	f := &Flight[V]{key: key, done: make(chan struct{})}
+	c.flights[key] = f
+	return zero, f, Miss
+}
+
+// Finish resolves a flight obtained from a Miss. The value is stored in
+// the LRU only when err is nil and store is true — callers pass store=false
+// for results that must not be reused (e.g. deadline-truncated solves).
+// Finish must be called exactly once per Miss flight.
+func (c *Cache[V]) Finish(f *Flight[V], v V, err error, store bool) {
+	c.mu.Lock()
+	delete(c.flights, f.key)
+	if err == nil && store {
+		c.put(f.key, v)
+	}
+	c.mu.Unlock()
+	f.val, f.err = v, err
+	close(f.done)
+}
+
+// Do is the common Acquire/Finish wrapping: hit returns the cached value,
+// miss runs fn and caches its value (errors are never cached), coalesced
+// waits for the leader under ctx.
+func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (V, Outcome, error) {
+	v, f, out := c.Acquire(key)
+	switch out {
+	case Hit:
+		return v, Hit, nil
+	case Coalesced:
+		v, err := f.Wait(ctx)
+		return v, Coalesced, err
+	}
+	v, err := fn()
+	c.Finish(f, v, err, err == nil)
+	return v, Miss, err
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.order.Len()
+	return s
+}
+
+// put inserts or refreshes key under c.mu.
+func (c *Cache[V]) put(key string, v V) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*entry[V]).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&entry[V]{key: key, val: v})
+	for c.order.Len() > c.capacity {
+		back := c.order.Back()
+		e := back.Value.(*entry[V])
+		delete(c.entries, e.key)
+		c.order.Remove(back)
+		c.stats.Evictions++
+	}
+}

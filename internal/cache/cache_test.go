@@ -1,0 +1,207 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestHitMissAccounting(t *testing.T) {
+	c := New[int](4)
+	_, leader, out := c.Acquire("a")
+	if out != Miss {
+		t.Fatalf("first acquire: %v, want miss", out)
+	}
+	if _, _, out := c.Acquire("a"); out != Coalesced {
+		t.Fatalf("acquire during flight: %v, want coalesced", out)
+	}
+	c.Finish(leader, 1, nil, true)
+	if v, _, out := c.Acquire("a"); out != Hit || v != 1 {
+		t.Fatalf("acquire after finish: %v v=%d, want hit v=1", out, v)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Coalesced != 1 || s.Hits != 1 {
+		t.Fatalf("stats %+v, want 1 miss / 1 coalesced / 1 hit", s)
+	}
+}
+
+func TestDoCachesValues(t *testing.T) {
+	c := New[string](4)
+	calls := 0
+	fn := func() (string, error) { calls++; return "v", nil }
+	v, out, err := c.Do(context.Background(), "k", fn)
+	if err != nil || v != "v" || out != Miss {
+		t.Fatalf("first Do: %q %v %v", v, out, err)
+	}
+	v, out, err = c.Do(context.Background(), "k", fn)
+	if err != nil || v != "v" || out != Hit {
+		t.Fatalf("second Do: %q %v %v", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1", calls)
+	}
+	if r := c.Stats().HitRatio(); r < 0.49 || r > 0.51 {
+		t.Fatalf("hit ratio %g, want 0.5", r)
+	}
+}
+
+func TestErrorsNotCached(t *testing.T) {
+	c := New[int](4)
+	boom := errors.New("boom")
+	if _, _, err := c.Do(context.Background(), "k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	v, out, err := c.Do(context.Background(), "k", func() (int, error) { return 7, nil })
+	if err != nil || out != Miss || v != 7 {
+		t.Fatalf("after error: %d %v %v, want fresh miss", v, out, err)
+	}
+	if s := c.Stats(); s.Entries != 1 {
+		t.Fatalf("entries %d, want 1 (error result must not be stored)", s.Entries)
+	}
+}
+
+func TestFinishNoStore(t *testing.T) {
+	c := New[int](4)
+	_, f, out := c.Acquire("k")
+	if out != Miss {
+		t.Fatalf("acquire: %v", out)
+	}
+	c.Finish(f, 42, nil, false) // e.g. a cancelled solve: deliver but don't cache
+	if v, err := f.Wait(context.Background()); err != nil || v != 42 {
+		t.Fatalf("wait: %d %v", v, err)
+	}
+	if _, _, out := c.Acquire("k"); out != Miss {
+		t.Fatalf("unstored result was cached: %v", out)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New[int](2)
+	put := func(k string, v int) {
+		t.Helper()
+		_, f, out := c.Acquire(k)
+		if out != Miss {
+			t.Fatalf("acquire %q: %v", k, out)
+		}
+		c.Finish(f, v, nil, true)
+	}
+	put("a", 1)
+	put("b", 2)
+	// Touch "a" so "b" is the LRU victim.
+	if _, _, out := c.Acquire("a"); out != Hit {
+		t.Fatalf("a not cached: %v", out)
+	}
+	put("c", 3)
+	if _, _, out := c.Acquire("b"); out != Miss {
+		t.Fatal("lru victim b survived eviction")
+	}
+	if v, _, out := c.Acquire("a"); out != Hit || v != 1 {
+		t.Fatalf("recently-used a evicted (out %v, v %d)", out, v)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 {
+		t.Fatalf("evictions %d, want 1", s.Evictions)
+	}
+	if s.Entries != 2 {
+		t.Fatalf("entries %d, want 2", s.Entries)
+	}
+}
+
+// TestConcurrentCoalescing is the contract the service's e2e test builds
+// on: M concurrent identical requests run the underlying computation
+// exactly once. Run under -race in CI.
+func TestConcurrentCoalescing(t *testing.T) {
+	c := New[int](4)
+	const m = 64
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	results := make([]int, m)
+	errs := make([]error, m)
+	for i := 0; i < m; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), "k", func() (int, error) {
+				calls.Add(1)
+				time.Sleep(10 * time.Millisecond) // hold the flight open so peers coalesce
+				return 99, nil
+			})
+			results[i], errs[i] = v, err
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("computation ran %d times for %d concurrent requests, want 1", n, m)
+	}
+	for i := 0; i < m; i++ {
+		if errs[i] != nil || results[i] != 99 {
+			t.Fatalf("request %d: v=%d err=%v", i, results[i], errs[i])
+		}
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Hits+s.Coalesced != m-1 {
+		t.Fatalf("stats %+v: want 1 miss and %d hits+coalesced", s, m-1)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	c := New[int](4)
+	_, leader, out := c.Acquire("k")
+	if out != Miss {
+		t.Fatalf("acquire: %v", out)
+	}
+	_, follower, out := c.Acquire("k")
+	if out != Coalesced {
+		t.Fatalf("second acquire: %v", out)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := follower.Wait(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("wait on cancelled ctx: %v", err)
+	}
+	// The flight survives an abandoned waiter.
+	c.Finish(leader, 5, nil, true)
+	if v, err := follower.Wait(context.Background()); err != nil || v != 5 {
+		t.Fatalf("wait after finish: %d %v", v, err)
+	}
+}
+
+func TestDirStoreRoundTrip(t *testing.T) {
+	s, err := NewDirStore(t.TempDir() + "/nested/cache")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := s.Get("missing"); err != nil || ok {
+		t.Fatalf("missing key: ok=%v err=%v", ok, err)
+	}
+	if err := s.Put("k/with:odd chars", []byte(`{"x":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	b, ok, err := s.Get("k/with:odd chars")
+	if err != nil || !ok || string(b) != `{"x":1}` {
+		t.Fatalf("get: %q ok=%v err=%v", b, ok, err)
+	}
+	// Overwrite replaces.
+	if err := s.Put("k/with:odd chars", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if b, _, _ := s.Get("k/with:odd chars"); string(b) != "2" {
+		t.Fatalf("overwrite: %q", b)
+	}
+	// Distinct keys don't collide.
+	for i := 0; i < 8; i++ {
+		if err := s.Put(fmt.Sprintf("key-%d", i), []byte{byte('0' + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		b, ok, err := s.Get(fmt.Sprintf("key-%d", i))
+		if err != nil || !ok || b[0] != byte('0'+i) {
+			t.Fatalf("key-%d: %q ok=%v err=%v", i, b, ok, err)
+		}
+	}
+}

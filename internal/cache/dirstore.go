@@ -1,0 +1,71 @@
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// DirStore is a content-addressed byte store on disk: one file per key,
+// named by the SHA-256 of the key, written atomically (temp file + rename)
+// so a crashed writer never leaves a torn entry. It backs the deploy CLI's
+// -cache-dir flag, where cache entries must outlive the process.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore opens (creating if needed) a directory-backed store.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache dir: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// path maps a key to its file. Keys are hashed so arbitrary strings (even
+// ones containing path separators) stay filename-safe.
+func (s *DirStore) path(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.dir, hex.EncodeToString(sum[:])+".json")
+}
+
+// Get returns the stored bytes for key, with ok=false (and no error) when
+// the key has never been Put.
+func (s *DirStore) Get(key string) ([]byte, bool, error) {
+	b, err := os.ReadFile(s.path(key))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+// Put stores data under key, replacing any previous value atomically.
+func (s *DirStore) Put(key string, data []byte) error {
+	dst := s.path(key)
+	tmp, err := os.CreateTemp(s.dir, ".put-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()     //lint:allow errdrop — best-effort cleanup on the error path
+		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		return err
+	}
+	if err := os.Rename(name, dst); err != nil {
+		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		return err
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"time"
@@ -39,15 +40,17 @@ type annealEval struct {
 	makespan float64
 }
 
-// Anneal is a simulated-annealing deployment solver — a metaheuristic
+// AnnealCtx is a simulated-annealing deployment solver — a metaheuristic
 // baseline of the kind the paper's related-work table classifies as
 // "Heur.". It searches the joint space of levels, duplication (driven by
 // rule (4)), allocation and path selection with Metropolis acceptance,
 // starting from the repaired three-phase heuristic. Horizon-infeasible
 // states pay a large makespan-driven penalty, so a chain that starts
 // infeasible first anneals toward schedulability, then optimizes the
-// objective.
-func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
+// objective. The context is checked every few iterations of the Metropolis
+// loop; a cancelled run returns the best feasible deployment found so far
+// with SolveInfo.Cancelled set (see Anneal for the context-free wrapper).
+func AnnealCtx(ctx context.Context, s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
 	tr := opts.Trace
 	if tr.Enabled() {
@@ -56,9 +59,13 @@ func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo,
 	ao = ao.withDefaults(s.Graph.M())
 	rng := rand.New(rand.NewSource(ao.Seed))
 
-	cur, _, err := HeuristicWithRepair(s, opts, ao.Seed, 0)
+	cur, hinfo, err := HeuristicWithRepairCtx(ctx, s, opts, ao.Seed, 0)
 	if err != nil {
 		return nil, nil, err
+	}
+	if hinfo.Cancelled {
+		hinfo.Runtime = time.Since(startT)
+		return cur, hinfo, nil
 	}
 	cur = cloneDeploymentCore(cur)
 
@@ -180,7 +187,16 @@ func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo,
 		return d
 	}
 
+	cancelled := false
+	// ctxStride amortizes the context check: Err takes a lock in the
+	// common WithCancel/WithDeadline implementations, so probing every
+	// iteration would tax the annealing hot loop.
+	const ctxStride = 64
 	for it := 0; it < ao.Iters; it++ {
+		if it%ctxStride == 0 && ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		temp *= cool
 		cand := propose()
 		if cand == nil {
@@ -209,9 +225,14 @@ func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo,
 		Runtime:   time.Since(startT),
 		Feasible:  bestEval.okFull && CheckConstraints(s, best) == nil,
 		Objective: objectiveOf(s, best, opts),
+		Cancelled: cancelled,
 	}
 	if tr.Enabled() {
-		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "anneal", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
+		outcome := feasibilityOutcome(info.Feasible)
+		if cancelled {
+			outcome = "cancelled"
+		}
+		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "anneal", Obj: info.Objective, Phase: outcome})
 	}
 	return best, info, nil
 }

@@ -1,0 +1,28 @@
+package core
+
+import "context"
+
+// This file keeps the historical context-free solver entry points as thin
+// wrappers over the *Ctx variants. Library code that needs cancellation —
+// the deployment service, CLI deadlines — calls the *Ctx entry points;
+// batch code (experiments, tests) keeps the short names.
+
+// Heuristic is HeuristicCtx with a background context.
+func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
+	return HeuristicCtx(context.Background(), s, opts, seed)
+}
+
+// HeuristicWithRepair is HeuristicWithRepairCtx with a background context.
+func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
+	return HeuristicWithRepairCtx(context.Background(), s, opts, seed, maxRounds)
+}
+
+// Anneal is AnnealCtx with a background context.
+func Anneal(s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
+	return AnnealCtx(context.Background(), s, opts, ao)
+}
+
+// Optimal is OptimalCtx with a background context.
+func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
+	return OptimalCtx(context.Background(), s, opts, oo)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestHeuristicCtxBackgroundMatchesWrapper: with a live context the *Ctx
+// entry point is the same solve as the wrapper.
+func TestHeuristicCtxBackgroundMatchesWrapper(t *testing.T) {
+	s := mediumSystem(t, 12, 3)
+	d1, i1, err := Heuristic(s, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, i2, err := HeuristicCtx(context.Background(), s, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1.Feasible != i2.Feasible || i1.Objective != i2.Objective { //lint:allow floateq — identical code path must give bit-identical results
+		t.Fatalf("wrapper and Ctx solve disagree: %+v vs %+v", i1, i2)
+	}
+	if i2.Cancelled {
+		t.Fatal("background context reported Cancelled")
+	}
+	for i := range d1.Proc {
+		if d1.Proc[i] != d2.Proc[i] || d1.Level[i] != d2.Level[i] {
+			t.Fatalf("deployments diverge at slot %d", i)
+		}
+	}
+}
+
+// TestHeuristicCtxPreCancelled: an already-cancelled context returns
+// immediately with the Cancelled flag and no error.
+func TestHeuristicCtxPreCancelled(t *testing.T) {
+	s := mediumSystem(t, 12, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	d, info, err := HeuristicCtx(ctx, s, Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cancelled {
+		t.Fatal("cancelled context did not set SolveInfo.Cancelled")
+	}
+	if info.Feasible {
+		t.Fatal("cancelled partial solve must not claim feasibility")
+	}
+	if d == nil {
+		t.Fatal("cancelled heuristic should still return the partial deployment")
+	}
+}
+
+// TestHeuristicWithRepairCtxPreCancelled mirrors the heuristic test for the
+// repair wrapper.
+func TestHeuristicWithRepairCtxPreCancelled(t *testing.T) {
+	s := mediumSystem(t, 12, 3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, info, err := HeuristicWithRepairCtx(ctx, s, Options{}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cancelled {
+		t.Fatal("cancelled context did not set SolveInfo.Cancelled")
+	}
+}
+
+// TestAnnealCtxCancelMidRun: cancelling during the Metropolis loop returns
+// the best-so-far deployment promptly with Cancelled set. The starting
+// point (repaired heuristic) is feasible here, so the best-so-far must be a
+// valid deployment even when the chain is cut short.
+func TestAnnealCtxCancelMidRun(t *testing.T) {
+	s := mediumSystem(t, 12, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// A move budget far beyond what 30ms can sweep, so only cancellation
+	// can end the run early.
+	d, info, err := AnnealCtx(ctx, s, Options{}, AnnealOptions{Seed: 1, Iters: 50_000_000})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Cancelled {
+		t.Fatalf("anneal ran to completion in %v; expected cancellation", elapsed)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v; expected prompt return", elapsed)
+	}
+	if d == nil {
+		t.Fatal("cancelled anneal should return the best-so-far deployment")
+	}
+	if info.Feasible {
+		if _, err := Validate(s, d); err != nil {
+			t.Fatalf("claimed-feasible cancelled result fails validation: %v", err)
+		}
+	}
+}
+
+// cancelledOptimalWithIncumbent runs a deadline-cancelled warm-started
+// OptimalCtx and asserts the incumbent deployment comes back with
+// Cancelled set. The instance is sized so per-node LPs stay in the tens of
+// milliseconds (cancellation latency is one LP) while the full tree takes
+// tens of seconds. The deadline must outlast the model build (machine
+// dependent) yet expire long before the exact solve would finish, so the
+// test walks an escalating ladder: a deadline that dies during the build
+// (nil deployment) steps up to the next rung.
+func cancelledOptimalWithIncumbent(t *testing.T, workers int) {
+	t.Helper()
+	s := tinySystem(t, 6, 9.2)
+	opts := Options{}
+	hd, hinfo, err := Heuristic(s, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hinfo.Feasible {
+		t.Skip("heuristic infeasible on this instance; warm start unavailable")
+	}
+	for _, budget := range []time.Duration{300 * time.Millisecond, 2 * time.Second, 10 * time.Second} {
+		ctx, cancel := context.WithTimeout(context.Background(), budget)
+		d, info, err := OptimalCtx(ctx, s, opts, OptimalOptions{WarmDeployment: hd, Workers: workers})
+		cancel()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !info.Cancelled {
+			// The exact solve on a 10-task, 16-processor instance is far
+			// beyond any rung of the ladder; completing means cancellation
+			// was ignored.
+			t.Fatalf("optimal solve was not cancelled within %v (nodes %d)", budget, info.Nodes)
+		}
+		if d == nil {
+			continue // deadline expired during model build; try a longer one
+		}
+		if _, err := Validate(s, d); err != nil {
+			t.Fatalf("returned incumbent fails validation: %v", err)
+		}
+		return
+	}
+	t.Fatal("warm-started cancelled solve never returned the incumbent")
+}
+
+// TestOptimalCtxCancelReturnsIncumbent: a deadline far shorter than the
+// exact solve cancels branch & bound; with a warm-started incumbent the
+// best-so-far deployment comes back with Cancelled set.
+func TestOptimalCtxCancelReturnsIncumbent(t *testing.T) {
+	cancelledOptimalWithIncumbent(t, 0)
+}
+
+// TestOptimalCtxParallelCancel exercises the parallel branch & bound
+// cancellation path.
+func TestOptimalCtxParallelCancel(t *testing.T) {
+	cancelledOptimalWithIncumbent(t, 4)
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -376,6 +377,13 @@ func (f *Formulation) Extract(x []float64) *Deployment {
 // for use as a branch & bound incumbent. It returns nil if the deployment
 // does not embed into the formulation (e.g. it violates a constraint).
 func (f *Formulation) IncumbentVector(d *Deployment) ([]float64, error) {
+	return f.IncumbentVectorCtx(context.Background(), d)
+}
+
+// IncumbentVectorCtx is IncumbentVector with a cancellable completion LP:
+// on large models that single solve can dominate a short deadline. A
+// cancelled completion returns (nil, nil) — no incumbent, not an error.
+func (f *Formulation) IncumbentVectorCtx(ctx context.Context, d *Deployment) ([]float64, error) {
 	s := f.sys
 	M2 := s.exp.Size()
 	fixed := map[milp.VarID]float64{}
@@ -424,7 +432,7 @@ func (f *Formulation) IncumbentVector(d *Deployment) ([]float64, error) {
 	for key, v := range f.u {
 		setBin(v, before(key[0], key[1]))
 	}
-	return f.Model.Complete(fixed, lp.Options{})
+	return f.Model.Complete(fixed, lp.Options{Ctx: ctx})
 }
 
 // OptimalOptions tunes the exact solver.
@@ -447,19 +455,29 @@ type OptimalOptions struct {
 	WarmDeployment *Deployment
 }
 
-// Optimal solves problem P1 exactly (within the configured limits) and
+// OptimalCtx solves problem P1 exactly (within the configured limits) and
 // returns the deployment, or a nil deployment if no integral solution was
 // found. SolveInfo.Feasible reports whether a feasible deployment exists
-// and was found.
-func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
+// and was found. The context cancels the branch & bound search
+// cooperatively: a cancelled solve returns the best incumbent found so far
+// with SolveInfo.Cancelled set, or a nil deployment if none was found (see
+// Optimal for the context-free wrapper).
+func OptimalCtx(ctx context.Context, s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
 	start := time.Now()
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "optimal"})
 	}
+	if ctx.Err() != nil {
+		return nil, cancelledInfo(start, tr, "optimal"), nil
+	}
 	f := BuildFormulation(s, opts)
 	buildD := time.Since(start)
+	if ctx.Err() != nil {
+		return nil, cancelledInfo(start, tr, "optimal"), nil
+	}
 	so := milp.SolveOptions{
+		Ctx:       ctx,
 		TimeLimit: oo.TimeLimit,
 		MaxNodes:  oo.MaxNodes,
 		RelGap:    oo.RelGap,
@@ -471,7 +489,7 @@ func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInf
 		so.CutoffSet = true
 	}
 	if oo.WarmDeployment != nil {
-		inc, err := f.IncumbentVector(oo.WarmDeployment)
+		inc, err := f.IncumbentVectorCtx(ctx, oo.WarmDeployment)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -485,8 +503,9 @@ func Optimal(s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInf
 	solveD := time.Since(solveStart)
 	extractStart := time.Now()
 	info := &SolveInfo{
-		Nodes: res.Nodes,
-		Iters: res.Iters,
+		Nodes:     res.Nodes,
+		Iters:     res.Iters,
+		Cancelled: res.Cancelled,
 	}
 	for _, inc := range res.Incumbents {
 		info.Incumbents = append(info.Incumbents, IncumbentPoint{T: inc.T, Obj: inc.Obj, Nodes: inc.Nodes})

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -23,6 +24,11 @@ type SolveInfo struct {
 	Runtime   time.Duration
 	Feasible  bool
 	Objective float64 // value of the chosen objective (BE: max_k, ME: Σ_k)
+	// Cancelled reports that the context of a *Ctx entry point was
+	// cancelled before the solve finished. The returned deployment is the
+	// best incumbent found so far (possibly partial for the constructive
+	// heuristic); Feasible refers to that incumbent.
+	Cancelled bool
 	// Phases breaks Runtime into named solver phases (heuristic: P1/P2/P3;
 	// exact solver: build/solve/extract). Nil when the solver does not
 	// decompose (e.g. annealing).
@@ -49,11 +55,14 @@ type IncumbentPoint struct {
 	Nodes int           // LP relaxations solved at acceptance time
 }
 
-// Heuristic runs the paper's three-phase decomposition (Algorithms 1–3)
+// HeuristicCtx runs the paper's three-phase decomposition (Algorithms 1–3)
 // and returns the deployment together with solve information. The returned
 // error is non-nil only for malformed inputs; an infeasible outcome is
 // reported via SolveInfo.Feasible with the best-effort deployment attached.
-func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
+// The context is checked between phases: a cancelled solve returns the
+// partial deployment with SolveInfo.Cancelled set (see Heuristic for the
+// context-free wrapper).
+func HeuristicCtx(ctx context.Context, s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
 	tr := opts.Trace
 	if tr.Enabled() {
@@ -62,14 +71,23 @@ func Heuristic(s *System, opts Options, seed int64) (*Deployment, *SolveInfo, er
 	}
 	d := NewDeployment(s)
 
+	if ctx.Err() != nil {
+		return d, cancelledInfo(startT, tr, "heuristic"), nil
+	}
 	ok1 := phase1FrequencyAndDuplication(s, d)
 	t1 := time.Since(startT)
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P1", Dur: t1.Seconds()})
 	}
-	ok23, t2, t3, err := deployGivenLevels(s, d, seed, opts)
+	if ctx.Err() != nil {
+		return d, cancelledInfo(startT, tr, "heuristic"), nil
+	}
+	ok23, t2, t3, err := deployGivenLevels(ctx, s, d, seed, opts)
 	if err != nil {
 		return nil, nil, err
+	}
+	if ctx.Err() != nil {
+		return d, cancelledInfo(startT, tr, "heuristic"), nil
 	}
 
 	info := &SolveInfo{Phases: []PhaseTiming{{"P1", t1}, {"P2", t2}, {"P3", t3}}}
@@ -100,10 +118,22 @@ func feasibilityOutcome(feasible bool) string {
 	return "infeasible"
 }
 
+// cancelledInfo builds the SolveInfo for a solve abandoned on context
+// cancellation and emits the closing trace event.
+func cancelledInfo(startT time.Time, tr *obs.Trace, label string) *SolveInfo {
+	info := &SolveInfo{Runtime: time.Since(startT), Cancelled: true}
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: label, Phase: "cancelled"})
+	}
+	return info
+}
+
 // deployGivenLevels runs phases 2 and 3 for a deployment whose levels and
 // duplication flags are already decided, reporting horizon feasibility and
-// the wall-clock spent in each phase.
-func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) (ok bool, t2, t3 time.Duration, err error) {
+// the wall-clock spent in each phase. The context is checked between the
+// phases; a cancelled run returns ok=false without touching Phase 3 (the
+// caller notices ctx.Err and reports Cancelled).
+func deployGivenLevels(ctx context.Context, s *System, d *Deployment, seed int64, opts Options) (ok bool, t2, t3 time.Duration, err error) {
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P2"})
@@ -117,6 +147,9 @@ func deployGivenLevels(s *System, d *Deployment, seed int64, opts Options) (ok b
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P2", Dur: t2.Seconds()})
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P3"})
+	}
+	if ctx.Err() != nil {
+		return false, t2, 0, nil
 	}
 	p3Start := time.Now()
 	ok, err = phase3PathSelection(s, d, order, opts)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"time"
@@ -9,7 +10,7 @@ import (
 	"nocdeploy/internal/obs"
 )
 
-// HeuristicWithRepair is an extension beyond the paper: it runs the
+// HeuristicWithRepairCtx is an extension beyond the paper: it runs the
 // three-phase heuristic and, when the resulting schedule misses the
 // horizon (constraint (9)), iteratively raises the V/F level of the
 // latest-finishing tasks — re-applying the duplication rule (4), which may
@@ -17,8 +18,10 @@ import (
 // phases 2 and 3. This recovers much of the feasibility gap between the
 // paper's heuristic and the exact solver (Fig. 2(h)) at negligible cost.
 //
-// maxRounds bounds the repair iterations; 0 picks 4·M.
-func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
+// maxRounds bounds the repair iterations; 0 picks 4·M. The context is
+// checked once per repair round; a cancelled run returns the current
+// best-effort deployment with SolveInfo.Cancelled set.
+func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
 	startT := time.Now()
 	tr := opts.Trace
 	if tr.Enabled() {
@@ -29,9 +32,13 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 			tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "heuristic+repair", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
 		}
 	}
-	d, info, err := Heuristic(s, opts, seed)
+	d, info, err := HeuristicCtx(ctx, s, opts, seed)
 	if err != nil {
 		return nil, nil, err
+	}
+	if info.Cancelled {
+		info.Runtime = time.Since(startT)
+		return d, info, nil
 	}
 	if info.Feasible {
 		info.Runtime = time.Since(startT)
@@ -44,6 +51,10 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 	L := s.Plat.L()
 	M := s.Graph.M()
 	for round := 0; round < maxRounds; round++ {
+		if ctx.Err() != nil {
+			ri := cancelledInfo(startT, tr, "heuristic+repair")
+			return d, ri, nil
+		}
 		// Raise the level of the latest finisher that can still go faster.
 		cand := -1
 		candEnd := -1.0
@@ -82,9 +93,13 @@ func HeuristicWithRepair(s *System, opts Options, seed int64, maxRounds int) (*D
 				d.Exists[dup] = false
 			}
 		}
-		ok, _, _, err := deployGivenLevels(s, d, seed, opts)
+		ok, _, _, err := deployGivenLevels(ctx, s, d, seed, opts)
 		if err != nil {
 			return nil, nil, err
+		}
+		if ctx.Err() != nil {
+			ri := cancelledInfo(startT, tr, "heuristic+repair")
+			return d, ri, nil
 		}
 		if ok && CheckConstraints(s, d) == nil {
 			m, err := ComputeMetrics(s, d)

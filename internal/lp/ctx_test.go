@@ -1,0 +1,67 @@
+package lp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// randomDense returns a feasible random LP big enough to need a healthy
+// number of pivots.
+func randomDense(seed int64, n, rows int) *Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		p.SetBounds(j, 0, 100)
+		p.Cost[j] = rng.NormFloat64()
+	}
+	for r := 0; r < rows; r++ {
+		var idx []int
+		var val []float64
+		for j := 0; j < n; j++ {
+			if rng.Intn(2) == 0 {
+				idx = append(idx, j)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+		p.AddConstraint(idx, val, LE, 10+rng.Float64()*10)
+	}
+	return p
+}
+
+// A context cancelled before the solve starts must stop the pivot loop on
+// its first poll and surface as IterLimit.
+func TestCancelledContextStopsSolve(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sol, err := Solve(randomDense(7, 50, 40), Options{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != IterLimit {
+		t.Errorf("status %v with a cancelled context, want IterLimit", sol.Status)
+	}
+	if sol.Iters > 64 {
+		t.Errorf("%d iterations ran after cancellation, want at most one poll stride", sol.Iters)
+	}
+}
+
+// A live context must not perturb the solve: same status, objective and
+// iteration count as the context-free run.
+func TestLiveContextMatchesPlainSolve(t *testing.T) {
+	plain, err := Solve(randomDense(7, 50, 40), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := Solve(randomDense(7, 50, 40), Options{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != withCtx.Status || plain.Iters != withCtx.Iters {
+		t.Errorf("ctx run (%v, %d iters) differs from plain run (%v, %d iters)",
+			withCtx.Status, withCtx.Iters, plain.Status, plain.Iters)
+	}
+	if plain.Status == Optimal && plain.Obj != withCtx.Obj { //lint:allow floateq — identical pivot sequences must agree bit-for-bit
+		t.Errorf("ctx run objective %g differs from plain %g", withCtx.Obj, plain.Obj)
+	}
+}

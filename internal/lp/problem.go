@@ -17,6 +17,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -174,6 +175,11 @@ type Options struct {
 	// (iteration counts and outcome). Observability only: the solver
 	// never reads it, so results are identical with tracing on or off.
 	Trace *obs.Trace
+	// Ctx, if non-nil, cancels the solve cooperatively: the pivot loop
+	// polls it every few dozen iterations and a cancelled solve returns
+	// Status IterLimit. Callers that must distinguish cancellation from a
+	// genuine iteration limit should inspect Ctx.Err themselves.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults(m int) Options {

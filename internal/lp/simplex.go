@@ -318,6 +318,11 @@ func (s *simplex) iterate() (Status, error) {
 		if s.iters >= s.opt.MaxIters {
 			return IterLimit, nil
 		}
+		// Poll for cancellation on a stride: Ctx.Err takes a lock, and a
+		// pivot is only O(m·n), so checking every iteration would show up.
+		if s.opt.Ctx != nil && s.iters%64 == 0 && s.opt.Ctx.Err() != nil {
+			return IterLimit, nil
+		}
 		s.iters++
 		bland := s.degenStreak >= s.opt.BlandAfter
 

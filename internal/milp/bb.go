@@ -2,6 +2,7 @@ package milp
 
 import (
 	"container/heap"
+	"context"
 	"math"
 	"time"
 
@@ -57,6 +58,13 @@ type SolveOptions struct {
 	// starting incumbent (typically built with Model.Complete from a
 	// heuristic). An infeasible vector is ignored.
 	Incumbent []float64
+	// Ctx, if non-nil, cancels the search cooperatively: it is checked
+	// between LP relaxations (the unit of work), so cancellation latency is
+	// one node's LP solve. A cancelled search stops like a limit stop — the
+	// best incumbent found so far is returned, Result.Cancelled is set, and
+	// Status follows the usual limit semantics (Feasible with an incumbent,
+	// Limit without).
+	Ctx context.Context
 	// Workers is the number of concurrent branch & bound workers. 0 or 1
 	// runs the deterministic serial search (hybrid best-bound with
 	// plunging); n > 1 runs n workers pulling subproblems from a shared
@@ -82,6 +90,9 @@ func (o SolveOptions) withDefaults() SolveOptions {
 	if numeric.IsZero(o.IntTol) {
 		o.IntTol = 1e-6
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
 	return o
 }
 
@@ -93,6 +104,9 @@ type Result struct {
 	Bound  float64   // best proven lower bound (model constant included)
 	Nodes  int       // LP relaxations solved
 	Iters  int       // total simplex iterations
+	// Cancelled reports that SolveOptions.Ctx was cancelled before the
+	// search finished; X still carries the best incumbent found so far.
+	Cancelled bool
 	// Incumbents is the trajectory of accepted integral solutions in
 	// acceptance order (a caller-seeded incumbent appears at T=0). For
 	// parallel searches the trajectory depends on scheduling, like the
@@ -156,6 +170,12 @@ func (m *Model) Solve(opts SolveOptions) (*Result, error) {
 	opts = opts.withDefaults()
 	if opts.LP.Trace == nil {
 		opts.LP.Trace = opts.Trace
+	}
+	if opts.LP.Ctx == nil {
+		// Let cancellation reach into a running relaxation: without this the
+		// search only notices the context between LPs, and a single simplex
+		// solve on a large model can run for minutes.
+		opts.LP.Ctx = opts.Ctx
 	}
 	if w := normalizeWorkers(opts.Workers); w > 1 {
 		return m.solveParallel(opts, w)
@@ -266,6 +286,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		return res, nil
 	case lp.IterLimit:
 		res.Status = Limit
+		res.Cancelled = opts.Ctx.Err() != nil
 		return res, nil
 	}
 	root.bound = rootSol.Obj
@@ -304,6 +325,10 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			break
 		}
+		if opts.Ctx.Err() != nil {
+			res.Cancelled = true
+			break
+		}
 		if gapReached() {
 			break
 		}
@@ -317,12 +342,28 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		sol := solutions[nd]
 		delete(solutions, nd)
 
-		// Plunge from this node until the chain dies out.
+		// Plunge from this node until the chain dies out. On a limit or
+		// cancellation stop the in-hand node is pushed back so the open
+		// frontier — and therefore the reported bound and status — stays
+		// exact: an abandoned node must not let an empty queue masquerade
+		// as a proven optimum.
+		requeue := func() {
+			solutions[nd] = sol
+			heap.Push(pq, nd)
+		}
+	plunge:
 		for nd != nil {
 			if res.Nodes >= opts.MaxNodes {
+				requeue()
 				break
 			}
 			if !deadline.IsZero() && time.Now().After(deadline) {
+				requeue()
+				break
+			}
+			if opts.Ctx.Err() != nil {
+				res.Cancelled = true
+				requeue()
 				break
 			}
 			if numeric.GeqTol(sol.Obj, incumbent, 1e-9) {
@@ -373,6 +414,20 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 					return nil, err
 				}
 				if csol.Status != lp.Optimal {
+					if opts.Ctx.Err() != nil {
+						// The child's LP was cut short by cancellation, not
+						// proven infeasible. Restore the frontier — the
+						// already-evaluated sibling and the parent — so the
+						// lost subtree cannot let an empty queue masquerade
+						// as a proven optimum, then stop.
+						res.Cancelled = true
+						if next != nil {
+							solutions[next] = nextSol
+							heap.Push(pq, next)
+						}
+						requeue()
+						break plunge
+					}
 					continue // infeasible (or iter-limit: treated as pruned)
 				}
 				if numeric.GeqTol(csol.Obj, incumbent, 1e-9) {

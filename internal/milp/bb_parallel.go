@@ -72,7 +72,8 @@ type bbShared struct {
 
 	stopped    bool   // a limit fired, the gap closed, or an error occurred
 	done       bool   // frontier exhausted: queue empty and every worker idle
-	limitStop  bool   // stopped by MaxNodes/TimeLimit (not by gap or error)
+	limitStop  bool   // stopped by MaxNodes/TimeLimit/ctx (not by gap or error)
+	cancelled  bool   // stopped because SolveOptions.Ctx was cancelled
 	rootStatus Status // terminal status decided at the root; rootStatusSet guards it
 	rootSet    bool
 	err        error
@@ -185,6 +186,12 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					s.mu.Unlock()
 					return
 				}
+				if opts.Ctx.Err() != nil {
+					s.stopped, s.limitStop, s.cancelled = true, true, true
+					s.cond.Broadcast()
+					s.mu.Unlock()
+					return
+				}
 				if gapReached() {
 					s.stopped = true
 					s.cond.Broadcast()
@@ -252,6 +259,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 						s.rootStatus = Unbounded
 					default: // lp.IterLimit
 						s.rootStatus = Limit
+						s.cancelled = opts.Ctx.Err() != nil
 					}
 					s.rootSet = true
 					s.stopped = true
@@ -260,6 +268,16 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					if tr.Enabled() {
 						tr.Emit(obs.Event{Kind: obs.BBNode, Node: nodeCount, Depth: nd.depth, Worker: id + 1})
 					}
+					return
+				}
+				if sol.Status != lp.Optimal && opts.Ctx.Err() != nil {
+					// The node's LP was cut short by cancellation, not proven
+					// infeasible: requeue it so the frontier — and with it the
+					// reported bound and status — stays exact, and stop.
+					heap.Push(&s.pq, nd)
+					s.stopped, s.limitStop, s.cancelled = true, true, true
+					s.cond.Broadcast()
+					s.mu.Unlock()
 					return
 				}
 				gotInc, pruned := false, false
@@ -326,6 +344,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 		return nil, s.err
 	}
 	res.Nodes, res.Iters = s.nodes, s.iters
+	res.Cancelled = s.cancelled
 	res.Incumbents = append(res.Incumbents, s.incumbents...)
 	if s.rootSet {
 		res.Status = s.rootStatus

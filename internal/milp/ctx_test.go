@@ -1,0 +1,117 @@
+package milp
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"nocdeploy/internal/lp"
+)
+
+// randomKnapsack builds a knapsack model large enough that branch & bound
+// explores more than a handful of nodes.
+func randomKnapsack(n int, seed int64) *Model {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewModel()
+	obj := NewExpr(0)
+	row := NewExpr(0)
+	var totalW float64
+	for i := 0; i < n; i++ {
+		v := 1 + rng.Float64()*99
+		w := 1 + rng.Float64()*49
+		x := m.AddBinary("x")
+		obj.Add(x, -v)
+		row.Add(x, w)
+		totalW += w
+	}
+	m.AddConstr(row, lp.LE, totalW/3)
+	m.SetObjective(obj)
+	return m
+}
+
+// TestSolveCtxPreCancelledSerial: a cancelled context stops the serial
+// search after the root relaxation; the result carries the Cancelled flag
+// and does not claim optimality.
+func TestSolveCtxPreCancelledSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := randomKnapsack(25, 1).Solve(SolveOptions{Ctx: ctx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cancelled {
+		t.Fatalf("cancelled context: Cancelled = false (status %v, nodes %d)", r.Status, r.Nodes)
+	}
+	if r.Status == Optimal {
+		t.Fatalf("cancelled search claimed optimality after %d nodes", r.Nodes)
+	}
+	if r.Nodes > 1 {
+		t.Fatalf("pre-cancelled search still solved %d nodes", r.Nodes)
+	}
+}
+
+// TestSolveCtxPreCancelledParallel mirrors the serial test on the parallel
+// search.
+func TestSolveCtxPreCancelledParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := randomKnapsack(25, 1).Solve(SolveOptions{Ctx: ctx, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cancelled {
+		t.Fatalf("cancelled context: Cancelled = false (status %v, nodes %d)", r.Status, r.Nodes)
+	}
+	if r.Status == Optimal {
+		t.Fatalf("cancelled search claimed optimality after %d nodes", r.Nodes)
+	}
+}
+
+// TestSolveCtxBackgroundUnchanged: a nil/background context leaves the
+// solve untouched — same optimum as the no-context solve.
+func TestSolveCtxBackgroundUnchanged(t *testing.T) {
+	plain, err := randomKnapsack(18, 7).Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withCtx, err := randomKnapsack(18, 7).Solve(SolveOptions{Ctx: context.Background()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != Optimal || withCtx.Status != Optimal {
+		t.Fatalf("statuses: %v vs %v, want optimal", plain.Status, withCtx.Status)
+	}
+	if plain.Obj != withCtx.Obj { //lint:allow floateq — identical deterministic serial search must agree exactly
+		t.Fatalf("objective drifted with a background context: %g vs %g", plain.Obj, withCtx.Obj)
+	}
+	if plain.Cancelled || withCtx.Cancelled {
+		t.Fatal("uncancelled solves reported Cancelled")
+	}
+}
+
+// TestSolveCtxIncumbentSurvivesCancel: cancelling a search that was seeded
+// with a cutoff-free incumbent still returns that incumbent.
+func TestSolveCtxIncumbentSurvivesCancel(t *testing.T) {
+	m := randomKnapsack(25, 3)
+	// First find the optimum, then re-solve with its solution vector as the
+	// seeded incumbent and a cancelled context: the incumbent must come back.
+	full, err := m.Solve(SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Status != Optimal {
+		t.Fatalf("setup solve status %v", full.Status)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := randomKnapsack(25, 3).Solve(SolveOptions{Ctx: ctx, Incumbent: full.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Cancelled {
+		t.Fatal("cancelled context: Cancelled = false")
+	}
+	if r.X == nil {
+		t.Fatal("seeded incumbent lost on cancellation")
+	}
+}

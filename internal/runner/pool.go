@@ -1,0 +1,128 @@
+package runner
+
+import (
+	"errors"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// Pool errors returned by TrySubmit.
+var (
+	// ErrQueueFull reports that the bounded queue rejected a task. The
+	// deployment service maps this to HTTP 429 (admission control).
+	ErrQueueFull = errors.New("runner: queue full")
+	// ErrPoolClosed reports a submit after Close started.
+	ErrPoolClosed = errors.New("runner: pool closed")
+)
+
+type poolTask struct {
+	fn   func() error
+	seq  int
+	done chan error
+}
+
+// Pool is a long-running bounded worker pool, the service-shaped sibling of
+// Map: instead of fanning a fixed grid out and collecting results, it
+// accepts tasks one at a time, rejects (never blocks) when the queue is
+// full, and drains gracefully on Close. Like Map, a panicking task is
+// captured as a *PanicError (Index is the task's admission sequence number)
+// instead of crashing the process.
+type Pool struct {
+	queue   chan poolTask
+	tr      *obs.Trace
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	seq     int
+	pending atomic.Int64
+}
+
+// NewPool starts Workers(workers) goroutines serving a queue of at most
+// queueDepth waiting tasks (tasks already executing don't count against the
+// queue). tr may be nil; when tracing is enabled each task emits the same
+// pool.task.start/done event pair as MapTraced.
+func NewPool(workers, queueDepth int, tr *obs.Trace) *Pool {
+	if queueDepth < 0 {
+		queueDepth = 0
+	}
+	workers = Workers(workers)
+	p := &Pool{queue: make(chan poolTask, queueDepth), tr: tr}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker(w + 1)
+	}
+	return p
+}
+
+// TrySubmit offers fn to the pool without blocking. On admission it returns
+// a 1-buffered channel that will receive fn's error (or a *PanicError, or
+// nil) exactly once. A full queue returns ErrQueueFull and a closed pool
+// ErrPoolClosed; in both cases fn will never run.
+func (p *Pool) TrySubmit(fn func() error) (<-chan error, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil, ErrPoolClosed
+	}
+	t := poolTask{fn: fn, seq: p.seq, done: make(chan error, 1)}
+	select {
+	case p.queue <- t:
+		p.seq++
+		p.pending.Add(1)
+		return t.done, nil
+	default:
+		return nil, ErrQueueFull
+	}
+}
+
+// Pending reports tasks admitted but not yet finished (queued plus
+// executing). It is a metrics gauge, racy by nature.
+func (p *Pool) Pending() int {
+	return int(p.pending.Load())
+}
+
+// Close stops admission, runs every already-queued task to completion, and
+// returns once all workers have exited. Safe to call more than once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) worker(id int) {
+	defer p.wg.Done()
+	for t := range p.queue {
+		var start time.Time
+		if p.tr.Enabled() {
+			start = time.Now()
+			p.tr.Emit(obs.Event{Kind: obs.PoolTaskStart, Node: t.seq, Worker: id})
+		}
+		err := runPoolTask(t)
+		if p.tr.Enabled() {
+			e := obs.Event{Kind: obs.PoolTaskDone, Node: t.seq, Worker: id, Dur: time.Since(start).Seconds()}
+			if err != nil {
+				e.Phase = "error"
+			}
+			p.tr.Emit(e)
+		}
+		p.pending.Add(-1)
+		t.done <- err
+	}
+}
+
+func runPoolTask(t poolTask) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: t.seq, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return t.fn()
+}

@@ -1,0 +1,141 @@
+package runner
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsTasks(t *testing.T) {
+	p := NewPool(4, 16, nil)
+	defer p.Close()
+	var ran atomic.Int64
+	var dones []<-chan error
+	for i := 0; i < 10; i++ {
+		done, err := p.TrySubmit(func() error { ran.Add(1); return nil })
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		dones = append(dones, done)
+	}
+	for i, done := range dones {
+		if err := <-done; err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if n := ran.Load(); n != 10 {
+		t.Fatalf("ran %d tasks, want 10", n)
+	}
+}
+
+func TestPoolTaskErrorsPropagate(t *testing.T) {
+	p := NewPool(1, 4, nil)
+	defer p.Close()
+	boom := errors.New("boom")
+	done, err := p.TrySubmit(func() error { return boom })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; !errors.Is(got, boom) {
+		t.Fatalf("task error %v, want boom", got)
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1, nil)
+	defer p.Close()
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	// Occupy the single worker…
+	running, err := p.TrySubmit(func() error { close(started); <-gate; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// …fill the single queue slot…
+	queued, err := p.TrySubmit(func() error { return nil })
+	if err != nil {
+		t.Fatalf("queue slot rejected: %v", err)
+	}
+	// …and the next submit must bounce without blocking.
+	if _, err := p.TrySubmit(func() error { return nil }); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overload submit: %v, want ErrQueueFull", err)
+	}
+	if d := p.Pending(); d != 2 {
+		t.Fatalf("pending %d, want 2", d)
+	}
+	close(gate)
+	if err := <-running; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-queued; err != nil {
+		t.Fatal(err)
+	}
+	// Capacity is available again.
+	done, err := p.TrySubmit(func() error { return nil })
+	if err != nil {
+		t.Fatalf("submit after drain: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPoolPanicCaptured(t *testing.T) {
+	p := NewPool(2, 4, nil)
+	defer p.Close()
+	done, err := p.TrySubmit(func() error { panic("kaboom") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := <-done
+	var pe *PanicError
+	if !errors.As(got, &pe) {
+		t.Fatalf("task returned %v, want *PanicError", got)
+	}
+	if pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload %v (stack %d bytes)", pe.Value, len(pe.Stack))
+	}
+	// The worker that recovered keeps serving.
+	done, err = p.TrySubmit(func() error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("task after panic: %v", err)
+	}
+}
+
+func TestPoolCloseDrainsQueue(t *testing.T) {
+	p := NewPool(1, 8, nil)
+	var ran atomic.Int64
+	var dones []<-chan error
+	for i := 0; i < 6; i++ {
+		done, err := p.TrySubmit(func() error {
+			time.Sleep(time.Millisecond)
+			ran.Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		dones = append(dones, done)
+	}
+	p.Close() // must run all six queued tasks before returning
+	if n := ran.Load(); n != 6 {
+		t.Fatalf("close drained %d tasks, want 6", n)
+	}
+	for i, done := range dones {
+		if err := <-done; err != nil {
+			t.Fatalf("task %d: %v", i, err)
+		}
+	}
+	if d := p.Pending(); d != 0 {
+		t.Fatalf("pending after close: %d", d)
+	}
+	if _, err := p.TrySubmit(func() error { return nil }); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("submit after close: %v, want ErrPoolClosed", err)
+	}
+	p.Close() // idempotent
+}

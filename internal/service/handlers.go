@@ -1,0 +1,234 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nocdeploy/internal/runner"
+	"nocdeploy/internal/spec"
+)
+
+// Handler returns the service's HTTP API:
+//
+//	POST /v1/solve        solve an instance (body: spec.Instance JSON)
+//	GET  /v1/jobs/{id}    poll an async job
+//	GET  /healthz         liveness
+//	GET  /metrics         obs.Metrics snapshot (JSON)
+//
+// POST /v1/solve query parameters (all optional):
+//
+//	solver     heuristic (default) | repair | anneal | optimal
+//	objective  be (default) | me
+//	seed       solver tie-break seed (default 1)
+//	timeout    per-request solve budget, e.g. 50ms (or X-Solve-Timeout)
+//	mode       sync (default) | async — async returns 202 + a job id
+//
+// Sync responses carry the deployment as the body and request metadata in
+// headers: X-Request-ID, X-Cache (hit|miss|coalesced), X-Solver,
+// X-Solve-Feasible, X-Solve-Cancelled.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	s.met.Add("http.status."+strconv.Itoa(code), 1)
+	// A failed write means the client went away; nothing useful to do.
+	_ = json.NewEncoder(w).Encode(v) //lint:allow errdrop — response write errors are the client's problem
+}
+
+func (s *Service) writeError(w http.ResponseWriter, code int, err error) {
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	s.writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// errorStatus maps service errors onto HTTP status codes.
+func errorStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, runner.ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed), errors.Is(err, runner.ErrPoolClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNoSolution):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusInternalServerError
+}
+
+// parseSolveRequest decodes the body and query into a SolveRequest.
+func parseSolveRequest(r *http.Request) (SolveRequest, error) {
+	var req SolveRequest
+	var inst spec.Instance
+	if err := json.NewDecoder(r.Body).Decode(&inst); err != nil {
+		return req, errors.Join(ErrBadRequest, err)
+	}
+	q := r.URL.Query()
+	req.Instance = inst
+	req.Solver = q.Get("solver")
+	req.Objective = q.Get("objective")
+	if v := q.Get("seed"); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return req, errors.Join(ErrBadRequest, err)
+		}
+		req.Seed = seed
+	}
+	if v := q.Get("timeout"); v == "" {
+		v = r.Header.Get("X-Solve-Timeout")
+		if v != "" {
+			d, err := time.ParseDuration(v)
+			if err != nil {
+				return req, errors.Join(ErrBadRequest, err)
+			}
+			req.Timeout = d
+		}
+	} else {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return req, errors.Join(ErrBadRequest, err)
+		}
+		req.Timeout = d
+	}
+	return req, nil
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	if s.closed.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, ErrClosed)
+		return
+	}
+	req, err := parseSolveRequest(r)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	if r.URL.Query().Get("mode") == "async" {
+		s.startAsync(w, req)
+		return
+	}
+
+	ctx := r.Context()
+	if d := s.effectiveTimeout(req.Timeout); d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	res, outcome, err := s.Solve(ctx, req)
+	if err != nil {
+		s.writeError(w, errorStatus(err), err)
+		return
+	}
+	w.Header().Set("X-Request-ID", s.nextRequestID())
+	w.Header().Set("X-Cache", outcome.String())
+	w.Header().Set("X-Solver", res.Solver)
+	w.Header().Set("X-Solve-Feasible", strconv.FormatBool(res.Feasible))
+	w.Header().Set("X-Solve-Cancelled", strconv.FormatBool(res.Cancelled))
+	s.writeJSON(w, http.StatusOK, res.Deployment)
+}
+
+// startAsync registers a job and answers 202 immediately; the solve runs
+// in the background with its own deadline, detached from the HTTP request
+// context. Close waits for these goroutines, so shutdown drains jobs.
+func (s *Service) startAsync(w http.ResponseWriter, req SolveRequest) {
+	job, ok := s.jobs.create(req.Solver, time.Now())
+	if !ok {
+		s.writeError(w, http.StatusTooManyRequests, errors.New("job table full"))
+		return
+	}
+	budget := s.effectiveTimeout(req.Timeout)
+	s.bg.Add(1)
+	go func() {
+		defer s.bg.Done()
+		ctx := context.Background()
+		if budget > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, budget)
+			defer cancel()
+		}
+		s.jobs.update(job.ID, func(j *Job) { j.Status = JobRunning })
+		res, outcome, err := s.Solve(ctx, req)
+		now := time.Now()
+		s.jobs.update(job.ID, func(j *Job) {
+			j.Finished = &now
+			j.Cache = outcome.String()
+			if err != nil {
+				j.Status = JobFailed
+				j.Error = err.Error()
+				return
+			}
+			j.Status = JobDone
+			j.Result = res
+		})
+	}()
+	w.Header().Set("Location", "/v1/jobs/"+job.ID)
+	s.writeJSON(w, http.StatusAccepted, job)
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	s.writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.closed.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.writeJSON(w, code, map[string]string{"status": status})
+}
+
+// handleMetrics refreshes the service-level gauges and emits the registry
+// snapshot. Counters owned elsewhere (http.requests, solve.seconds) are
+// already live in the registry.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	st := s.cache.Stats()
+	s.met.Set("queue.depth", float64(s.pool.Pending()))
+	s.met.Set("jobs.live", float64(s.jobs.live()))
+	s.met.Set("cache.entries", float64(st.Entries))
+	s.met.Set("cache.hits", float64(st.Hits))
+	s.met.Set("cache.misses", float64(st.Misses))
+	s.met.Set("cache.coalesced", float64(st.Coalesced))
+	s.met.Set("cache.evictions", float64(st.Evictions))
+	s.met.Set("cache.hit_ratio", st.HitRatio())
+	s.met.Set("solve.runs", float64(s.solves.Load()))
+	w.Header().Set("Content-Type", "application/json")
+	s.met.Add("http.status.200", 1)
+	// A failed write means the client went away; nothing useful to do.
+	_ = s.met.WriteJSON(w) //lint:allow errdrop — response write errors are the client's problem
+}

@@ -1,0 +1,118 @@
+package service
+
+import (
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Job states.
+const (
+	JobQueued  = "queued"
+	JobRunning = "running"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// Job is one asynchronous solve. Result is set only in state "done";
+// Error only in "failed". Cache reports which path answered (hit, miss,
+// coalesced) once the job finished.
+type Job struct {
+	ID       string       `json:"id"`
+	Status   string       `json:"status"`
+	Solver   string       `json:"solver"`
+	Created  time.Time    `json:"created"`
+	Finished *time.Time   `json:"finished,omitempty"`
+	Cache    string       `json:"cache,omitempty"`
+	Error    string       `json:"error,omitempty"`
+	Result   *SolveResult `json:"result,omitempty"`
+}
+
+func (j *Job) terminal() bool {
+	return j.Status == JobDone || j.Status == JobFailed
+}
+
+// jobTable is a bounded in-memory job registry. When full, creating a job
+// evicts the oldest finished job; if every slot is a live job the create is
+// rejected — async admission control, mirroring the solve queue's 429.
+type jobTable struct {
+	mu    sync.Mutex
+	max   int
+	seq   int64
+	jobs  map[string]*Job
+	order []string // insertion order, for oldest-finished eviction
+}
+
+func newJobTable(max int) *jobTable {
+	return &jobTable{max: max, jobs: map[string]*Job{}}
+}
+
+// create registers a queued job, evicting the oldest finished job if the
+// table is full. ok=false means the table is full of live jobs.
+func (t *jobTable) create(solver string, now time.Time) (Job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.jobs) >= t.max && !t.evictOldestFinished() {
+		return Job{}, false
+	}
+	t.seq++
+	j := &Job{
+		ID:      "job-" + strconv.FormatInt(t.seq, 10),
+		Status:  JobQueued,
+		Solver:  solver,
+		Created: now,
+	}
+	t.jobs[j.ID] = j
+	t.order = append(t.order, j.ID)
+	return *j, true
+}
+
+// evictOldestFinished removes the first terminal job in insertion order,
+// reporting whether a slot was freed. Called under t.mu.
+func (t *jobTable) evictOldestFinished() bool {
+	for i, id := range t.order {
+		j, ok := t.jobs[id]
+		if !ok {
+			continue
+		}
+		if j.terminal() {
+			delete(t.jobs, id)
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// get returns a copy of the job.
+func (t *jobTable) get(id string) (Job, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	j, ok := t.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// update applies fn to the job under the table lock.
+func (t *jobTable) update(id string, fn func(*Job)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if j, ok := t.jobs[id]; ok {
+		fn(j)
+	}
+}
+
+// live counts non-terminal jobs (a metrics gauge).
+func (t *jobTable) live() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, j := range t.jobs {
+		if !j.terminal() {
+			n++
+		}
+	}
+	return n
+}

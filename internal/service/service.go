@@ -1,0 +1,360 @@
+// Package service exposes the solver stack as a long-running deployment
+// service: a bounded job queue feeding a worker pool, fronted by a
+// content-addressed solution cache with singleflight coalescing, behind a
+// small HTTP API (see handlers.go).
+//
+// The three layers compose as queue → pool → cache → solver:
+//
+//   - admission control: the queue is bounded; a full queue rejects
+//     immediately (HTTP 429) instead of building unbounded backlog;
+//   - coalescing: identical requests — same canonical instance hash, same
+//     solver options — share one solve in flight and then one cached
+//     solution (spec.Instance.CanonicalHash is the key);
+//   - cancellation: per-request deadlines flow as a context through
+//     HeuristicCtx / AnnealCtx / OptimalCtx, so an expired request stops
+//     branch & bound mid-tree and returns the best incumbent with the
+//     Cancelled flag; cancelled (partial) results are never cached.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nocdeploy/internal/cache"
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/obs"
+	"nocdeploy/internal/runner"
+	"nocdeploy/internal/spec"
+)
+
+// Solver names accepted by the API, matching cmd/deploy's -method values.
+const (
+	SolverHeuristic = "heuristic"
+	SolverRepair    = "repair"
+	SolverAnneal    = "anneal"
+	SolverOptimal   = "optimal"
+)
+
+// ValidSolver reports whether name is an accepted solver selection.
+func ValidSolver(name string) bool {
+	switch name {
+	case SolverHeuristic, SolverRepair, SolverAnneal, SolverOptimal:
+		return true
+	}
+	return false
+}
+
+// Service errors. ErrBadRequest wraps client mistakes (HTTP 400),
+// ErrNoSolution reports a solver that finished without any deployment
+// (HTTP 422), and runner.ErrQueueFull surfaces as HTTP 429.
+var (
+	ErrBadRequest = errors.New("bad request")
+	ErrNoSolution = errors.New("no deployment found")
+	ErrClosed     = errors.New("service closed")
+)
+
+// Config tunes a Service. The zero value is serviceable: all-core workers,
+// a 64-deep queue, a 256-entry cache.
+type Config struct {
+	Workers    int // solver pool size; ≤0 means all cores
+	QueueDepth int // queued (not yet executing) solves before 429
+	CacheSize  int // LRU entries
+	MaxJobs    int // live async jobs before 429
+	// DefaultTimeout bounds solves that carry no explicit deadline;
+	// 0 means no default. MaxTimeout clamps explicit deadlines (0 = 1h).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	Metrics        *obs.Metrics
+	Trace          *obs.Trace
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = time.Hour
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+	return c
+}
+
+// SolveRequest is one fully-parsed solve order.
+type SolveRequest struct {
+	Instance  spec.Instance
+	Solver    string        // one of the Solver* constants
+	Objective string        // "be" (default) or "me"
+	Seed      int64         // solver tie-break seed
+	Timeout   time.Duration // 0 means Config.DefaultTimeout
+}
+
+// normalize fills defaults and validates, wrapping failures in
+// ErrBadRequest.
+func (r *SolveRequest) normalize() error {
+	if r.Solver == "" {
+		r.Solver = SolverHeuristic
+	}
+	if !ValidSolver(r.Solver) {
+		return fmt.Errorf("%w: unknown solver %q", ErrBadRequest, r.Solver)
+	}
+	switch r.Objective {
+	case "", "be":
+		r.Objective = "be"
+	case "me":
+	default:
+		return fmt.Errorf("%w: unknown objective %q (want be or me)", ErrBadRequest, r.Objective)
+	}
+	if r.Seed == 0 {
+		r.Seed = 1
+	}
+	if len(r.Instance.Graph.Tasks) == 0 {
+		return fmt.Errorf("%w: instance has no tasks", ErrBadRequest)
+	}
+	return nil
+}
+
+func (r *SolveRequest) coreOptions(tr *obs.Trace) core.Options {
+	opts := core.Options{Trace: tr}
+	if r.Objective == "me" {
+		opts.Objective = core.MinimizeEnergy
+	}
+	return opts
+}
+
+// cacheKey is the content address of the request: the canonical instance
+// hash plus every solver option that changes the answer. The timeout is
+// deliberately excluded — a deadline changes when a solve stops, not what
+// a completed solve returns, and truncated (cancelled) results are never
+// stored.
+func (r *SolveRequest) cacheKey() (string, error) {
+	h, err := r.Instance.CanonicalHash()
+	if err != nil {
+		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return h + "|solver=" + r.Solver + "|obj=" + r.Objective + "|seed=" + strconv.FormatInt(r.Seed, 10), nil
+}
+
+// SolveResult is the outcome of one underlying solve, as cached and as
+// embedded in async job bodies.
+type SolveResult struct {
+	Solver     string          `json:"solver"`
+	Key        string          `json:"key"`
+	Deployment spec.Deployment `json:"deployment"`
+	Feasible   bool            `json:"feasible"`
+	Cancelled  bool            `json:"cancelled"`
+	Runtime    float64         `json:"runtimeSeconds"`
+}
+
+// Service is the deployment-as-a-service engine. Create with New, serve
+// via Handler, stop with Close.
+type Service struct {
+	cfg    Config
+	met    *obs.Metrics
+	pool   *runner.Pool
+	cache  *cache.Cache[*SolveResult]
+	jobs   *jobTable
+	reqSeq atomic.Int64
+	solves atomic.Int64 // underlying solver invocations (cache misses that ran)
+	closed atomic.Bool
+	bg     sync.WaitGroup // async job goroutines
+
+	// solveHook replaces runSolve in tests. Guarded by being set before any
+	// request is served.
+	solveHook func(ctx context.Context, req SolveRequest) (*SolveResult, error)
+}
+
+// New builds a Service and starts its worker pool.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:   cfg,
+		met:   cfg.Metrics,
+		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth, cfg.Trace),
+		cache: cache.New[*SolveResult](cfg.CacheSize),
+		jobs:  newJobTable(cfg.MaxJobs),
+	}
+}
+
+// Close drains the service: admission stops (requests get ErrClosed),
+// in-flight async jobs and every queued solve run to completion, and the
+// worker pool exits. Safe to call more than once.
+func (s *Service) Close() {
+	s.closed.Store(true)
+	s.bg.Wait()
+	s.pool.Close()
+}
+
+// SolveRuns reports how many underlying solver invocations have happened —
+// the denominator of cache effectiveness (requests − SolveRuns were
+// answered by coalescing or the cache).
+func (s *Service) SolveRuns() int64 { return s.solves.Load() }
+
+// CacheStats snapshots the solution cache accounting.
+func (s *Service) CacheStats() cache.Stats { return s.cache.Stats() }
+
+// QueueDepth reports solves admitted but not yet finished.
+func (s *Service) QueueDepth() int { return s.pool.Pending() }
+
+// Solve answers req through the cache/queue/pool stack: a cache hit
+// returns immediately, a request identical to one in flight waits for that
+// flight, and otherwise the caller becomes the leader — its solve is
+// admitted to the bounded queue (runner.ErrQueueFull on overload) and runs
+// on the pool under ctx. The outcome reports which path answered.
+func (s *Service) Solve(ctx context.Context, req SolveRequest) (*SolveResult, cache.Outcome, error) {
+	if s.closed.Load() {
+		return nil, cache.Miss, ErrClosed
+	}
+	if err := req.normalize(); err != nil {
+		return nil, cache.Miss, err
+	}
+	key, err := req.cacheKey()
+	if err != nil {
+		return nil, cache.Miss, err
+	}
+	res, flight, outcome := s.cache.Acquire(key)
+	switch outcome {
+	case cache.Hit:
+		return res, outcome, nil
+	case cache.Coalesced:
+		res, err := flight.Wait(ctx)
+		return res, outcome, err
+	}
+	// Leader: run the solve on the pool; every coalesced waiter shares the
+	// result. The flight must be finished on all paths or waiters hang.
+	start := time.Now()
+	var out *SolveResult
+	done, err := s.pool.TrySubmit(func() error {
+		var err error
+		out, err = s.runSolve(ctx, req, key)
+		return err
+	})
+	if err != nil {
+		s.cache.Finish(flight, nil, err, false)
+		return nil, outcome, err
+	}
+	err = <-done
+	// Cancelled solves are partial by definition: deliver them to waiters
+	// but never store them, so a later unhurried request re-solves.
+	store := err == nil && out != nil && !out.Cancelled
+	s.cache.Finish(flight, out, err, store)
+	s.met.Observe("solve.seconds", time.Since(start).Seconds())
+	return out, outcome, err
+}
+
+// runSolve executes one solver invocation. It runs on a pool worker with
+// the leader's request context.
+func (s *Service) runSolve(ctx context.Context, req SolveRequest, key string) (*SolveResult, error) {
+	s.solves.Add(1)
+	if s.solveHook != nil {
+		return s.solveHook(ctx, req)
+	}
+	start := time.Now()
+	sys, err := req.Instance.Build()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	opts := req.coreOptions(s.cfg.Trace)
+	var (
+		d    *core.Deployment
+		info *core.SolveInfo
+	)
+	switch req.Solver {
+	case SolverHeuristic:
+		d, info, err = core.HeuristicCtx(ctx, sys, opts, req.Seed)
+	case SolverRepair:
+		d, info, err = core.HeuristicWithRepairCtx(ctx, sys, opts, req.Seed, 0)
+	case SolverAnneal:
+		d, info, err = core.AnnealCtx(ctx, sys, opts, core.AnnealOptions{Seed: req.Seed})
+	case SolverOptimal:
+		// Warm-start branch & bound from the repaired heuristic, like
+		// cmd/deploy: a seeded incumbent both prunes the tree and guarantees
+		// a deadline-cancelled solve still returns a deployment.
+		var hd *core.Deployment
+		var hinfo *core.SolveInfo
+		hd, hinfo, err = core.HeuristicWithRepairCtx(ctx, sys, opts, req.Seed, 0)
+		if err == nil {
+			if hinfo.Cancelled {
+				d, info = hd, hinfo
+				break
+			}
+			oo := core.OptimalOptions{RelGap: 0.01}
+			if hinfo.Feasible {
+				oo.WarmDeployment = hd
+			}
+			d, info, err = core.OptimalCtx(ctx, sys, opts, oo)
+			if err == nil && d == nil && info != nil && info.Cancelled && hinfo.Feasible {
+				// Cancelled before branch & bound could seed its incumbent
+				// (the deadline died in model build or the warm-start LP):
+				// the repaired heuristic deployment is still a valid answer.
+				d = hd
+				info = &core.SolveInfo{
+					Feasible:  true,
+					Objective: hinfo.Objective,
+					Cancelled: true,
+					Runtime:   time.Since(start),
+				}
+			}
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	if d == nil {
+		if info != nil && info.Cancelled {
+			// Cancelled before any incumbent existed (e.g. during model
+			// build): surface the context's own error.
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, cerr
+			}
+			return nil, context.Canceled
+		}
+		return nil, ErrNoSolution
+	}
+	res := &SolveResult{
+		Solver:    req.Solver,
+		Key:       key,
+		Feasible:  info.Feasible,
+		Cancelled: info.Cancelled,
+		Runtime:   time.Since(start).Seconds(),
+	}
+	if m, merr := core.ComputeMetrics(sys, d); merr == nil {
+		res.Deployment = spec.FromDeployment(d, m, info)
+	} else if info.Cancelled {
+		// A truncated partial deployment may not admit metrics; return the
+		// raw decision vectors so the client sees how far the solve got.
+		res.Deployment = spec.FromDeployment(d, nil, info)
+	} else {
+		return nil, merr
+	}
+	return res, nil
+}
+
+// effectiveTimeout resolves a request's solve budget against the
+// configured default and clamp.
+func (s *Service) effectiveTimeout(req time.Duration) time.Duration {
+	d := req
+	if d <= 0 {
+		d = s.cfg.DefaultTimeout
+	}
+	if d <= 0 || d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return d
+}
+
+func (s *Service) nextRequestID() string {
+	return "r" + strconv.FormatInt(s.reqSeq.Add(1), 10)
+}

@@ -1,0 +1,127 @@
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+)
+
+// CanonicalBytes returns a canonical, deterministic encoding of the
+// instance, suitable for content addressing: the instance's JSON form
+// re-serialized with object keys sorted, numbers in their shortest
+// round-trip form, and no insignificant whitespace. Two instances that are
+// semantically identical — regardless of the field order or whitespace of
+// the JSON they were parsed from — encode to the same bytes.
+func (in Instance) CanonicalBytes() ([]byte, error) {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return nil, fmt.Errorf("spec: canonical encoding: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber()
+	var v interface{}
+	if err := dec.Decode(&v); err != nil {
+		return nil, fmt.Errorf("spec: canonical encoding: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := canonicalAppend(&buf, v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// CanonicalHash returns the hex SHA-256 of CanonicalBytes. It is the
+// content address of the instance: stable across processes and releases of
+// the same encoding, invariant to the formatting of the source JSON, and
+// different whenever any semantic field differs.
+func (in Instance) CanonicalHash() (string, error) {
+	data, err := in.CanonicalBytes()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// canonicalAppend writes one decoded JSON value in canonical form: object
+// keys sorted lexicographically, numbers via canonicalNumber, strings
+// re-marshaled with encoding/json (fixed escaping).
+func canonicalAppend(buf *bytes.Buffer, v interface{}) error {
+	switch x := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if x {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case json.Number:
+		s, err := canonicalNumber(x)
+		if err != nil {
+			return err
+		}
+		buf.WriteString(s)
+	case string:
+		data, err := json.Marshal(x)
+		if err != nil {
+			return fmt.Errorf("spec: canonical encoding: %w", err)
+		}
+		buf.Write(data)
+	case []interface{}:
+		buf.WriteByte('[')
+		for i, e := range x {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := canonicalAppend(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	case map[string]interface{}:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		buf.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			kdata, err := json.Marshal(k)
+			if err != nil {
+				return fmt.Errorf("spec: canonical encoding: %w", err)
+			}
+			buf.Write(kdata)
+			buf.WriteByte(':')
+			if err := canonicalAppend(buf, x[k]); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte('}')
+	default:
+		return fmt.Errorf("spec: canonical encoding: unsupported value %T", v)
+	}
+	return nil
+}
+
+// canonicalNumber renders a JSON number canonically: integers that fit an
+// int64 keep their exact decimal form ("7", not "7.0"); everything else is
+// the shortest decimal string that round-trips through float64, so "0.25",
+// "0.250" and "2.5e-1" all collapse to one spelling.
+func canonicalNumber(n json.Number) (string, error) {
+	if i, err := strconv.ParseInt(n.String(), 10, 64); err == nil {
+		return strconv.FormatInt(i, 10), nil
+	}
+	f, err := n.Float64()
+	if err != nil {
+		return "", fmt.Errorf("spec: canonical encoding: number %q: %w", n, err)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64), nil
+}

@@ -1,0 +1,112 @@
+package spec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// Two spellings of the same instance: field order shuffled at every level,
+// whitespace entirely different, numbers in equivalent-but-different
+// notations (0.25 vs 2.5e-1, 3 vs 3.0 would differ as JSON — kept equal
+// semantically after parsing).
+const canonA = `{
+  "mesh": {"w": 3, "h": 2, "jitter": 0.25, "seed": 7},
+  "platform": {},
+  "graph": {
+    "tasks": [
+      {"name": "a", "wcec": 1000000, "deadline": 0.002},
+      {"name": "b", "wcec": 2000000, "deadline": 0.004}
+    ],
+    "edges": [{"from": 0, "to": 1, "bytes": 4096.5}]
+  },
+  "reliability": {"rth": 0.999},
+  "alpha": 1.3
+}`
+
+const canonB = `{"alpha":1.3,"reliability":{"rth":0.999},"graph":{"edges":[{"bytes":4096.5,"to":1,"from":0}],"tasks":[{"deadline":0.002,"wcec":1e6,"name":"a"},{"wcec":2e6,"deadline":4e-3,"name":"b"}]},"platform":{},"mesh":{"seed":7,"jitter":2.5e-1,"h":2,"w":3}}`
+
+func parseInstance(t *testing.T, s string) Instance {
+	t.Helper()
+	var in Instance
+	if err := json.Unmarshal([]byte(s), &in); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return in
+}
+
+func TestCanonicalHashInvariantToFormatting(t *testing.T) {
+	a := parseInstance(t, canonA)
+	b := parseInstance(t, canonB)
+	ha, err := a.CanonicalHash()
+	if err != nil {
+		t.Fatalf("hash a: %v", err)
+	}
+	hb, err := b.CanonicalHash()
+	if err != nil {
+		t.Fatalf("hash b: %v", err)
+	}
+	if ha != hb {
+		t.Fatalf("same instance, different hashes:\n a: %s\n b: %s", ha, hb)
+	}
+	if len(ha) != 64 || strings.ToLower(ha) != ha {
+		t.Fatalf("hash %q is not lowercase hex SHA-256", ha)
+	}
+}
+
+func TestCanonicalHashSensitiveToContent(t *testing.T) {
+	base := parseInstance(t, canonA)
+	hBase, err := base.CanonicalHash()
+	if err != nil {
+		t.Fatalf("hash: %v", err)
+	}
+	mutations := map[string]func(*Instance){
+		"mesh width":    func(in *Instance) { in.Mesh.W++ },
+		"mesh seed":     func(in *Instance) { in.Mesh.Seed = 8 },
+		"task wcec":     func(in *Instance) { in.Graph.Tasks[0].WCEC *= 1.000001 },
+		"task name":     func(in *Instance) { in.Graph.Tasks[0].Name = "a2" },
+		"edge bytes":    func(in *Instance) { in.Graph.Edges[0].Bytes += 1 },
+		"alpha":         func(in *Instance) { in.Alpha = 1.4 },
+		"reliability":   func(in *Instance) { in.Reliability.Rth = 0.9999 },
+		"extra task":    func(in *Instance) { in.Graph.Tasks = append(in.Graph.Tasks, Task{WCEC: 1, Deadline: 1}) },
+		"drop horizon":  func(in *Instance) { in.Alpha = 0; in.Horizon = 0.01 },
+		"level table":   func(in *Instance) { in.Platform.Levels = []VFLevel{{Voltage: 1, Freq: 1e9}} },
+		"jitter change": func(in *Instance) { in.Mesh.Jitter = 0.5 },
+	}
+	for name, mutate := range mutations {
+		in := parseInstance(t, canonA)
+		mutate(&in)
+		h, err := in.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: hash: %v", name, err)
+		}
+		if h == hBase {
+			t.Errorf("%s: mutation did not change the hash", name)
+		}
+	}
+}
+
+func TestCanonicalBytesDeterministic(t *testing.T) {
+	in := parseInstance(t, canonA)
+	first, err := in.CanonicalBytes()
+	if err != nil {
+		t.Fatalf("canonical bytes: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		again, err := in.CanonicalBytes()
+		if err != nil {
+			t.Fatalf("canonical bytes: %v", err)
+		}
+		if string(again) != string(first) {
+			t.Fatalf("canonical bytes differ between calls:\n%s\n%s", first, again)
+		}
+	}
+	// Canonical form has no insignificant whitespace and sorted keys.
+	s := string(first)
+	if strings.ContainsAny(s, " \n\t") {
+		t.Errorf("canonical bytes contain whitespace: %s", s)
+	}
+	if !strings.HasPrefix(s, `{"alpha":`) {
+		t.Errorf("canonical bytes do not start with the lexically first key: %s", s)
+	}
+}
