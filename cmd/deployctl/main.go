@@ -2,21 +2,28 @@
 //
 // Usage:
 //
-//	deployctl [-server URL] solve  [-in FILE] [-solver S] [-objective O]
-//	                               [-seed N] [-timeout D] [-async] [-check]
-//	                               [-out FILE]
-//	deployctl [-server URL] job    ID
+//	deployctl [-server URL] solve   [-in FILE] [-solver S] [-objective O]
+//	                                [-seed N] [-timeout D] [-async] [-check]
+//	                                [-out FILE]
+//	deployctl [-server URL] job     [-trace] ID
 //	deployctl [-server URL] health
-//	deployctl [-server URL] metrics
-//	deployctl [-server URL] load   [-in FILE] [-n N] [-c N] [-solver S]
-//	                               [-timeout D] [-spread]
+//	deployctl [-server URL] metrics [-format json|prom]
+//	deployctl [-server URL] top     [-interval D] [-n N] [-plain]
+//	deployctl [-server URL] load    [-in FILE] [-n N] [-c N] [-solver S]
+//	                                [-timeout D] [-spread]
 //
 // solve posts an instance and writes the returned deployment; -check
 // rebuilds the instance locally and validates the deployment against it,
-// exiting non-zero on mismatch. load is a small generator: n requests at
-// concurrency c, reporting status/cache-outcome counts and latency
-// percentiles; -spread gives every request a distinct seed so nothing
-// coalesces (the default hammers one cache key).
+// exiting non-zero on mismatch. job -trace fetches the job's per-request
+// trace slice (JSONL) instead of its status. metrics -format prom asks
+// the server for the Prometheus text exposition and validates it before
+// printing. top is a live terminal dashboard — request rate, per-stage
+// latency quantiles, queue depth and cache hit rate, recomputed over
+// each polling window. load is a small generator: n requests at
+// concurrency c, reporting status/cache-outcome counts, latency
+// percentiles and the server-side outcome counters; -spread gives every
+// request a distinct seed so nothing coalesces (the default hammers one
+// cache key).
 package main
 
 import (
@@ -32,9 +39,11 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"nocdeploy/internal/core"
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/runner"
 	"nocdeploy/internal/spec"
 )
@@ -46,9 +55,9 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("missing subcommand: solve, job, health, metrics or load")
+		log.Fatal("missing subcommand: solve, job, health, metrics, top or load")
 	}
-	c := &client{base: *server}
+	c := &client{base: *server, out: os.Stdout}
 	var err error
 	switch args[0] {
 	case "solve":
@@ -58,7 +67,9 @@ func main() {
 	case "health":
 		err = cmdGet(c, "/healthz")
 	case "metrics":
-		err = cmdGet(c, "/metrics")
+		err = cmdMetrics(c, args[1:])
+	case "top":
+		err = cmdTop(c, args[1:])
 	case "load":
 		err = cmdLoad(c, args[1:])
 	default:
@@ -69,8 +80,12 @@ func main() {
 	}
 }
 
+// client pairs the server base URL with the output stream, so tests can
+// drive subcommands against an httptest server and capture what they
+// print.
 type client struct {
 	base string
+	out  io.Writer
 }
 
 func (c *client) post(path string, q url.Values, body []byte, timeout time.Duration) (*http.Response, error) {
@@ -95,6 +110,36 @@ func (c *client) post(path string, q url.Values, body []byte, timeout time.Durat
 
 func (c *client) get(path string) (*http.Response, error) {
 	return http.Get(c.base + path)
+}
+
+// getAccept is get with an Accept header, for content-negotiated routes.
+func (c *client) getAccept(path, accept string) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", accept)
+	return http.DefaultClient.Do(req)
+}
+
+// snapshot fetches and decodes the JSON metrics snapshot.
+func (c *client) snapshot() (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	resp, err := c.get("/metrics")
+	if err != nil {
+		return snap, err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return snap, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	if err := json.Unmarshal(got, &snap); err != nil {
+		return snap, fmt.Errorf("decoding metrics: %w", err)
+	}
+	return snap, nil
 }
 
 func drainBody(resp *http.Response) ([]byte, error) {
@@ -159,7 +204,7 @@ func cmdSolve(c *client, args []string) error {
 		if resp.StatusCode != http.StatusAccepted {
 			return fmt.Errorf("server: %s: %s", resp.Status, got)
 		}
-		_, err := os.Stdout.Write(got)
+		_, err := c.out.Write(got)
 		return err
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -188,10 +233,39 @@ func cmdSolve(c *client, args []string) error {
 }
 
 func cmdJob(c *client, args []string) error {
-	if len(args) != 1 {
-		return fmt.Errorf("usage: deployctl job ID")
+	fs := flag.NewFlagSet("job", flag.ExitOnError)
+	trace := fs.Bool("trace", false, "fetch the job's request trace slice (JSONL) instead of its status")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
-	return cmdGet(c, "/v1/jobs/"+url.PathEscape(args[0]))
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: deployctl job [-trace] ID")
+	}
+	id := url.PathEscape(fs.Arg(0))
+	if !*trace {
+		return cmdGet(c, "/v1/jobs/"+id)
+	}
+	resp, err := c.get("/v1/jobs/" + id + "/trace")
+	if err != nil {
+		return err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	// Validate before printing so a torn slice fails loudly, not silently.
+	events, err := obs.ReadJSONL(bytes.NewReader(got))
+	if err != nil {
+		return fmt.Errorf("invalid trace slice: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("empty trace slice for job %s", fs.Arg(0))
+	}
+	_, err = c.out.Write(got)
+	return err
 }
 
 func cmdGet(c *client, path string) error {
@@ -206,8 +280,60 @@ func cmdGet(c *client, path string) error {
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("server: %s: %s", resp.Status, got)
 	}
-	_, err = os.Stdout.Write(got)
+	_, err = c.out.Write(got)
 	return err
+}
+
+func cmdMetrics(c *client, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	format := fs.String("format", "json", "exposition format: json or prom")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "json":
+		return cmdGet(c, "/metrics")
+	case "prom", "prometheus":
+	default:
+		return fmt.Errorf("unknown format %q (want json or prom)", *format)
+	}
+	resp, err := c.getAccept("/metrics", "text/plain")
+	if err != nil {
+		return err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	// Validate the exposition end-to-end: a scrape deployctl can't parse
+	// is a bug worth failing on, not printing.
+	if _, err := obs.ParsePrometheus(bytes.NewReader(got)); err != nil {
+		return fmt.Errorf("invalid Prometheus exposition: %w", err)
+	}
+	_, err = c.out.Write(got)
+	return err
+}
+
+// outcomeCounts extracts the requests{outcome=...} counters from a
+// snapshot, keyed by outcome label value.
+func outcomeCounts(snap obs.Snapshot) map[string]int64 {
+	const prefix = `requests{outcome="`
+	m := map[string]int64{}
+	for k, v := range snap.Counters {
+		rest, ok := strings.CutPrefix(k, prefix)
+		if !ok {
+			continue
+		}
+		outcome, ok := strings.CutSuffix(rest, `"}`)
+		if !ok {
+			continue
+		}
+		m[outcome] = v
+	}
+	return m
 }
 
 func cmdLoad(c *client, args []string) error {
@@ -229,6 +355,10 @@ func cmdLoad(c *client, args []string) error {
 	body, err := json.Marshal(inst)
 	if err != nil {
 		return err
+	}
+	before, err := c.snapshot()
+	if err != nil {
+		return fmt.Errorf("pre-load metrics scrape: %w", err)
 	}
 	type sample struct {
 		status  int
@@ -259,6 +389,10 @@ func cmdLoad(c *client, args []string) error {
 		return err
 	}
 	wall := time.Since(start)
+	after, err := c.snapshot()
+	if err != nil {
+		return fmt.Errorf("post-load metrics scrape: %w", err)
+	}
 
 	statuses := map[int]int{}
 	outcomes := map[string]int{}
@@ -277,13 +411,27 @@ func cmdLoad(c *client, args []string) error {
 		}
 		return lats[int(q*float64(len(lats)-1))]
 	}
-	fmt.Printf("requests:  %d in %v (%.1f req/s, concurrency %d)\n",
+	fmt.Fprintf(c.out, "requests:  %d in %v (%.1f req/s, concurrency %d)\n",
 		len(samples), wall.Round(time.Millisecond), float64(len(samples))/wall.Seconds(), *conc)
-	fmt.Printf("status:    ")
-	printCounts(statuses)
-	fmt.Printf("cache:     ")
-	printStrCounts(outcomes)
-	fmt.Printf("latency:   min %v  p50 %v  p90 %v  max %v\n",
+	fmt.Fprintf(c.out, "status:    ")
+	printCounts(c.out, statuses)
+	fmt.Fprintf(c.out, "cache:     ")
+	printStrCounts(c.out, outcomes)
+
+	// The server-side view: deltas of the outcome-labelled request
+	// counters across the burst. Differs from the client's cache column
+	// when other clients are hitting the server concurrently.
+	pre, post := outcomeCounts(before), outcomeCounts(after)
+	deltas := map[string]int{}
+	for oc, v := range post {
+		if d := v - pre[oc]; d > 0 {
+			deltas[oc] = int(d)
+		}
+	}
+	fmt.Fprintf(c.out, "outcomes:  ")
+	printStrCounts(c.out, deltas)
+
+	fmt.Fprintf(c.out, "latency:   min %v  p50 %v  p90 %v  max %v\n",
 		pct(0).Round(time.Microsecond), pct(0.5).Round(time.Microsecond),
 		pct(0.9).Round(time.Microsecond), pct(1).Round(time.Microsecond))
 	if statuses[http.StatusOK] != len(samples) {
@@ -292,26 +440,26 @@ func cmdLoad(c *client, args []string) error {
 	return nil
 }
 
-func printCounts(m map[int]int) {
+func printCounts(w io.Writer, m map[int]int) {
 	keys := make([]int, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Ints(keys)
 	for _, k := range keys {
-		fmt.Printf("%d×%d  ", k, m[k])
+		fmt.Fprintf(w, "%d×%d  ", k, m[k])
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
-func printStrCounts(m map[string]int) {
+func printStrCounts(w io.Writer, m map[string]int) {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
 	for _, k := range keys {
-		fmt.Printf("%s×%d  ", k, m[k])
+		fmt.Fprintf(w, "%s×%d  ", k, m[k])
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }

@@ -1,0 +1,226 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/obs"
+	"nocdeploy/internal/service"
+	"nocdeploy/internal/spec"
+)
+
+// testInstance is a small feasible instance the heuristic solves in
+// microseconds.
+func testInstance() spec.Instance {
+	inst := spec.Instance{
+		Platform: spec.Platform{Levels: []spec.VFLevel{
+			{Voltage: 0.85, Freq: 0.5e9},
+			{Voltage: 1.10, Freq: 1.0e9},
+		}},
+		Mesh:    spec.Mesh{W: 2, H: 1, Seed: 1},
+		Horizon: 5.0,
+	}
+	for i := 0; i < 3; i++ {
+		inst.Graph.Tasks = append(inst.Graph.Tasks, spec.Task{WCEC: 5e8, Deadline: 2.0})
+	}
+	for i := 0; i+1 < 3; i++ {
+		inst.Graph.Edges = append(inst.Graph.Edges, spec.Edge{From: i, To: i + 1, Bytes: 32 << 10})
+	}
+	return inst
+}
+
+// startServer runs a real service behind httptest and returns a client
+// that captures subcommand output.
+func startServer(t *testing.T) (*client, *bytes.Buffer, func()) {
+	t.Helper()
+	svc := service.New(service.Config{})
+	srv := httptest.NewServer(svc.Handler())
+	var out bytes.Buffer
+	c := &client{base: srv.URL, out: &out}
+	return c, &out, func() {
+		srv.Close()
+		svc.Close()
+	}
+}
+
+func writeInstanceFile(t *testing.T) string {
+	t.Helper()
+	b, err := json.Marshal(testInstance())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "instance.json")
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestJobTraceEndToEnd is the CLI acceptance test: an async solve's job
+// ID, fed to `deployctl job -trace`, yields a JSONL trace slice whose
+// every event carries the request ID — solver events included.
+func TestJobTraceEndToEnd(t *testing.T) {
+	c, out, stop := startServer(t)
+	defer stop()
+	in := writeInstanceFile(t)
+
+	if err := cmdSolve(c, []string{"-in", in, "-async"}); err != nil {
+		t.Fatalf("async solve: %v", err)
+	}
+	var job struct {
+		ID      string `json:"id"`
+		Request string `json:"request"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &job); err != nil {
+		t.Fatalf("decoding job: %v (%s)", err, out.Bytes())
+	}
+	if job.ID == "" || job.Request == "" {
+		t.Fatalf("job record incomplete: %+v", job)
+	}
+
+	// Poll until the job finishes (its req.done lands in the ring).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out.Reset()
+		if err := cmdJob(c, []string{job.ID}); err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			Status string `json:"status"`
+		}
+		if err := json.Unmarshal(out.Bytes(), &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == "done" {
+			break
+		}
+		if st.Status == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	out.Reset()
+	if err := cmdJob(c, []string{"-trace", job.ID}); err != nil {
+		t.Fatalf("job -trace: %v", err)
+	}
+	events, err := obs.ReadJSONL(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("trace output not JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace slice")
+	}
+	solverEvents := 0
+	for _, e := range events {
+		if e.Req != job.Request {
+			t.Fatalf("event %s carries req %q, want %q", e.Kind, e.Req, job.Request)
+		}
+		switch e.Kind {
+		case obs.ReqAdmit, obs.ReqStage, obs.ReqDone:
+		default:
+			solverEvents++
+		}
+	}
+	if solverEvents == 0 {
+		t.Fatal("trace slice has no solver events")
+	}
+}
+
+func TestMetricsPromValidated(t *testing.T) {
+	c, out, stop := startServer(t)
+	defer stop()
+	in := writeInstanceFile(t)
+	if err := cmdSolve(c, []string{"-in", in, "-out", os.DevNull}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := cmdMetrics(c, []string{"-format", "prom"}); err != nil {
+		t.Fatalf("metrics -format prom: %v", err)
+	}
+	fams, err := obs.ParsePrometheus(bytes.NewReader(out.Bytes()))
+	if err != nil {
+		t.Fatalf("printed exposition does not parse: %v", err)
+	}
+	if _, ok := fams["queue_depth"]; !ok {
+		t.Fatal("exposition missing queue_depth")
+	}
+
+	out.Reset()
+	if err := cmdMetrics(c, []string{"-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(out.Bytes(), &snap); err != nil {
+		t.Fatalf("json format not a snapshot: %v", err)
+	}
+
+	if err := cmdMetrics(c, []string{"-format", "xml"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestTopRendersFrames(t *testing.T) {
+	c, out, stop := startServer(t)
+	defer stop()
+	in := writeInstanceFile(t)
+	if err := cmdSolve(c, []string{"-in", in, "-out", os.DevNull}); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := cmdTop(c, []string{"-n", "2", "-interval", "50ms", "-plain"}); err != nil {
+		t.Fatalf("top: %v", err)
+	}
+	frame := out.String()
+	for _, want := range []string{"requests", "queue", "cache", "stage", "p50", "p95", "p99", "e2e"} {
+		if !strings.Contains(frame, want) {
+			t.Fatalf("top frame missing %q:\n%s", want, frame)
+		}
+	}
+	if strings.Contains(frame, "\x1b[") {
+		t.Fatal("-plain frame contains ANSI escapes")
+	}
+}
+
+func TestLoadPrintsServerOutcomes(t *testing.T) {
+	c, out, stop := startServer(t)
+	defer stop()
+	in := writeInstanceFile(t)
+	if err := cmdLoad(c, []string{"-in", in, "-n", "10", "-c", "2"}); err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "outcomes:") {
+		t.Fatalf("load output missing outcomes line:\n%s", got)
+	}
+	// 10 identical requests: every one lands in ok/cached/coalesced.
+	ok := map[string]bool{"ok": true, "cached": true, "coalesced": true}
+	total := 0
+	for _, line := range strings.Split(got, "\n") {
+		rest, found := strings.CutPrefix(line, "outcomes:")
+		if !found {
+			continue
+		}
+		for _, part := range strings.Fields(rest) {
+			name, count, found := strings.Cut(part, "×")
+			if !found || !ok[name] {
+				continue
+			}
+			n, err := strconv.Atoi(count)
+			if err != nil {
+				t.Fatalf("bad count %q in %q", count, line)
+			}
+			total += n
+		}
+	}
+	if total != 10 {
+		t.Fatalf("outcome deltas sum to %d, want 10:\n%s", total, got)
+	}
+}

@@ -1,0 +1,110 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// cmdTop is the live dashboard: it polls the JSON metrics snapshot and
+// renders the deltas of each polling window — request rate, per-outcome
+// split, per-stage latency quantiles — next to the point-in-time gauges
+// (queue depth, in-flight solves, cache hit rate). -plain appends frames
+// instead of redrawing in place, for logs and non-ANSI terminals.
+func cmdTop(c *client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	interval := fs.Duration("interval", 2*time.Second, "polling interval")
+	frames := fs.Int("n", 0, "stop after N frames (0 = run until interrupted)")
+	plain := fs.Bool("plain", false, "append frames instead of redrawing (no ANSI escapes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *interval <= 0 {
+		return fmt.Errorf("interval must be positive")
+	}
+	prev, err := c.snapshot()
+	if err != nil {
+		return err
+	}
+	prevAt := time.Now()
+	for i := 0; *frames == 0 || i < *frames; i++ {
+		time.Sleep(*interval)
+		cur, err := c.snapshot()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		if !*plain {
+			// Home the cursor and clear below: repaint without flicker.
+			fmt.Fprint(c.out, "\x1b[H\x1b[2J")
+		}
+		renderTop(c.out, c.base, cur, cur.DeltaFrom(prev), now.Sub(prevAt))
+		prev, prevAt = cur, now
+	}
+	return nil
+}
+
+// renderTop draws one frame: cur supplies the gauges, delta the
+// window-relative counters and histograms.
+func renderTop(w io.Writer, server string, cur, delta obs.Snapshot, window time.Duration) {
+	outcomes := outcomeCounts(delta)
+	var total int64
+	for _, v := range outcomes {
+		total += v
+	}
+	qps := float64(total) / window.Seconds()
+
+	fmt.Fprintf(w, "nocdeployd %s — window %v\n\n", server, window.Round(100*time.Millisecond))
+	fmt.Fprintf(w, "requests   %6.1f req/s   (%d in window)\n", qps, total)
+	fmt.Fprintf(w, "queue      %6.0f deep    %6.0f waiting   %6.0f solving\n",
+		cur.Gauges["queue.depth"], cur.Gauges["queue.waiting"], cur.Gauges["solve.inflight"])
+	fmt.Fprintf(w, "cache      %6.1f%% hit    %6.0f entries   %6.0f jobs live\n",
+		100*cur.Gauges["cache.hit_ratio"], cur.Gauges["cache.entries"], cur.Gauges["jobs.live"])
+
+	if len(outcomes) > 0 {
+		keys := make([]string, 0, len(outcomes))
+		for k := range outcomes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		parts := make([]string, 0, len(keys))
+		for _, k := range keys {
+			parts = append(parts, fmt.Sprintf("%s %d", k, outcomes[k]))
+		}
+		fmt.Fprintf(w, "outcomes   %s\n", strings.Join(parts, "   "))
+	}
+
+	fmt.Fprintf(w, "\n%-12s %8s %10s %10s %10s\n", "stage", "count", "p50", "p95", "p99")
+	for _, stage := range []string{"admission", "cache", "queue", "solve", "e2e"} {
+		h, ok := delta.Hists["stage."+stage+"_seconds"]
+		if !ok || h.Count == 0 {
+			fmt.Fprintf(w, "%-12s %8d %10s %10s %10s\n", stage, 0, "-", "-", "-")
+			continue
+		}
+		fmt.Fprintf(w, "%-12s %8d %10s %10s %10s\n", stage, h.Count,
+			fmtSeconds(h.Quantile(0.50)), fmtSeconds(h.Quantile(0.95)), fmtSeconds(h.Quantile(0.99)))
+	}
+}
+
+// fmtSeconds renders a latency in seconds with a human unit.
+func fmtSeconds(s float64) string {
+	if math.IsNaN(s) {
+		return "-"
+	}
+	d := time.Duration(s * float64(time.Second))
+	switch {
+	case d < time.Microsecond:
+		return d.Round(time.Nanosecond).String()
+	case d < time.Millisecond:
+		return d.Round(100 * time.Nanosecond).String()
+	case d < time.Second:
+		return d.Round(10 * time.Microsecond).String()
+	}
+	return d.Round(time.Millisecond).String()
+}

@@ -6,23 +6,33 @@
 //
 //	nocdeployd [-addr HOST:PORT] [-addr-file FILE] [-workers N] [-queue N]
 //	           [-cache-size N] [-max-jobs N] [-default-timeout D]
-//	           [-max-timeout D] [-drain-grace D]
+//	           [-max-timeout D] [-drain-grace D] [-trace-buffer N]
+//	           [-access-log FILE] [-debug-addr HOST:PORT]
 //
 // The daemon answers POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and
-// GET /metrics; cmd/deployctl is the matching client. On SIGTERM/SIGINT it
-// stops accepting work, drains in-flight requests and queued solves, and
-// exits 0 — orchestrators can treat a non-zero exit as a failed drain.
-// -addr-file writes the actually-bound address (useful with ":0" for tests
-// and CI smoke runs).
+// GET /metrics (JSON by default, Prometheus text with Accept: text/plain
+// or ?format=prom); cmd/deployctl is the matching client. Every request
+// is tagged with an X-Request-ID whose trace slice is retained in a ring
+// buffer of -trace-buffer events and served at
+// GET /v1/requests/{id}/trace. -access-log writes one JSON line per
+// request ("-" for stderr); -debug-addr starts a second listener serving
+// net/http/pprof, kept off the public API surface on purpose.
+//
+// On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight
+// requests and queued solves, and exits 0 — orchestrators can treat a
+// non-zero exit as a failed drain. -addr-file writes the actually-bound
+// address (useful with ":0" for tests and CI smoke runs).
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -36,18 +46,35 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("nocdeployd: ")
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
-		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening")
-		workers    = flag.Int("workers", 0, "solver pool workers (0 = all cores)")
-		queue      = flag.Int("queue", 64, "queued solves before requests are rejected with 429")
-		cacheSize  = flag.Int("cache-size", 256, "solution cache entries (LRU)")
-		maxJobs    = flag.Int("max-jobs", 256, "live async jobs before 429")
-		defTimeout = flag.Duration("default-timeout", 0, "solve budget for requests without an explicit timeout (0 = none)")
-		maxTimeout = flag.Duration("max-timeout", time.Hour, "clamp on per-request timeouts")
-		drainGrace = flag.Duration("drain-grace", 30*time.Second, "shutdown grace for in-flight HTTP requests")
+		addr        = flag.String("addr", "127.0.0.1:7077", "listen address (use :0 for an ephemeral port)")
+		addrFile    = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers     = flag.Int("workers", 0, "solver pool workers (0 = all cores)")
+		queue       = flag.Int("queue", 64, "queued solves before requests are rejected with 429")
+		cacheSize   = flag.Int("cache-size", 256, "solution cache entries (LRU)")
+		maxJobs     = flag.Int("max-jobs", 256, "live async jobs before 429")
+		defTimeout  = flag.Duration("default-timeout", 0, "solve budget for requests without an explicit timeout (0 = none)")
+		maxTimeout  = flag.Duration("max-timeout", time.Hour, "clamp on per-request timeouts")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown grace for in-flight HTTP requests")
+		traceBuffer = flag.Int("trace-buffer", 4096, "trace events retained for /v1/requests/{id}/trace (0 disables tracing)")
+		accessLog   = flag.String("access-log", "", "structured access log destination (- for stderr, empty disables)")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
 
+	alog, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if closeLog != nil {
+		defer closeLog()
+	}
+
+	// The flag says "0 disables"; the Config says "0 means default,
+	// negative disables" so that a zero value stays safe for API users.
+	tb := *traceBuffer
+	if tb <= 0 {
+		tb = -1
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -56,6 +83,8 @@ func main() {
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		Metrics:        obs.NewMetrics(),
+		TraceBuffer:    tb,
+		AccessLog:      alog,
 	})
 
 	ln, err := net.Listen("tcp", *addr)
@@ -69,6 +98,15 @@ func main() {
 		}
 	}
 	srv := &http.Server{Handler: svc.Handler()}
+
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		go serveDebug(dln)
+		log.Printf("pprof on http://%s/debug/pprof/", dln.Addr())
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
@@ -92,4 +130,39 @@ func main() {
 		log.Fatalf("serve: %v", err)
 	}
 	log.Print("drained cleanly")
+}
+
+// openAccessLog resolves the -access-log destination: "" disables,
+// "-" is stderr, anything else appends to a file.
+func openAccessLog(dest string) (io.Writer, func(), error) {
+	switch dest {
+	case "":
+		return nil, nil, nil
+	case "-":
+		return os.Stderr, nil, nil
+	}
+	f, err := os.OpenFile(dest, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() {
+		if err := f.Close(); err != nil {
+			log.Printf("closing access log: %v", err)
+		}
+	}, nil
+}
+
+// serveDebug runs the pprof endpoints on their own listener. The default
+// mux would get them for free, but the API server deliberately uses its
+// own mux, so register the handlers explicitly here.
+func serveDebug(ln net.Listener) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if err := http.Serve(ln, mux); err != nil && !errors.Is(err, net.ErrClosed) {
+		log.Printf("debug server: %v", err)
+	}
 }

@@ -52,6 +52,20 @@ const (
 	// the item failed.
 	PoolTaskStart Kind = "pool.task.start"
 	PoolTaskDone  Kind = "pool.task.done"
+
+	// ReqAdmit: the deployment service admitted one request. Label names
+	// the requested solver; Phase is "sync" or "async". Always carries the
+	// request ID in Req (as does every event of the solve it triggers —
+	// see Trace.WithRequest).
+	ReqAdmit Kind = "req.admit"
+	// ReqStage: one serving stage of a request finished. Phase is the
+	// stage name ("admission", "cache", "queue", "solve"), Dur the stage
+	// wall time in seconds.
+	ReqStage Kind = "req.stage"
+	// ReqDone: the request finished. Phase is the outcome ("ok", "cached",
+	// "coalesced", "cancelled", "rejected", "error"), Dur the end-to-end
+	// service time in seconds.
+	ReqDone Kind = "req.done"
 )
 
 // Event is one observation. The zero value of every optional field is
@@ -64,6 +78,7 @@ type Event struct {
 	Seq     int64   `json:"seq"`
 	T       float64 `json:"t"`
 	Kind    Kind    `json:"kind"`
+	Req     string  `json:"req,omitempty"` // originating request ID (service solves)
 	Worker  int     `json:"worker,omitempty"`
 	Node    int     `json:"node,omitempty"`
 	Depth   int     `json:"depth,omitempty"`

@@ -135,6 +135,136 @@ type HistSnapshot struct {
 	Buckets []int64   `json:"buckets"`
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts
+// by linear interpolation inside the bucket holding the target rank, the
+// standard Prometheus-style histogram_quantile estimate. Exact at bucket
+// boundaries: when the target rank lands on a bucket's cumulative count,
+// the bucket's upper bound is returned. The recorded Min/Max tighten the
+// outermost buckets when finite (a windowed delta from Sub has neither).
+// An empty histogram returns NaN.
+func (h HistSnapshot) Quantile(q float64) float64 {
+	if h.Count <= 0 {
+		return math.NaN()
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.Count)
+	cum := int64(0)
+	for i, n := range h.Buckets {
+		if n == 0 {
+			cum += n
+			continue
+		}
+		prev := cum
+		cum += n
+		if target > float64(cum) {
+			continue
+		}
+		// The rank lands in this bucket: interpolate between its edges.
+		lower, upper := bucketEdges(h, i)
+		frac := (target - float64(prev)) / float64(n)
+		if frac < 0 {
+			frac = 0
+		}
+		v := lower + (upper-lower)*frac
+		return clampToObserved(h, v)
+	}
+	// Only reachable when every bucket is empty but Count > 0 (corrupt
+	// snapshot); fall back to the recorded extremes.
+	return clampToObserved(h, h.Max)
+}
+
+// bucketEdges returns bucket i's value range. The first bucket extends
+// down to Min (when finite) or zero; the overflow bucket extends up to
+// Max (when finite) or the last bound.
+func bucketEdges(h HistSnapshot, i int) (lower, upper float64) {
+	switch {
+	case i == 0:
+		lower = 0
+		if !math.IsInf(h.Min, 0) && h.Min < h.Bounds[0] {
+			lower = h.Min
+		}
+	case i <= len(h.Bounds):
+		lower = h.Bounds[i-1]
+	}
+	if i < len(h.Bounds) {
+		upper = h.Bounds[i]
+	} else {
+		upper = h.Bounds[len(h.Bounds)-1]
+		if !math.IsInf(h.Max, 0) && h.Max > upper {
+			upper = h.Max
+		}
+	}
+	return lower, upper
+}
+
+// clampToObserved bounds an estimate by the recorded extremes, when
+// known.
+func clampToObserved(h HistSnapshot, v float64) float64 {
+	if !math.IsInf(h.Min, 0) && v < h.Min {
+		v = h.Min
+	}
+	if !math.IsInf(h.Max, 0) && v > h.Max {
+		v = h.Max
+	}
+	return v
+}
+
+// Sub returns the histogram of observations made after prev was taken —
+// the per-window view a poller needs for live quantiles. Min/Max are
+// unknown for the window and come back infinite. Snapshots with
+// different bucket ladders (or an empty prev) return h unchanged.
+func (h HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	if prev.Count == 0 || len(prev.Buckets) != len(h.Buckets) {
+		return h
+	}
+	d := HistSnapshot{
+		Count:   h.Count - prev.Count,
+		Sum:     h.Sum - prev.Sum,
+		Min:     math.Inf(1),
+		Max:     math.Inf(-1),
+		Bounds:  h.Bounds,
+		Buckets: make([]int64, len(h.Buckets)),
+	}
+	if d.Count < 0 { // counter reset (e.g. daemon restart): window unknowable
+		return h
+	}
+	for i := range h.Buckets {
+		if n := h.Buckets[i] - prev.Buckets[i]; n > 0 {
+			d.Buckets[i] = n
+		}
+	}
+	return d
+}
+
+// DeltaFrom returns the registry change from prev to s: counters and
+// histograms subtract (clamped at zero on resets), gauges and series
+// keep s's current values. This is what a metrics poller shows per
+// refresh interval.
+func (s Snapshot) DeltaFrom(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Counters: map[string]int64{},
+		Gauges:   s.Gauges,
+		Hists:    map[string]HistSnapshot{},
+		Series:   s.Series,
+	}
+	for k, v := range s.Counters {
+		dv := v - prev.Counters[k]
+		if dv < 0 {
+			dv = v
+		}
+		d.Counters[k] = dv
+	}
+	for k, h := range s.Hists {
+		d.Hists[k] = h.Sub(prev.Hists[k])
+	}
+	return d
+}
+
 // Snapshot is a frozen, JSON-stable view of the registry: encoding/json
 // sorts map keys, so two snapshots of the same state marshal identically.
 type Snapshot struct {

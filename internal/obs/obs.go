@@ -51,12 +51,22 @@ type Sink interface {
 // Trace is the event hub handed to solver code. The nil *Trace is the
 // disabled tracer: every method is nil-safe and Emit on nil returns
 // immediately, so hot paths pay only the receiver nil test.
+//
+// A Trace is either a root (owns clock, sequence and sinks) or a
+// request-scoped child made by WithRequest, which shares everything with
+// its root but stamps a request ID onto every event it emits.
 type Trace struct {
 	mu    sync.Mutex
 	now   func() time.Time
 	start time.Time
 	seq   int64
 	sinks []Sink
+
+	// Child traces delegate emission to root and tag events with req;
+	// both are immutable after construction, so children need no locking
+	// of their own.
+	root *Trace
+	req  string
 }
 
 // New returns a trace fanning events out to the given sinks, stamped with
@@ -77,12 +87,36 @@ func NewWithClock(now func() time.Time, sinks ...Sink) *Trace {
 // tight loops should guard event construction with it.
 func (t *Trace) Enabled() bool { return t != nil }
 
+// WithRequest returns a request-scoped view of the trace: it shares the
+// root's clock, sequence numbering and sinks, but every event emitted
+// through it carries id in Event.Req. The deployment service mints one
+// per admitted request and hands it to the solver, so a request's events
+// can be sliced back out of the shared stream. Children of children
+// re-parent onto the root. Nil-safe: a nil trace returns nil, keeping
+// the disabled path free.
+func (t *Trace) WithRequest(id string) *Trace {
+	if t == nil {
+		return nil
+	}
+	root := t
+	if t.root != nil {
+		root = t.root
+	}
+	return &Trace{root: root, req: id}
+}
+
 // Emit stamps e with the trace-relative timestamp and the next sequence
 // number and hands it to every sink. Safe for concurrent use; a nil
-// receiver discards the event.
+// receiver discards the event. On a request-scoped trace the event is
+// additionally stamped with the request ID before delegation to the
+// root's sinks.
 func (t *Trace) Emit(e Event) {
 	if t == nil {
 		return
+	}
+	if t.root != nil {
+		e.Req = t.req
+		t = t.root
 	}
 	t.mu.Lock()
 	t.seq++
@@ -95,9 +129,10 @@ func (t *Trace) Emit(e Event) {
 }
 
 // Close closes every sink in registration order and returns the first
-// error. Nil-safe.
+// error. Nil-safe; closing a request-scoped child is a no-op — the root
+// owns the sinks.
 func (t *Trace) Close() error {
-	if t == nil {
+	if t == nil || t.root != nil {
 		return nil
 	}
 	t.mu.Lock()

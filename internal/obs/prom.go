@@ -1,0 +1,518 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4) for the metrics registry.
+//
+// The registry's flat keys optionally carry labels in the canonical form
+// built by Key: `name{k="v",k2="v2"}`. The JSON snapshot keeps these as
+// opaque keys; WritePrometheus splits them back into metric families so
+// `requests{outcome="ok"}` and `requests{outcome="error"}` share one
+// family with two labelled samples. Metric names are sanitized to the
+// Prometheus charset (dots become underscores), counters gain the
+// conventional `_total` suffix, and histograms expand into cumulative
+// `_bucket{le=...}` samples plus `_sum` and `_count`. Time series have no
+// exposition equivalent and are omitted — scrape intervals are the
+// series. ParsePrometheus is the validating inverse used by tests and
+// `deployctl metrics -format prom`.
+
+// PromContentType is the Content-Type of the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Key builds a labelled registry key: Key("requests", "outcome", "ok")
+// is `requests{outcome="ok"}`. Label pairs are sorted by label name so
+// equal label sets always collapse onto one key; values are escaped.
+// A trailing unpaired argument is ignored.
+func Key(name string, labelPairs ...string) string {
+	n := len(labelPairs) / 2
+	if n == 0 {
+		return name
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, n)
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		pairs = append(pairs, kv{labelPairs[i], labelPairs[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// splitKey separates a registry key into its metric name and raw label
+// body: `a{x="y"}` → ("a", `x="y"`); an unlabelled key returns ("a", "").
+func splitKey(key string) (name, labels string) {
+	i := strings.IndexByte(key, '{')
+	if i < 0 || !strings.HasSuffix(key, "}") {
+		return key, ""
+	}
+	return key[:i], key[i+1 : len(key)-1]
+}
+
+// sanitizeMetricName maps a registry name onto the Prometheus name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*: every other rune becomes '_', and a
+// leading digit gains a '_' prefix.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if r >= '0' && r <= '9' && i == 0 {
+			b.WriteByte('_')
+			b.WriteRune(r)
+			continue
+		}
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promSample is one exposition line before formatting.
+type promSample struct {
+	labels string // raw label body, without braces
+	value  string // preformatted value
+}
+
+// promFamily collects one metric family's samples.
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+func formatPromValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes snapshot s in the text exposition format,
+// deterministically ordered (families and samples sorted).
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	fams := map[string]*promFamily{}
+	family := func(name, typ string) *promFamily {
+		f, ok := fams[name]
+		if !ok {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for key, v := range s.Counters {
+		name, labels := splitKey(key)
+		name = sanitizeMetricName(name)
+		if !strings.HasSuffix(name, "_total") {
+			name += "_total"
+		}
+		f := family(name, "counter")
+		f.samples = append(f.samples, promSample{labels: labels, value: strconv.FormatInt(v, 10)})
+	}
+	for key, v := range s.Gauges {
+		name, labels := splitKey(key)
+		f := family(sanitizeMetricName(name), "gauge")
+		f.samples = append(f.samples, promSample{labels: labels, value: formatPromValue(v)})
+	}
+	for key, h := range s.Hists {
+		name, labels := splitKey(key)
+		name = sanitizeMetricName(name)
+		f := family(name, "histogram")
+		joinLe := func(le string) string {
+			if labels == "" {
+				return `le="` + le + `"`
+			}
+			return labels + `,le="` + le + `"`
+		}
+		cum := int64(0)
+		for i, ub := range h.Bounds {
+			if i < len(h.Buckets) {
+				cum += h.Buckets[i]
+			}
+			f.samples = append(f.samples, promSample{labels: joinLe(formatPromValue(ub)), value: strconv.FormatInt(cum, 10)})
+		}
+		// Overflow bucket: everything above the last bound.
+		if n := len(h.Bounds); n < len(h.Buckets) {
+			cum += h.Buckets[n]
+		}
+		f.samples = append(f.samples, promSample{labels: joinLe("+Inf"), value: strconv.FormatInt(cum, 10)})
+		f.name = name // bucket samples print under name_bucket; sum/count below
+		fams[name] = f
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	bw := bufio.NewWriter(w)
+	for _, n := range names {
+		f := fams[n]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		if _, err := fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.typ); err != nil {
+			return err
+		}
+		if f.typ == "histogram" {
+			for _, smp := range f.samples {
+				if _, err := fmt.Fprintf(bw, "%s_bucket{%s} %s\n", f.name, smp.labels, smp.value); err != nil {
+					return err
+				}
+			}
+			// _sum and _count carry the original (non-le) labels.
+			h := histFor(s, f.name)
+			for _, key := range h {
+				_, labels := splitKey(key)
+				hs := s.Hists[key]
+				if err := writeSample(bw, f.name+"_sum", labels, formatPromValue(hs.Sum)); err != nil {
+					return err
+				}
+				if err := writeSample(bw, f.name+"_count", labels, strconv.FormatInt(hs.Count, 10)); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		for _, smp := range f.samples {
+			if err := writeSample(bw, f.name, smp.labels, smp.value); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// histFor returns the snapshot keys whose sanitized base name is name,
+// sorted, so _sum/_count lines come out deterministically.
+func histFor(s Snapshot, name string) []string {
+	var keys []string
+	for key := range s.Hists {
+		base, _ := splitKey(key)
+		if sanitizeMetricName(base) == name {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func writeSample(w io.Writer, name, labels, value string) error {
+	var err error
+	if labels == "" {
+		_, err = fmt.Fprintf(w, "%s %s\n", name, value)
+	} else {
+		_, err = fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+	}
+	return err
+}
+
+// PromSample is one parsed exposition sample.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one parsed metric family: the samples sharing a base
+// name, under the type its `# TYPE` line declared.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePrometheus reads text exposition format and validates it: every
+// sample line must parse, every sample must belong to a family declared
+// by a preceding `# TYPE` line, and histogram bucket counts must be
+// cumulative with the `+Inf` bucket equal to `_count`. It returns the
+// families keyed by base name. This is the checker behind the CI metrics
+// scrape and `deployctl metrics -format prom`.
+func ParsePrometheus(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				name, typ := fields[2], fields[3]
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return nil, fmt.Errorf("prom: line %d: unknown type %q", lineNo, typ)
+				}
+				if _, dup := fams[name]; dup {
+					return nil, fmt.Errorf("prom: line %d: duplicate TYPE for %q", lineNo, name)
+				}
+				fams[name] = &PromFamily{Name: name, Type: typ}
+			}
+			continue
+		}
+		smp, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("prom: line %d: %w", lineNo, err)
+		}
+		fam := familyOf(fams, smp.Name)
+		if fam == nil {
+			return nil, fmt.Errorf("prom: line %d: sample %q has no TYPE declaration", lineNo, smp.Name)
+		}
+		fam.Samples = append(fam.Samples, smp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prom: %w", err)
+	}
+	for _, fam := range fams {
+		if fam.Type == "histogram" {
+			if err := validateHistogram(fam); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return fams, nil
+}
+
+// familyOf resolves a sample name to its declared family, mapping
+// histogram sub-series (_bucket, _sum, _count) back to the base family.
+func familyOf(fams map[string]*PromFamily, name string) *PromFamily {
+	if f, ok := fams[name]; ok {
+		return f
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if f, ok := fams[base]; ok && f.Type == "histogram" {
+			return f
+		}
+	}
+	return nil
+}
+
+// parsePromSample parses `name{k="v",...} value [timestamp]`.
+func parsePromSample(line string) (PromSample, error) {
+	smp := PromSample{Labels: map[string]string{}}
+	rest := line
+	// Metric name: up to '{' or whitespace.
+	end := strings.IndexAny(rest, "{ \t")
+	if end <= 0 {
+		return smp, fmt.Errorf("malformed sample %q", line)
+	}
+	smp.Name = rest[:end]
+	if !validPromName(smp.Name) {
+		return smp, fmt.Errorf("invalid metric name %q", smp.Name)
+	}
+	rest = rest[end:]
+	if strings.HasPrefix(rest, "{") {
+		end := strings.IndexByte(rest, '}')
+		if end < 0 {
+			return smp, fmt.Errorf("unterminated label set in %q", line)
+		}
+		if err := parsePromLabels(rest[1:end], smp.Labels); err != nil {
+			return smp, err
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return smp, fmt.Errorf("expected value (and optional timestamp) in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return smp, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	smp.Value = v
+	return smp, nil
+}
+
+func validPromName(name string) bool {
+	for i, r := range name {
+		switch {
+		case r == '_' || r == ':':
+		case r >= 'a' && r <= 'z':
+		case r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return name != ""
+}
+
+// parsePromLabels parses `k="v",k2="v2"` into dst, unescaping values.
+func parsePromLabels(body string, dst map[string]string) error {
+	rest := body
+	for rest != "" {
+		eq := strings.IndexByte(rest, '=')
+		if eq <= 0 {
+			return fmt.Errorf("malformed label in %q", body)
+		}
+		key := strings.TrimSpace(rest[:eq])
+		if !validPromName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		rest = rest[eq+1:]
+		if !strings.HasPrefix(rest, `"`) {
+			return fmt.Errorf("unquoted label value in %q", body)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			c := rest[i]
+			if c == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				case '\\', '"':
+					val.WriteByte(rest[i])
+				default:
+					return fmt.Errorf("bad escape in label value %q", body)
+				}
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			val.WriteByte(c)
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", body)
+		}
+		dst[key] = val.String()
+		rest = rest[i+1:]
+		rest = strings.TrimPrefix(rest, ",")
+	}
+	return nil
+}
+
+// validateHistogram checks the bucket contract per label signature: le
+// values parse, counts are cumulative (non-decreasing by ascending le),
+// the +Inf bucket exists and equals the matching _count sample.
+func validateHistogram(fam *PromFamily) error {
+	type bucket struct {
+		le float64
+		n  float64
+	}
+	buckets := map[string][]bucket{}
+	counts := map[string]float64{}
+	haveCount := map[string]bool{}
+	for _, smp := range fam.Samples {
+		sig := labelSignature(smp.Labels, "le")
+		switch {
+		case smp.Name == fam.Name+"_bucket":
+			le, ok := smp.Labels["le"]
+			if !ok {
+				return fmt.Errorf("prom: %s bucket without le label", fam.Name)
+			}
+			ub, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("prom: %s bucket le=%q: %v", fam.Name, le, err)
+			}
+			buckets[sig] = append(buckets[sig], bucket{le: ub, n: smp.Value})
+		case smp.Name == fam.Name+"_count":
+			counts[sig] = smp.Value
+			haveCount[sig] = true
+		}
+	}
+	for sig, bs := range buckets {
+		sort.Slice(bs, func(i, j int) bool { return bs[i].le < bs[j].le })
+		prev := 0.0
+		for _, b := range bs {
+			if b.n < prev {
+				return fmt.Errorf("prom: %s{%s}: bucket counts not cumulative", fam.Name, sig)
+			}
+			prev = b.n
+		}
+		last := bs[len(bs)-1]
+		if !math.IsInf(last.le, 1) {
+			return fmt.Errorf("prom: %s{%s}: missing +Inf bucket", fam.Name, sig)
+		}
+		if haveCount[sig] && numericDiffers(last.n, counts[sig]) {
+			return fmt.Errorf("prom: %s{%s}: +Inf bucket %v != count %v", fam.Name, sig, last.n, counts[sig])
+		}
+	}
+	return nil
+}
+
+// numericDiffers compares two exposition counts, which are exact
+// integers carried as float64.
+func numericDiffers(a, b float64) bool {
+	return math.Abs(a-b) > 0.5
+}
+
+// labelSignature serializes labels minus the excluded keys, for grouping
+// histogram series that differ only in le.
+func labelSignature(labels map[string]string, exclude ...string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		skip := false
+		for _, ex := range exclude {
+			if k == ex {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(labels[k]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}

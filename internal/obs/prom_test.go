@@ -1,0 +1,133 @@
+package obs_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+func TestKeyBuildsSortedLabels(t *testing.T) {
+	got := obs.Key("requests", "solver", "optimal", "outcome", "ok")
+	want := `requests{outcome="ok",solver="optimal"}`
+	if got != want {
+		t.Errorf("Key = %q, want %q", got, want)
+	}
+	if got := obs.Key("plain"); got != "plain" {
+		t.Errorf("unlabelled Key = %q", got)
+	}
+	if got := obs.Key("x", "k", `a"b\c`); got != `x{k="a\"b\\c"}` {
+		t.Errorf("escaped Key = %q", got)
+	}
+}
+
+// TestWritePrometheusRoundTrip encodes a representative registry and
+// re-parses it with the validating parser: every family must come back
+// with its declared type, labelled counters must stay separate samples
+// of one family, and the histogram bucket contract must hold.
+func TestWritePrometheusRoundTrip(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Add("http.requests", 7)
+	m.Add(obs.Key("requests", "outcome", "ok"), 5)
+	m.Add(obs.Key("requests", "outcome", "error"), 2)
+	m.Set("queue.depth", 3)
+	m.Set("cache.hit_ratio", 0.75)
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.8, 12} {
+		m.Observe("stage.solve_seconds", v)
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	fams, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("ParsePrometheus rejected our own exposition: %v\n%s", err, text)
+	}
+
+	if f := fams["http_requests_total"]; f == nil || f.Type != "counter" {
+		t.Fatalf("missing counter http_requests_total in:\n%s", text)
+	}
+	rf := fams["requests_total"]
+	if rf == nil || rf.Type != "counter" {
+		t.Fatalf("missing labelled counter family requests_total in:\n%s", text)
+	}
+	outcomes := map[string]float64{}
+	for _, s := range rf.Samples {
+		outcomes[s.Labels["outcome"]] = s.Value
+	}
+	if outcomes["ok"] < 4.5 || outcomes["error"] < 1.5 {
+		t.Fatalf("outcome samples %v, want ok=5 error=2", outcomes)
+	}
+	if f := fams["queue_depth"]; f == nil || f.Type != "gauge" {
+		t.Fatalf("missing gauge queue_depth in:\n%s", text)
+	}
+	hf := fams["stage_solve_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("missing histogram stage_solve_seconds in:\n%s", text)
+	}
+	var count, inf float64
+	for _, s := range hf.Samples {
+		if s.Name == "stage_solve_seconds_count" {
+			count = s.Value
+		}
+		if s.Name == "stage_solve_seconds_bucket" && s.Labels["le"] == "+Inf" {
+			inf = s.Value
+		}
+	}
+	if count < 4.5 || math.Abs(count-inf) > 0.5 {
+		t.Fatalf("histogram count %v, +Inf bucket %v, want 5 and equal", count, inf)
+	}
+
+	// Deterministic: same registry, same bytes.
+	var again bytes.Buffer
+	if err := obs.WritePrometheus(&again, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != text {
+		t.Error("two expositions of the same registry differ")
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"sample without TYPE", "orphan_metric 1\n"},
+		{"bad value", "# TYPE m gauge\nm not-a-number\n"},
+		{"unterminated labels", "# TYPE m gauge\nm{a=\"b\" 1\n"},
+		{"unknown type", "# TYPE m wibble\nm 1\n"},
+		{"duplicate TYPE", "# TYPE m gauge\n# TYPE m gauge\nm 1\n"},
+		{"bad metric name", "# TYPE m gauge\n0m 1\n"},
+		{"non-cumulative histogram", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_count 5\nh_sum 1\n"},
+		{"missing +Inf bucket", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_count 5\nh_sum 1\n"},
+		{"count mismatch", "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 7\nh_sum 1\n"},
+	}
+	for _, tc := range cases {
+		if _, err := obs.ParsePrometheus(strings.NewReader(tc.text)); err == nil {
+			t.Errorf("%s: parser accepted invalid exposition:\n%s", tc.name, tc.text)
+		}
+	}
+}
+
+func TestParsePrometheusLabelUnescaping(t *testing.T) {
+	text := "# TYPE m_total counter\nm_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"
+	fams, err := obs.ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fams["m_total"]
+	if f == nil || len(f.Samples) != 1 {
+		t.Fatalf("families %v", fams)
+	}
+	if got := f.Samples[0].Labels["path"]; got != "a\\b\"c\nd" {
+		t.Errorf("unescaped label %q", got)
+	}
+}

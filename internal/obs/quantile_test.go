@@ -1,0 +1,132 @@
+package obs_test
+
+import (
+	"math"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+func histOf(values ...float64) obs.HistSnapshot {
+	m := obs.NewMetrics()
+	for _, v := range values {
+		m.Observe("h", v)
+	}
+	return m.Snapshot().Hists["h"]
+}
+
+func approx(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.IsNaN(got) != math.IsNaN(want) || math.Abs(got-want) > tol {
+		t.Errorf("%s = %v, want %v (±%v)", name, got, want, tol)
+	}
+}
+
+func TestQuantileEmptyIsNaN(t *testing.T) {
+	var h obs.HistSnapshot
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile is not NaN")
+	}
+}
+
+// TestQuantileAtBucketBoundaries pins the boundary contract: when every
+// observation sits exactly on a bucket's upper bound, the top quantile
+// returns that bound exactly, and mid-quantiles are clamped back onto
+// the observed min/max rather than interpolated below them.
+func TestQuantileAtBucketBoundaries(t *testing.T) {
+	h := histOf(1e-3, 1e-3, 1e-3, 1e-3) // all on the 1e-3 bound
+	approx(t, "q1.0", h.Quantile(1), 1e-3, 0)
+	approx(t, "q0.5", h.Quantile(0.5), 1e-3, 0) // clamped to Min == Max
+	approx(t, "q0.0", h.Quantile(0), 1e-3, 0)
+
+	// Rank exactly on the boundary between two buckets: 4 obs ≤ 1e-3,
+	// 4 obs in (1e-3, 1e-2]; q=0.5 lands on the first bucket's
+	// cumulative edge and must return its upper bound.
+	h2 := histOf(1e-3, 1e-3, 1e-3, 1e-3, 1e-2, 1e-2, 1e-2, 1e-2)
+	approx(t, "edge q0.5", h2.Quantile(0.5), 1e-3, 1e-12)
+	approx(t, "edge q1.0", h2.Quantile(1), 1e-2, 1e-12)
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	// 10 observations spread inside (0.1, 1]: the estimator cannot see
+	// their positions, so quantiles interpolate linearly across the
+	// bucket — q0.5 lands mid-bucket.
+	vals := make([]float64, 10)
+	for i := range vals {
+		vals[i] = 0.2 + 0.06*float64(i)
+	}
+	h := histOf(vals...)
+	q := h.Quantile(0.5)
+	if q < 0.2 || q > 0.74 {
+		t.Errorf("q0.5 = %v outside observed range [0.2, 0.74]", q)
+	}
+	// Monotone in q.
+	prev := math.Inf(-1)
+	for _, p := range []float64{0, 0.25, 0.5, 0.75, 0.95, 1} {
+		v := h.Quantile(p)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q%v=%v < %v", p, v, prev)
+		}
+		prev = v
+	}
+	// Out-of-range q clamps.
+	approx(t, "q<0", h.Quantile(-1), h.Quantile(0), 0)
+	approx(t, "q>1", h.Quantile(2), h.Quantile(1), 0)
+}
+
+func TestQuantileOverflowBucketUsesMax(t *testing.T) {
+	h := histOf(5e6, 7e6) // beyond the last bound: overflow bucket
+	approx(t, "overflow q1", h.Quantile(1), 7e6, 0)
+	if q := h.Quantile(0.1); q < 5e6 || q > 7e6 {
+		t.Errorf("overflow q0.1 = %v outside [5e6, 7e6]", q)
+	}
+}
+
+func TestHistSnapshotSub(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Observe("h", 0.002)
+	m.Observe("h", 0.4)
+	before := m.Snapshot().Hists["h"]
+	m.Observe("h", 0.5)
+	m.Observe("h", 0.6)
+	after := m.Snapshot().Hists["h"]
+
+	d := after.Sub(before)
+	if d.Count != 2 {
+		t.Fatalf("window Count = %d, want 2", d.Count)
+	}
+	approx(t, "window Sum", d.Sum, 1.1, 1e-9)
+	q := d.Quantile(1)
+	if q < 0.4 || q > 1.0 {
+		t.Errorf("window q1 = %v, want within (0.4, 1]", q)
+	}
+	// Subtracting an empty or mismatched snapshot returns the current one.
+	if got := after.Sub(obs.HistSnapshot{}); got.Count != after.Count {
+		t.Error("Sub(empty) did not return the full histogram")
+	}
+	// A reset (current < previous) falls back to the current snapshot.
+	if got := before.Sub(after); got.Count != before.Count {
+		t.Error("Sub across a reset did not fall back")
+	}
+}
+
+func TestSnapshotDeltaFrom(t *testing.T) {
+	m := obs.NewMetrics()
+	m.Add("req", 3)
+	m.Set("g", 7)
+	m.Observe("h", 0.1)
+	before := m.Snapshot()
+	m.Add("req", 2)
+	m.Set("g", 9)
+	m.Observe("h", 0.2)
+	after := m.Snapshot()
+
+	d := after.DeltaFrom(before)
+	if d.Counters["req"] != 2 {
+		t.Errorf("counter delta %d, want 2", d.Counters["req"])
+	}
+	approx(t, "gauge passthrough", d.Gauges["g"], 9, 0)
+	if d.Hists["h"].Count != 1 {
+		t.Errorf("hist window count %d, want 1", d.Hists["h"].Count)
+	}
+}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -48,17 +50,31 @@ func (s *JSONLSink) Close() error {
 }
 
 // ReadJSONL decodes a JSONL trace back into events — the inverse of
-// JSONLSink, used by tests and analysis tooling.
+// JSONLSink, used by tests and analysis tooling. Decoding is
+// line-oriented: blank lines are skipped, and a line that is not a valid
+// event object (corrupt, or a final line truncated by a crashed writer)
+// stops the read with an error naming its 1-based line number. Every
+// event decoded before the bad line is still returned, so a torn trace
+// file yields its intact prefix.
 func ReadJSONL(r io.Reader) ([]Event, error) {
-	dec := json.NewDecoder(r)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var out []Event
-	for {
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
 		var e Event
-		if err := dec.Decode(&e); err == io.EOF {
-			return out, nil
-		} else if err != nil {
-			return out, err
+		if err := json.Unmarshal(line, &e); err != nil {
+			return out, fmt.Errorf("obs: jsonl line %d: %w", lineNo, err)
 		}
 		out = append(out, e)
 	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("obs: jsonl line %d: %w", lineNo+1, err)
+	}
+	return out, nil
 }

@@ -1,0 +1,84 @@
+package obs
+
+import "sync"
+
+// RingSink keeps the most recent events in a fixed-size ring buffer, the
+// retention layer behind the deployment service's per-request trace
+// endpoint: the full stream flows through, the last capacity events stay
+// addressable by request ID. Unlike the write-only sinks it is also read
+// concurrently (HTTP handlers snapshot it while solves emit), so it
+// carries its own mutex.
+type RingSink struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int // index of the oldest event
+	n       int // events currently held
+	dropped int64
+}
+
+// NewRingSink returns a ring holding at most capacity events (at least
+// one).
+func NewRingSink(capacity int) *RingSink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &RingSink{buf: make([]Event, capacity)}
+}
+
+// Write appends e, evicting the oldest event when full.
+func (s *RingSink) Write(e Event) {
+	s.mu.Lock()
+	if s.n < len(s.buf) {
+		s.buf[(s.start+s.n)%len(s.buf)] = e
+		s.n++
+	} else {
+		s.buf[s.start] = e
+		s.start = (s.start + 1) % len(s.buf)
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Close is a no-op; the ring stays readable after the trace closes.
+func (s *RingSink) Close() error { return nil }
+
+// Events returns the retained events, oldest first.
+func (s *RingSink) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		out = append(out, s.buf[(s.start+i)%len(s.buf)])
+	}
+	return out
+}
+
+// ForRequest returns the retained events carrying request ID id, oldest
+// first — the per-request trace slice. Empty when the request emitted
+// nothing or its events have already been evicted.
+func (s *RingSink) ForRequest(id string) []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Event
+	for i := 0; i < s.n; i++ {
+		if e := s.buf[(s.start+i)%len(s.buf)]; e.Req == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Dropped reports how many events have been evicted since construction —
+// a retention-pressure gauge.
+func (s *RingSink) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Len reports how many events are currently retained.
+func (s *RingSink) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -39,6 +39,7 @@ type Pool struct {
 	closed  bool
 	seq     int
 	pending atomic.Int64
+	running atomic.Int64
 }
 
 // NewPool starts Workers(workers) goroutines serving a queue of at most
@@ -85,6 +86,23 @@ func (p *Pool) Pending() int {
 	return int(p.pending.Load())
 }
 
+// Running reports tasks executing on a worker right now — the pool
+// occupancy gauge. Racy by nature, like Pending.
+func (p *Pool) Running() int {
+	return int(p.running.Load())
+}
+
+// Queued reports tasks admitted but still waiting for a worker — the
+// queue-depth gauge. Derived from two independently-updated atomics, so
+// transiently off by the number of concurrent dequeues; never negative.
+func (p *Pool) Queued() int {
+	q := int(p.pending.Load()) - int(p.running.Load())
+	if q < 0 {
+		q = 0
+	}
+	return q
+}
+
 // Close stops admission, runs every already-queued task to completion, and
 // returns once all workers have exited. Safe to call more than once.
 func (p *Pool) Close() {
@@ -105,7 +123,9 @@ func (p *Pool) worker(id int) {
 			start = time.Now()
 			p.tr.Emit(obs.Event{Kind: obs.PoolTaskStart, Node: t.seq, Worker: id})
 		}
+		p.running.Add(1)
 		err := runPoolTask(t)
+		p.running.Add(-1)
 		if p.tr.Enabled() {
 			e := obs.Event{Kind: obs.PoolTaskDone, Node: t.seq, Worker: id, Dur: time.Since(start).Seconds()}
 			if err != nil {

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// accessRecord is one structured access-log line: who asked for what,
+// what came back, and where the time went. Stage durations are
+// milliseconds keyed by stage name.
+type accessRecord struct {
+	Time    string             `json:"t"`
+	ID      string             `json:"id"`
+	Method  string             `json:"method"`
+	Path    string             `json:"path"`
+	Status  int                `json:"status"`
+	Ms      float64            `json:"ms"`
+	Outcome string             `json:"outcome,omitempty"`
+	Cache   string             `json:"cache,omitempty"`
+	Stages  map[string]float64 `json:"stagesMs,omitempty"`
+}
+
+// accessLogger serializes one JSON object per request onto w. Concurrent
+// requests finish concurrently, so lines are written under a mutex; the
+// destination (a file or stderr) is owned by the caller.
+type accessLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+}
+
+func newAccessLogger(w io.Writer) *accessLogger {
+	if w == nil {
+		return nil
+	}
+	return &accessLogger{enc: json.NewEncoder(w)}
+}
+
+// log writes one record; a nil logger discards it. Write errors are
+// swallowed — the access log must never fail a request.
+func (l *accessLogger) log(rec accessRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	_ = l.enc.Encode(rec) //lint:allow errdrop — access logging is best-effort by design
+	l.mu.Unlock()
+}
+
+// record builds the log line for one finished request.
+func (ri *reqInfo) record(method, path string, status int, elapsed time.Duration) accessRecord {
+	rec := accessRecord{
+		Time:    time.Now().UTC().Format(time.RFC3339Nano),
+		ID:      ri.id,
+		Method:  method,
+		Path:    path,
+		Status:  status,
+		Ms:      float64(elapsed.Microseconds()) / 1e3,
+		Outcome: ri.outcome,
+		Cache:   ri.cache,
+	}
+	if len(ri.stages) > 0 {
+		rec.Stages = make(map[string]float64, len(ri.stages))
+		for _, st := range ri.stages {
+			rec.Stages[st.name] = float64(st.dur.Microseconds()) / 1e3
+		}
+	}
+	return rec
+}

@@ -6,18 +6,25 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"nocdeploy/internal/obs"
 	"nocdeploy/internal/runner"
 	"nocdeploy/internal/spec"
 )
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/solve        solve an instance (body: spec.Instance JSON)
-//	GET  /v1/jobs/{id}    poll an async job
-//	GET  /healthz         liveness
-//	GET  /metrics         obs.Metrics snapshot (JSON)
+//	POST /v1/solve                solve an instance (body: spec.Instance JSON)
+//	GET  /v1/jobs/{id}            poll an async job
+//	GET  /v1/jobs/{id}/trace      the job's per-request trace slice (JSONL)
+//	GET  /v1/requests/{id}/trace  a request's trace slice by request ID (JSONL)
+//	GET  /healthz                 liveness
+//	GET  /metrics                 metrics: obs.Metrics JSON snapshot by
+//	                              default; Prometheus text exposition
+//	                              (v0.0.4) with Accept: text/plain or
+//	                              ?format=prom
 //
 // POST /v1/solve query parameters (all optional):
 //
@@ -27,16 +34,68 @@ import (
 //	timeout    per-request solve budget, e.g. 50ms (or X-Solve-Timeout)
 //	mode       sync (default) | async — async returns 202 + a job id
 //
-// Sync responses carry the deployment as the body and request metadata in
-// headers: X-Request-ID, X-Cache (hit|miss|coalesced), X-Solver,
-// X-Solve-Feasible, X-Solve-Cancelled.
+// Every response carries X-Request-ID, minted at admission; the same ID
+// tags every trace event the request's solve emits. Sync solve responses
+// additionally carry X-Cache (hit|miss|coalesced), X-Solver,
+// X-Solve-Feasible and X-Solve-Cancelled.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/requests/{id}/trace", s.handleRequestTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.observeRequests(mux)
+}
+
+// statusWriter captures the response status for metrics and the access
+// log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// observeRequests is the request-observability middleware: it mints the
+// request ID, exposes it in X-Request-ID, threads a reqInfo through the
+// context for stage accounting, observes the end-to-end latency of solve
+// requests, emits the req.done trace event and writes the access-log
+// line.
+func (s *Service) observeRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ri := &reqInfo{id: s.nextRequestID(), start: start}
+		w.Header().Set("X-Request-ID", ri.id)
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(withReqInfo(r.Context(), ri)))
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		if isSolveRoute(r) && !ri.async {
+			s.met.Observe(stageMetric(StageE2E), elapsed.Seconds())
+			if tr := s.trace.WithRequest(ri.id); tr.Enabled() {
+				tr.Emit(obs.Event{Kind: obs.ReqDone, Phase: ri.outcome, Dur: elapsed.Seconds()})
+			}
+		}
+		s.alog.log(ri.record(r.Method, r.URL.Path, sw.status, elapsed))
+	})
+}
+
+func isSolveRoute(r *http.Request) bool {
+	return r.Method == http.MethodPost && r.URL.Path == "/v1/solve"
 }
 
 // apiError is the JSON error envelope.
@@ -47,7 +106,7 @@ type apiError struct {
 func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	s.met.Add("http.status."+strconv.Itoa(code), 1)
+	s.met.Add(obs.Key("http.status", "code", strconv.Itoa(code)), 1)
 	// A failed write means the client went away; nothing useful to do.
 	_ = json.NewEncoder(w).Encode(v) //lint:allow errdrop — response write errors are the client's problem
 }
@@ -117,21 +176,38 @@ func parseSolveRequest(r *http.Request) (SolveRequest, error) {
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.met.Add("http.requests", 1)
+	ri := reqInfoFrom(r.Context())
 	if s.closed.Load() {
+		s.countOutcome(OutcomeRejected)
+		ri.setOutcome(OutcomeRejected)
 		s.writeError(w, http.StatusServiceUnavailable, ErrClosed)
 		return
 	}
+	admit := time.Now()
 	req, err := parseSolveRequest(r)
+	if err == nil {
+		err = req.normalize()
+	}
 	if err != nil {
+		s.countOutcome(OutcomeRejected)
+		ri.setOutcome(OutcomeRejected)
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	if err := req.normalize(); err != nil {
-		s.writeError(w, errorStatus(err), err)
-		return
+	if ri != nil {
+		req.RequestID = ri.id
 	}
+	mode := "sync"
 	if r.URL.Query().Get("mode") == "async" {
-		s.startAsync(w, req)
+		mode = "async"
+	}
+	tr := s.trace.WithRequest(req.RequestID)
+	if tr.Enabled() {
+		tr.Emit(obs.Event{Kind: obs.ReqAdmit, Label: req.Solver, Phase: mode})
+	}
+	s.stage(ri, tr, StageAdmission, time.Since(admit))
+	if mode == "async" {
+		s.startAsync(w, ri, req)
 		return
 	}
 
@@ -146,7 +222,6 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	w.Header().Set("X-Request-ID", s.nextRequestID())
 	w.Header().Set("X-Cache", outcome.String())
 	w.Header().Set("X-Solver", res.Solver)
 	w.Header().Set("X-Solve-Feasible", strconv.FormatBool(res.Feasible))
@@ -157,16 +232,22 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 // startAsync registers a job and answers 202 immediately; the solve runs
 // in the background with its own deadline, detached from the HTTP request
 // context. Close waits for these goroutines, so shutdown drains jobs.
-func (s *Service) startAsync(w http.ResponseWriter, req SolveRequest) {
-	job, ok := s.jobs.create(req.Solver, time.Now())
+func (s *Service) startAsync(w http.ResponseWriter, ri *reqInfo, req SolveRequest) {
+	job, ok := s.jobs.create(req.Solver, req.RequestID, time.Now())
 	if !ok {
+		s.countOutcome(OutcomeRejected)
+		ri.setOutcome(OutcomeRejected)
 		s.writeError(w, http.StatusTooManyRequests, errors.New("job table full"))
 		return
+	}
+	if ri != nil {
+		ri.async = true // outcome settles in the background goroutine
 	}
 	budget := s.effectiveTimeout(req.Timeout)
 	s.bg.Add(1)
 	go func() {
 		defer s.bg.Done()
+		started := time.Now()
 		ctx := context.Background()
 		if budget > 0 {
 			var cancel context.CancelFunc
@@ -175,6 +256,11 @@ func (s *Service) startAsync(w http.ResponseWriter, req SolveRequest) {
 		}
 		s.jobs.update(job.ID, func(j *Job) { j.Status = JobRunning })
 		res, outcome, err := s.Solve(ctx, req)
+		elapsed := time.Since(started)
+		s.met.Observe(stageMetric(StageE2E), elapsed.Seconds())
+		if tr := s.trace.WithRequest(req.RequestID); tr.Enabled() {
+			tr.Emit(obs.Event{Kind: obs.ReqDone, Phase: classifyOutcome(outcome, res, err), Dur: elapsed.Seconds()})
+		}
 		now := time.Now()
 		s.jobs.update(job.ID, func(j *Job) {
 			j.Finished = &now
@@ -202,6 +288,52 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, job)
 }
 
+// handleJobTrace serves the trace slice of the request that ran an async
+// job, resolved through the job's recorded request ID.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	s.writeTraceSlice(w, job.Request)
+}
+
+// handleRequestTrace serves a request's trace slice by request ID (the
+// X-Request-ID of any earlier response).
+func (s *Service) handleRequestTrace(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	s.writeTraceSlice(w, r.PathValue("id"))
+}
+
+// writeTraceSlice emits the retained events of one request as JSONL
+// (obs.ReadJSONL is the inverse). 404 distinguishes "nothing retained"
+// — tracing disabled, unknown ID, or events already evicted from the
+// ring — from an empty-but-valid slice, which cannot occur: every traced
+// request emits req.admit first.
+func (s *Service) writeTraceSlice(w http.ResponseWriter, reqID string) {
+	if s.ring == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("request tracing disabled (trace buffer 0)"))
+		return
+	}
+	events := s.ring.ForRequest(reqID)
+	if len(events) == 0 {
+		s.writeError(w, http.StatusNotFound, errors.New("no trace retained for request "+reqID))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	s.met.Add(obs.Key("http.status", "code", "200"), 1)
+	enc := json.NewEncoder(w)
+	for _, e := range events {
+		// A failed write means the client went away; nothing useful to do.
+		if err := enc.Encode(e); err != nil {
+			return
+		}
+	}
+}
+
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
 	code := http.StatusOK
@@ -212,23 +344,41 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, code, map[string]string{"status": status})
 }
 
-// handleMetrics refreshes the service-level gauges and emits the registry
-// snapshot. Counters owned elsewhere (http.requests, solve.seconds) are
-// already live in the registry.
+// wantsPrometheus decides the /metrics representation: an explicit
+// ?format=prom|prometheus query wins; otherwise content negotiation on
+// Accept — any text/plain or OpenMetrics media type selects the text
+// exposition, everything else (including no Accept at all) keeps the
+// JSON snapshot.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prom", "prometheus":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") ||
+		strings.Contains(accept, "application/openmetrics-text")
+}
+
+// handleMetrics refreshes the live gauges and emits the registry in the
+// negotiated format. Counters owned elsewhere (http.requests,
+// stage histograms, requests{outcome=...}) are already live in the
+// registry. Both representations are point-in-time views and must never
+// be cached by an intermediary.
 func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.met.Add("http.requests", 1)
-	st := s.cache.Stats()
-	s.met.Set("queue.depth", float64(s.pool.Pending()))
-	s.met.Set("jobs.live", float64(s.jobs.live()))
-	s.met.Set("cache.entries", float64(st.Entries))
-	s.met.Set("cache.hits", float64(st.Hits))
-	s.met.Set("cache.misses", float64(st.Misses))
-	s.met.Set("cache.coalesced", float64(st.Coalesced))
-	s.met.Set("cache.evictions", float64(st.Evictions))
-	s.met.Set("cache.hit_ratio", st.HitRatio())
-	s.met.Set("solve.runs", float64(s.solves.Load()))
+	s.refreshGauges()
+	w.Header().Set("Cache-Control", "no-store")
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		s.met.Add(obs.Key("http.status", "code", "200"), 1)
+		// A failed write means the client went away; nothing useful to do.
+		_ = obs.WritePrometheus(w, s.met.Snapshot()) //lint:allow errdrop — response write errors are the client's problem
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	s.met.Add("http.status.200", 1)
+	s.met.Add(obs.Key("http.status", "code", "200"), 1)
 	// A failed write means the client went away; nothing useful to do.
 	_ = s.met.WriteJSON(w) //lint:allow errdrop — response write errors are the client's problem
 }

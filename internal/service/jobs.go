@@ -16,11 +16,13 @@ const (
 
 // Job is one asynchronous solve. Result is set only in state "done";
 // Error only in "failed". Cache reports which path answered (hit, miss,
-// coalesced) once the job finished.
+// coalesced) once the job finished. Request is the ID of the request
+// that created the job — the handle for fetching its trace slice.
 type Job struct {
 	ID       string       `json:"id"`
 	Status   string       `json:"status"`
 	Solver   string       `json:"solver"`
+	Request  string       `json:"request,omitempty"`
 	Created  time.Time    `json:"created"`
 	Finished *time.Time   `json:"finished,omitempty"`
 	Cache    string       `json:"cache,omitempty"`
@@ -49,7 +51,7 @@ func newJobTable(max int) *jobTable {
 
 // create registers a queued job, evicting the oldest finished job if the
 // table is full. ok=false means the table is full of live jobs.
-func (t *jobTable) create(solver string, now time.Time) (Job, bool) {
+func (t *jobTable) create(solver, request string, now time.Time) (Job, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.jobs) >= t.max && !t.evictOldestFinished() {
@@ -60,6 +62,7 @@ func (t *jobTable) create(solver string, now time.Time) (Job, bool) {
 		ID:      "job-" + strconv.FormatInt(t.seq, 10),
 		Status:  JobQueued,
 		Solver:  solver,
+		Request: request,
 		Created: now,
 	}
 	t.jobs[j.ID] = j
@@ -102,6 +105,13 @@ func (t *jobTable) update(id string, fn func(*Job)) {
 	if j, ok := t.jobs[id]; ok {
 		fn(j)
 	}
+}
+
+// size counts all retained jobs, finished or not (a metrics gauge).
+func (t *jobTable) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.jobs)
 }
 
 // live counts non-terminal jobs (a metrics gauge).

@@ -1,0 +1,395 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// TestRequestTraceSlice is the request-ID propagation acceptance test: a
+// sync solve's X-Request-ID fetches a trace slice in which every event —
+// including the solver's own events — carries that ID.
+func TestRequestTraceSlice(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=heuristic", body)
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	if reqID == "" {
+		t.Fatal("missing X-Request-ID")
+	}
+
+	traceResp, err := http.Get(srv.URL + "/v1/requests/" + reqID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, traceResp)
+	if traceResp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d: %s", traceResp.StatusCode, raw)
+	}
+	if ct := traceResp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type %q", ct)
+	}
+	events, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("trace slice not valid JSONL: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("empty trace slice")
+	}
+	kinds := map[obs.Kind]int{}
+	for _, e := range events {
+		if e.Req != reqID {
+			t.Fatalf("event %s has req %q, want %q", e.Kind, e.Req, reqID)
+		}
+		kinds[e.Kind]++
+	}
+	for _, want := range []obs.Kind{obs.ReqAdmit, obs.ReqStage, obs.ReqDone} {
+		if kinds[want] == 0 {
+			t.Fatalf("trace slice missing %s event (kinds: %v)", want, kinds)
+		}
+	}
+	// The solver itself must have emitted under the request's ID — the
+	// whole point of threading the child trace through the stack.
+	solverKinds := 0
+	for k, n := range kinds {
+		switch k {
+		case obs.ReqAdmit, obs.ReqStage, obs.ReqDone:
+		default:
+			solverKinds += n
+		}
+	}
+	if solverKinds == 0 {
+		t.Fatalf("no solver events in trace slice (kinds: %v)", kinds)
+	}
+
+	// Unknown IDs 404.
+	missResp, err := http.Get(srv.URL + "/v1/requests/no-such-request/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = readBody(t, missResp)
+	if missResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown request trace status %d, want 404", missResp.StatusCode)
+	}
+}
+
+// TestJobTraceSlice covers the async path: the job record carries the
+// request ID and /v1/jobs/{id}/trace serves the same slice.
+func TestJobTraceSlice(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?mode=async", body)
+	got := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async solve status %d: %s", resp.StatusCode, got)
+	}
+	var job Job
+	if err := json.Unmarshal(got, &job); err != nil {
+		t.Fatal(err)
+	}
+	if job.Request == "" {
+		t.Fatal("job record missing request ID")
+	}
+	if job.Request != resp.Header.Get("X-Request-ID") {
+		t.Fatalf("job request %q != X-Request-ID %q", job.Request, resp.Header.Get("X-Request-ID"))
+	}
+
+	// Wait for the job to finish so the req.done event is in the ring.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		jr, err := http.Get(srv.URL + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var j Job
+		if err := json.Unmarshal(readBody(t, jr), &j); err != nil {
+			t.Fatal(err)
+		}
+		if j.terminal() {
+			if j.Status != JobDone {
+				t.Fatalf("job failed: %s", j.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in time")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	tr, err := http.Get(srv.URL + "/v1/jobs/" + job.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, tr)
+	if tr.StatusCode != http.StatusOK {
+		t.Fatalf("job trace status %d: %s", tr.StatusCode, raw)
+	}
+	events, err := obs.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDone := false
+	for _, e := range events {
+		if e.Req != job.Request {
+			t.Fatalf("event %s has req %q, want %q", e.Kind, e.Req, job.Request)
+		}
+		if e.Kind == obs.ReqDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Fatal("async trace slice missing req.done")
+	}
+}
+
+// TestMetricsPrometheus is the exposition acceptance test: Accept:
+// text/plain returns parser-valid Prometheus v0.0.4 text including the
+// queue-depth gauge, the cache hit ratio, the stage latency histograms
+// and the outcome-labelled request counters; the default stays JSON.
+func TestMetricsPrometheus(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	for i := 0; i < 3; i++ {
+		resp := postSolve(t, srv.URL+"/v1/solve", body)
+		_ = readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, resp.StatusCode)
+		}
+	}
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obs.PromContentType {
+		t.Fatalf("Content-Type %q, want %q", ct, obs.PromContentType)
+	}
+	if cc := resp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("Cache-Control %q, want no-store", cc)
+	}
+
+	fams, err := obs.ParsePrometheus(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, raw)
+	}
+	gauge := func(name string) float64 {
+		t.Helper()
+		fam, ok := fams[name]
+		if !ok {
+			t.Fatalf("missing family %s", name)
+		}
+		if fam.Type != "gauge" {
+			t.Fatalf("%s type %q, want gauge", name, fam.Type)
+		}
+		return fam.Samples[0].Value
+	}
+	if v := gauge("queue_depth"); v < 0 {
+		t.Fatalf("queue_depth %g", v)
+	}
+	if v := gauge("cache_hit_ratio"); v < 0.6 || v > 0.7 {
+		t.Fatalf("cache_hit_ratio %g, want ≈2/3", v)
+	}
+	for _, stage := range []string{StageAdmission, StageCache, StageQueue, StageSolve, StageE2E} {
+		name := "stage_" + stage + "_seconds"
+		fam, ok := fams[name]
+		if !ok {
+			t.Fatalf("missing stage histogram %s", name)
+		}
+		if fam.Type != "histogram" {
+			t.Fatalf("%s type %q, want histogram", name, fam.Type)
+		}
+	}
+	reqFam, ok := fams["requests_total"]
+	if !ok {
+		t.Fatal("missing requests_total family")
+	}
+	outcomes := map[string]float64{}
+	for _, s := range reqFam.Samples {
+		outcomes[s.Labels["outcome"]] = s.Value
+	}
+	if outcomes[OutcomeOK] != 1 || outcomes[OutcomeCached] != 2 {
+		t.Fatalf("requests_total outcomes %v, want ok=1 cached=2", outcomes)
+	}
+
+	// The default representation is still the JSON snapshot.
+	jresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jraw := readBody(t, jresp)
+	if ct := jresp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("default /metrics Content-Type %q, want application/json", ct)
+	}
+	if cc := jresp.Header.Get("Cache-Control"); cc != "no-store" {
+		t.Fatalf("default /metrics Cache-Control %q, want no-store", cc)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(jraw, &snap); err != nil {
+		t.Fatalf("default /metrics not JSON: %v", err)
+	}
+	if _, ok := snap.Hists[stageMetric(StageE2E)]; !ok {
+		t.Fatal("JSON snapshot missing stage.e2e_seconds histogram")
+	}
+
+	// ?format=prom works without an Accept header (curl-friendly).
+	presp, err := http.Get(srv.URL + "/metrics?format=prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	praw := readBody(t, presp)
+	if _, err := obs.ParsePrometheus(bytes.NewReader(praw)); err != nil {
+		t.Fatalf("?format=prom does not parse: %v", err)
+	}
+}
+
+// TestAccessLog checks the structured access log: one JSON line per
+// request with the request ID, status, outcome and stage timings.
+func TestAccessLog(t *testing.T) {
+	var buf bytes.Buffer
+	var mu syncBuffer
+	mu.buf = &buf
+	svc := New(Config{AccessLog: &mu})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve", body)
+	_ = readBody(t, resp)
+	reqID := resp.Header.Get("X-Request-ID")
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = readBody(t, hresp)
+
+	lines := strings.Split(strings.TrimSpace(mu.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("%d access-log lines, want 2:\n%s", len(lines), mu.String())
+	}
+	var solveRec accessRecord
+	if err := json.Unmarshal([]byte(lines[0]), &solveRec); err != nil {
+		t.Fatalf("access log line not JSON: %v", err)
+	}
+	if solveRec.ID != reqID {
+		t.Fatalf("access log id %q, want %q", solveRec.ID, reqID)
+	}
+	if solveRec.Status != http.StatusOK || solveRec.Outcome != OutcomeOK {
+		t.Fatalf("access log record %+v", solveRec)
+	}
+	if solveRec.Cache != "miss" {
+		t.Fatalf("access log cache %q, want miss", solveRec.Cache)
+	}
+	for _, stage := range []string{StageAdmission, StageCache, StageQueue, StageSolve} {
+		if _, ok := solveRec.Stages[stage]; !ok {
+			t.Fatalf("access log missing stage %q: %+v", stage, solveRec.Stages)
+		}
+	}
+	var healthRec accessRecord
+	if err := json.Unmarshal([]byte(lines[1]), &healthRec); err != nil {
+		t.Fatal(err)
+	}
+	if healthRec.Path != "/healthz" || healthRec.Outcome != "" {
+		t.Fatalf("healthz access record %+v", healthRec)
+	}
+}
+
+// syncBuffer makes a bytes.Buffer safe for the concurrent writes the
+// access logger may issue.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestRejectedOutcomeCounted: admission failures must settle the outcome
+// counter too.
+func TestRejectedOutcomeCounted(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	snap := svc.met.Snapshot()
+	if n := snap.Counters[obs.Key("requests", "outcome", OutcomeRejected)]; n != 1 {
+		t.Fatalf("rejected outcome count %d, want 1", n)
+	}
+}
+
+// TestTracingDisabled: TraceBuffer<0 turns the ring off; solves still
+// work and trace endpoints 404.
+func TestTracingDisabled(t *testing.T) {
+	svc := New(Config{TraceBuffer: -1})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve", body)
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+	tr, err := http.Get(srv.URL + "/v1/requests/" + reqID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = readBody(t, tr)
+	if tr.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace status %d with tracing disabled, want 404", tr.StatusCode)
+	}
+}

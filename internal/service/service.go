@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -70,7 +71,17 @@ type Config struct {
 	DefaultTimeout time.Duration
 	MaxTimeout     time.Duration
 	Metrics        *obs.Metrics
-	Trace          *obs.Trace
+
+	// TraceBuffer sizes the in-memory event ring that backs
+	// GET /v1/requests/{id}/trace: 0 means the 4096-event default,
+	// negative disables request tracing entirely.
+	TraceBuffer int
+	// TraceSinks are additional sinks (JSONL files, …) fanned the same
+	// request-tagged event stream; closed by Service.Close.
+	TraceSinks []obs.Sink
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// HTTP request (id, route, status, stage timings).
+	AccessLog io.Writer
 }
 
 func (c Config) withDefaults() Config {
@@ -99,6 +110,12 @@ type SolveRequest struct {
 	Objective string        // "be" (default) or "me"
 	Seed      int64         // solver tie-break seed
 	Timeout   time.Duration // 0 means Config.DefaultTimeout
+
+	// RequestID tags every trace event this request's solve emits. The
+	// HTTP layer mints it at admission; Solve assigns one when empty.
+	// Deliberately excluded from the cache key — identity never changes
+	// a solution.
+	RequestID string
 }
 
 // normalize fills defaults and validates, wrapping failures in
@@ -166,6 +183,9 @@ type Service struct {
 	pool   *runner.Pool
 	cache  *cache.Cache[*SolveResult]
 	jobs   *jobTable
+	trace  *obs.Trace    // root of every request-scoped child trace; may be nil
+	ring   *obs.RingSink // recent-event retention for trace endpoints; may be nil
+	alog   *accessLogger // may be nil
 	reqSeq atomic.Int64
 	solves atomic.Int64 // underlying solver invocations (cache misses that ran)
 	closed atomic.Bool
@@ -179,22 +199,41 @@ type Service struct {
 // New builds a Service and starts its worker pool.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		met:   cfg.Metrics,
-		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth, cfg.Trace),
+		pool:  runner.NewPool(cfg.Workers, cfg.QueueDepth, nil),
 		cache: cache.New[*SolveResult](cfg.CacheSize),
 		jobs:  newJobTable(cfg.MaxJobs),
+		alog:  newAccessLogger(cfg.AccessLog),
 	}
+	var sinks []obs.Sink
+	if cfg.TraceBuffer >= 0 {
+		capacity := cfg.TraceBuffer
+		if capacity == 0 {
+			capacity = 4096
+		}
+		s.ring = obs.NewRingSink(capacity)
+		sinks = append(sinks, s.ring)
+	}
+	sinks = append(sinks, cfg.TraceSinks...)
+	if len(sinks) > 0 {
+		s.trace = obs.New(sinks...)
+	}
+	return s
 }
 
 // Close drains the service: admission stops (requests get ErrClosed),
-// in-flight async jobs and every queued solve run to completion, and the
-// worker pool exits. Safe to call more than once.
+// in-flight async jobs and every queued solve run to completion, the
+// worker pool exits, and the trace sinks flush. Safe to call more than
+// once.
 func (s *Service) Close() {
 	s.closed.Store(true)
 	s.bg.Wait()
 	s.pool.Close()
+	// All emitters have stopped; flush file-backed trace sinks. Errors
+	// have nowhere useful to go — the service is already down.
+	_ = s.trace.Close() //lint:allow errdrop — shutdown path, sinks are best-effort
 }
 
 // SolveRuns reports how many underlying solver invocations have happened —
@@ -213,7 +252,28 @@ func (s *Service) QueueDepth() int { return s.pool.Pending() }
 // flight, and otherwise the caller becomes the leader — its solve is
 // admitted to the bounded queue (runner.ErrQueueFull on overload) and runs
 // on the pool under ctx. The outcome reports which path answered.
+//
+// Observability: the request's ID (minted here if the HTTP layer did not
+// already) tags every trace event the solve emits, each serving stage is
+// observed into its latency histogram, and exactly one outcome-labelled
+// request counter is incremented on return.
 func (s *Service) Solve(ctx context.Context, req SolveRequest) (*SolveResult, cache.Outcome, error) {
+	ri := reqInfoFrom(ctx)
+	if req.RequestID == "" {
+		if ri != nil {
+			req.RequestID = ri.id
+		} else {
+			req.RequestID = s.nextRequestID()
+		}
+	}
+	res, outcome, err := s.solve(ctx, req, ri)
+	oc := classifyOutcome(outcome, res, err)
+	s.countOutcome(oc)
+	ri.setOutcome(oc)
+	return res, outcome, err
+}
+
+func (s *Service) solve(ctx context.Context, req SolveRequest, ri *reqInfo) (*SolveResult, cache.Outcome, error) {
 	if s.closed.Load() {
 		return nil, cache.Miss, ErrClosed
 	}
@@ -224,7 +284,13 @@ func (s *Service) Solve(ctx context.Context, req SolveRequest) (*SolveResult, ca
 	if err != nil {
 		return nil, cache.Miss, err
 	}
+	tr := s.trace.WithRequest(req.RequestID)
+	t0 := time.Now()
 	res, flight, outcome := s.cache.Acquire(key)
+	s.stage(ri, tr, StageCache, time.Since(t0))
+	if ri != nil {
+		ri.cache = outcome.String()
+	}
 	switch outcome {
 	case cache.Hit:
 		return res, outcome, nil
@@ -236,16 +302,22 @@ func (s *Service) Solve(ctx context.Context, req SolveRequest) (*SolveResult, ca
 	// result. The flight must be finished on all paths or waiters hang.
 	start := time.Now()
 	var out *SolveResult
+	var queueWait, solveDur time.Duration
 	done, err := s.pool.TrySubmit(func() error {
+		begun := time.Now()
+		queueWait = begun.Sub(start)
 		var err error
-		out, err = s.runSolve(ctx, req, key)
+		out, err = s.runSolve(ctx, req, key, tr)
+		solveDur = time.Since(begun)
 		return err
 	})
 	if err != nil {
 		s.cache.Finish(flight, nil, err, false)
 		return nil, outcome, err
 	}
-	err = <-done
+	err = <-done // synchronizes queueWait/solveDur with the worker's writes
+	s.stage(ri, tr, StageQueue, queueWait)
+	s.stage(ri, tr, StageSolve, solveDur)
 	// Cancelled solves are partial by definition: deliver them to waiters
 	// but never store them, so a later unhurried request re-solves.
 	store := err == nil && out != nil && !out.Cancelled
@@ -255,8 +327,9 @@ func (s *Service) Solve(ctx context.Context, req SolveRequest) (*SolveResult, ca
 }
 
 // runSolve executes one solver invocation. It runs on a pool worker with
-// the leader's request context.
-func (s *Service) runSolve(ctx context.Context, req SolveRequest, key string) (*SolveResult, error) {
+// the leader's request context; tr is the leader's request-scoped trace,
+// so the solver's events carry the leader's request ID.
+func (s *Service) runSolve(ctx context.Context, req SolveRequest, key string, tr *obs.Trace) (*SolveResult, error) {
 	s.solves.Add(1)
 	if s.solveHook != nil {
 		return s.solveHook(ctx, req)
@@ -266,7 +339,7 @@ func (s *Service) runSolve(ctx context.Context, req SolveRequest, key string) (*
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	opts := req.coreOptions(s.cfg.Trace)
+	opts := req.coreOptions(tr)
 	var (
 		d    *core.Deployment
 		info *core.SolveInfo
