@@ -4,12 +4,27 @@
 //
 // Usage:
 //
-//	noclint [-json] [-only name1,name2] [patterns...]
+//	noclint [-format text|json|sarif] [-only name1,name2] [-baseline file]
+//	        [-audit] [-workers n] [patterns...]
 //
 // Patterns default to ./... and accept the go tool's directory forms
-// ("./...", "internal/lp", "internal/..."). Exit status is 0 when the
-// tree is clean, 1 when findings were reported, and 2 when loading or
-// type-checking failed.
+// ("./...", "internal/lp", "internal/..."). Analysis runs one package per
+// worker; output is byte-identical at any worker count.
+//
+// -audit switches to suppression-hygiene mode: instead of analyzer
+// findings, noclint reports //lint:allow directives that carry no reason,
+// name an unknown analyzer, or no longer suppress anything.
+//
+// -baseline filters out findings recorded in a baseline file;
+// -write-baseline records the current findings into one. Baselines match
+// on (analyzer, file, message) and ignore line numbers, so they survive
+// unrelated edits.
+//
+// Exit status is the tool's contract with CI: 0 when the tree is clean,
+// 1 when findings survived the baseline, and 2 when loading or
+// type-checking failed — each failing package is named on stderr, and the
+// packages that did load are still analyzed, so one broken directory
+// degrades the run instead of blinding it.
 package main
 
 import (
@@ -23,23 +38,42 @@ import (
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	os.Exit(run())
+}
+
+func run() int {
+	format := flag.String("format", "text", "output format: text, json or sarif")
+	jsonOut := flag.Bool("json", false, "shorthand for -format json (kept for compatibility)")
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list the available analyzers and exit")
+	audit := flag.Bool("audit", false, "audit //lint:allow directives instead of running analyzers")
+	baselinePath := flag.String("baseline", "", "filter out findings recorded in this baseline file")
+	writeBaseline := flag.String("write-baseline", "", "record current findings into this baseline file and exit 0")
+	workers := flag.Int("workers", 0, "packages analyzed concurrently (0 = all cores)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: noclint [-json] [-only names] [patterns...]\n\nAnalyzers:\n")
+		fmt.Fprintf(os.Stderr, "usage: noclint [-format text|json|sarif] [-only names] [-baseline file] [-audit] [patterns...]\n\nAnalyzers:\n")
 		for _, a := range lint.All() {
-			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(os.Stderr, "  %-11s %s\n", a.Name, a.Doc)
 		}
+		fmt.Fprintf(os.Stderr, "  %-11s %s\n", lint.AuditName, "(via -audit) reasonless, unknown-name or stale //lint:allow directives")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-11s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if *jsonOut && *format == "text" {
+		*format = "json"
+	}
+	switch *format {
+	case "text", "json", "sarif":
+	default:
+		fmt.Fprintf(os.Stderr, "noclint: unknown format %q (want text, json or sarif)\n", *format)
+		return 2
 	}
 
 	analyzers := lint.All()
@@ -50,38 +84,89 @@ func main() {
 			a := lint.ByName(name)
 			if a == nil {
 				fmt.Fprintf(os.Stderr, "noclint: unknown analyzer %q\n", name)
-				os.Exit(2)
+				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
 
-	pkgs, err := lint.Load(flag.Args())
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "noclint: %v\n", err)
-		os.Exit(2)
+	pkgs, loadErrs := lint.Load(flag.Args())
+	for _, le := range loadErrs {
+		fmt.Fprintf(os.Stderr, "noclint: %v\n", le)
 	}
-	findings := lint.Run(pkgs, analyzers)
 
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
+	var findings []lint.Finding
+	if *audit {
+		findings = lint.Audit(pkgs, analyzers)
+	} else {
+		findings = lint.RunParallel(pkgs, analyzers, *workers)
+	}
+
+	if *writeBaseline != "" {
+		base := lint.NewBaseline(findings)
+		data, err := base.Marshal()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noclint: marshaling baseline: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*writeBaseline, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "noclint: writing baseline: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "noclint: wrote %d baseline entries to %s\n", base.Len(), *writeBaseline)
+		if len(loadErrs) > 0 {
+			return 2
+		}
+		return 0
+	}
+
+	if *baselinePath != "" {
+		base, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "noclint: %v\n", err)
+			return 2
+		}
+		findings = base.Filter(findings)
+	}
+
+	if err := emit(*format, findings, analyzers); err != nil {
+		fmt.Fprintf(os.Stderr, "noclint: encoding findings: %v\n", err)
+		return 2
+	}
+	if len(loadErrs) > 0 {
+		fmt.Fprintf(os.Stderr, "noclint: %d package(s) failed to load (analyzed the remaining %d)\n",
+			len(loadErrs), len(pkgs))
+		return 2
+	}
+	if len(findings) > 0 {
+		if *format == "text" {
+			fmt.Fprintf(os.Stderr, "noclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
+		}
+		return 1
+	}
+	return 0
+}
+
+func emit(format string, findings []lint.Finding, analyzers []*lint.Analyzer) error {
+	switch format {
+	case "json":
 		if findings == nil {
 			findings = []lint.Finding{}
 		}
-		if err := enc.Encode(findings); err != nil {
-			fmt.Fprintf(os.Stderr, "noclint: encoding findings: %v\n", err)
-			os.Exit(2)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(findings)
+	case "sarif":
+		data, err := lint.MarshalSARIF(lint.ToSARIF(findings, analyzers))
+		if err != nil {
+			return err
 		}
-	} else {
+		_, err = os.Stdout.Write(data)
+		return err
+	default:
 		for _, f := range findings {
 			fmt.Println(f.String())
 		}
-	}
-	if len(findings) > 0 {
-		if !*jsonOut {
-			fmt.Fprintf(os.Stderr, "noclint: %d finding(s) in %d package(s)\n", len(findings), len(pkgs))
-		}
-		os.Exit(1)
+		return nil
 	}
 }

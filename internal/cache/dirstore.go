@@ -55,16 +55,16 @@ func (s *DirStore) Put(key string, data []byte) error {
 	}
 	name := tmp.Name()
 	if _, err := tmp.Write(data); err != nil {
-		_ = tmp.Close()     //lint:allow errdrop — best-effort cleanup on the error path
-		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		_ = tmp.Close()
+		_ = os.Remove(name)
 		return err
 	}
 	if err := tmp.Close(); err != nil {
-		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		_ = os.Remove(name)
 		return err
 	}
 	if err := os.Rename(name, dst); err != nil {
-		_ = os.Remove(name) //lint:allow errdrop — best-effort cleanup on the error path
+		_ = os.Remove(name)
 		return err
 	}
 	return nil

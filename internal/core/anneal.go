@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"math/rand"
-	"time"
 
 	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/obs"
@@ -51,7 +50,7 @@ type annealEval struct {
 // loop; a cancelled run returns the best feasible deployment found so far
 // with SolveInfo.Cancelled set (see Anneal for the context-free wrapper).
 func AnnealCtx(ctx context.Context, s *System, opts Options, ao AnnealOptions) (*Deployment, *SolveInfo, error) {
-	startT := time.Now()
+	startT := opts.now()
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "anneal"})
@@ -64,7 +63,7 @@ func AnnealCtx(ctx context.Context, s *System, opts Options, ao AnnealOptions) (
 		return nil, nil, err
 	}
 	if hinfo.Cancelled {
-		hinfo.Runtime = time.Since(startT)
+		hinfo.Runtime = opts.now().Sub(startT)
 		return cur, hinfo, nil
 	}
 	cur = cloneDeploymentCore(cur)
@@ -222,7 +221,7 @@ func AnnealCtx(ctx context.Context, s *System, opts Options, ao AnnealOptions) (
 	}
 
 	info := &SolveInfo{
-		Runtime:   time.Since(startT),
+		Runtime:   opts.now().Sub(startT),
 		Feasible:  bestEval.okFull && CheckConstraints(s, best) == nil,
 		Objective: objectiveOf(s, best, opts),
 		Cancelled: cancelled,
@@ -237,6 +236,10 @@ func AnnealCtx(ctx context.Context, s *System, opts Options, ao AnnealOptions) (
 	return best, info, nil
 }
 
+// randomExisting rejection-samples an index of a deployed task. Anneal
+// moves keep at least one task deployed, so each draw hits with p ≥ 1/len.
+//
+//lint:allow ctxloop — probabilistic but guaranteed termination: p ≥ 1/len per draw
 func randomExisting(rng *rand.Rand, d *Deployment) int {
 	for {
 		if i := rng.Intn(len(d.Exists)); d.Exists[i] {

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// tickClock is a deterministic obs.Clock advancing by step per read,
+// locked so parallel exact solves can share it.
+func tickClock(step time.Duration) obs.Clock {
+	var mu sync.Mutex
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+// TestHeuristicFakeClock pins the heuristic's phase timings to an injected
+// clock: every reported duration must be a whole number of fake-clock
+// steps, and Runtime must cover the phases — proving the phase timing path
+// reads the options clock, not time.Now.
+func TestHeuristicFakeClock(t *testing.T) {
+	s := tinySystem(t, 4, 1)
+	opts := Options{Clock: tickClock(time.Millisecond)}
+	_, info, err := HeuristicCtx(context.Background(), s, opts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Phases) != 3 {
+		t.Fatalf("got %d phases, want 3", len(info.Phases))
+	}
+	var sum time.Duration
+	for _, p := range info.Phases {
+		if p.D%time.Millisecond != 0 {
+			t.Errorf("phase %s duration %v is not a whole number of fake-clock steps", p.Name, p.D)
+		}
+		sum += p.D
+	}
+	if info.Runtime%time.Millisecond != 0 {
+		t.Errorf("runtime %v is not a whole number of fake-clock steps", info.Runtime)
+	}
+	if info.Runtime <= 0 || info.Runtime < sum-2*time.Millisecond {
+		t.Errorf("runtime %v does not cover the phases (sum %v)", info.Runtime, sum)
+	}
+}
+
+// TestOptimalFakeClockDeadline drives the exact solver with a clock that
+// jumps an hour per read against a 1s time limit: the branch & bound must
+// stop on the (fake) deadline rather than prove optimality, showing the
+// limit is testable without real waiting.
+func TestOptimalFakeClockDeadline(t *testing.T) {
+	s := tinySystem(t, 4, 1)
+	opts := Options{Clock: tickClock(time.Hour)}
+	_, info, err := OptimalCtx(context.Background(), s, opts, OptimalOptions{TimeLimit: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The search saw the deadline already expired: it must not have
+	// explored the tree (at most the root relaxation).
+	if info.Nodes > 1 {
+		t.Errorf("solver explored %d nodes past an already-expired fake deadline", info.Nodes)
+	}
+}

@@ -463,18 +463,18 @@ type OptimalOptions struct {
 // with SolveInfo.Cancelled set, or a nil deployment if none was found (see
 // Optimal for the context-free wrapper).
 func OptimalCtx(ctx context.Context, s *System, opts Options, oo OptimalOptions) (*Deployment, *SolveInfo, error) {
-	start := time.Now()
+	start := opts.now()
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "optimal"})
 	}
 	if ctx.Err() != nil {
-		return nil, cancelledInfo(start, tr, "optimal"), nil
+		return nil, cancelledInfo(opts.now().Sub(start), tr, "optimal"), nil
 	}
 	f := BuildFormulation(s, opts)
-	buildD := time.Since(start)
+	buildD := opts.now().Sub(start)
 	if ctx.Err() != nil {
-		return nil, cancelledInfo(start, tr, "optimal"), nil
+		return nil, cancelledInfo(opts.now().Sub(start), tr, "optimal"), nil
 	}
 	so := milp.SolveOptions{
 		Ctx:       ctx,
@@ -483,6 +483,7 @@ func OptimalCtx(ctx context.Context, s *System, opts Options, oo OptimalOptions)
 		RelGap:    oo.RelGap,
 		Workers:   oo.Workers,
 		Trace:     opts.Trace,
+		Clock:     opts.Clock,
 	}
 	if oo.WarmStart != nil {
 		so.Cutoff = *oo.WarmStart * (1 + 1e-6)
@@ -495,13 +496,13 @@ func OptimalCtx(ctx context.Context, s *System, opts Options, oo OptimalOptions)
 		}
 		so.Incumbent = inc // nil (ignored) if the deployment doesn't embed
 	}
-	solveStart := time.Now()
+	solveStart := opts.now()
 	res, err := f.Model.Solve(so)
 	if err != nil {
 		return nil, nil, err
 	}
-	solveD := time.Since(solveStart)
-	extractStart := time.Now()
+	solveD := opts.now().Sub(solveStart)
+	extractStart := opts.now()
 	info := &SolveInfo{
 		Nodes:     res.Nodes,
 		Iters:     res.Iters,
@@ -511,8 +512,8 @@ func OptimalCtx(ctx context.Context, s *System, opts Options, oo OptimalOptions)
 		info.Incumbents = append(info.Incumbents, IncumbentPoint{T: inc.T, Obj: inc.Obj, Nodes: inc.Nodes})
 	}
 	finish := func() {
-		info.Phases = []PhaseTiming{{"build", buildD}, {"solve", solveD}, {"extract", time.Since(extractStart)}}
-		info.Runtime = time.Since(start)
+		info.Phases = []PhaseTiming{{"build", buildD}, {"solve", solveD}, {"extract", opts.now().Sub(extractStart)}}
+		info.Runtime = opts.now().Sub(start)
 		if tr.Enabled() {
 			tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "optimal", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
 		}

@@ -63,7 +63,7 @@ type IncumbentPoint struct {
 // partial deployment with SolveInfo.Cancelled set (see Heuristic for the
 // context-free wrapper).
 func HeuristicCtx(ctx context.Context, s *System, opts Options, seed int64) (*Deployment, *SolveInfo, error) {
-	startT := time.Now()
+	startT := opts.now()
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "heuristic"})
@@ -72,22 +72,22 @@ func HeuristicCtx(ctx context.Context, s *System, opts Options, seed int64) (*De
 	d := NewDeployment(s)
 
 	if ctx.Err() != nil {
-		return d, cancelledInfo(startT, tr, "heuristic"), nil
+		return d, cancelledInfo(opts.now().Sub(startT), tr, "heuristic"), nil
 	}
 	ok1 := phase1FrequencyAndDuplication(s, d)
-	t1 := time.Since(startT)
+	t1 := opts.now().Sub(startT)
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P1", Dur: t1.Seconds()})
 	}
 	if ctx.Err() != nil {
-		return d, cancelledInfo(startT, tr, "heuristic"), nil
+		return d, cancelledInfo(opts.now().Sub(startT), tr, "heuristic"), nil
 	}
 	ok23, t2, t3, err := deployGivenLevels(ctx, s, d, seed, opts)
 	if err != nil {
 		return nil, nil, err
 	}
 	if ctx.Err() != nil {
-		return d, cancelledInfo(startT, tr, "heuristic"), nil
+		return d, cancelledInfo(opts.now().Sub(startT), tr, "heuristic"), nil
 	}
 
 	info := &SolveInfo{Phases: []PhaseTiming{{"P1", t1}, {"P2", t2}, {"P3", t3}}}
@@ -103,7 +103,7 @@ func HeuristicCtx(ctx context.Context, s *System, opts Options, seed int64) (*De
 	info.Feasible = ok1 && ok23 && CheckConstraints(s, d) == nil
 	// Stamped last so Runtime covers the full solve including the metrics
 	// and constraint evaluation above.
-	info.Runtime = time.Since(startT)
+	info.Runtime = opts.now().Sub(startT)
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "heuristic", Obj: info.Objective, Phase: feasibilityOutcome(info.Feasible)})
 	}
@@ -119,9 +119,10 @@ func feasibilityOutcome(feasible bool) string {
 }
 
 // cancelledInfo builds the SolveInfo for a solve abandoned on context
-// cancellation and emits the closing trace event.
-func cancelledInfo(startT time.Time, tr *obs.Trace, label string) *SolveInfo {
-	info := &SolveInfo{Runtime: time.Since(startT), Cancelled: true}
+// cancellation and emits the closing trace event. The caller measures the
+// elapsed time through its options clock.
+func cancelledInfo(elapsed time.Duration, tr *obs.Trace, label string) *SolveInfo {
+	info := &SolveInfo{Runtime: elapsed, Cancelled: true}
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveDone, Label: label, Phase: "cancelled"})
 	}
@@ -138,12 +139,12 @@ func deployGivenLevels(ctx context.Context, s *System, d *Deployment, seed int64
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P2"})
 	}
-	p2Start := time.Now()
+	p2Start := opts.now()
 	order, err := phase2Allocation(s, d, seed, opts)
 	if err != nil {
 		return false, 0, 0, err
 	}
-	t2 = time.Since(p2Start)
+	t2 = opts.now().Sub(p2Start)
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P2", Dur: t2.Seconds()})
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseStart, Phase: "P3"})
@@ -151,9 +152,9 @@ func deployGivenLevels(ctx context.Context, s *System, d *Deployment, seed int64
 	if ctx.Err() != nil {
 		return false, t2, 0, nil
 	}
-	p3Start := time.Now()
+	p3Start := opts.now()
 	ok, err = phase3PathSelection(s, d, order, opts)
-	t3 = time.Since(p3Start)
+	t3 = opts.now().Sub(p3Start)
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.HeurPhaseEnd, Phase: "P3", Dur: t3.Seconds()})
 	}

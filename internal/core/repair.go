@@ -4,7 +4,6 @@ import (
 	"context"
 	"math"
 	"strconv"
-	"time"
 
 	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/obs"
@@ -22,7 +21,7 @@ import (
 // checked once per repair round; a cancelled run returns the current
 // best-effort deployment with SolveInfo.Cancelled set.
 func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed int64, maxRounds int) (*Deployment, *SolveInfo, error) {
-	startT := time.Now()
+	startT := opts.now()
 	tr := opts.Trace
 	if tr.Enabled() {
 		tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "heuristic+repair"})
@@ -37,11 +36,11 @@ func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed i
 		return nil, nil, err
 	}
 	if info.Cancelled {
-		info.Runtime = time.Since(startT)
+		info.Runtime = opts.now().Sub(startT)
 		return d, info, nil
 	}
 	if info.Feasible {
-		info.Runtime = time.Since(startT)
+		info.Runtime = opts.now().Sub(startT)
 		done(info)
 		return d, info, nil
 	}
@@ -52,7 +51,7 @@ func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed i
 	M := s.Graph.M()
 	for round := 0; round < maxRounds; round++ {
 		if ctx.Err() != nil {
-			ri := cancelledInfo(startT, tr, "heuristic+repair")
+			ri := cancelledInfo(opts.now().Sub(startT), tr, "heuristic+repair")
 			return d, ri, nil
 		}
 		// Raise the level of the latest finisher that can still go faster.
@@ -98,7 +97,7 @@ func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed i
 			return nil, nil, err
 		}
 		if ctx.Err() != nil {
-			ri := cancelledInfo(startT, tr, "heuristic+repair")
+			ri := cancelledInfo(opts.now().Sub(startT), tr, "heuristic+repair")
 			return d, ri, nil
 		}
 		if ok && CheckConstraints(s, d) == nil {
@@ -111,7 +110,7 @@ func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed i
 				obj = m.SumEnergy
 			}
 			ri := &SolveInfo{
-				Runtime:   time.Since(startT),
+				Runtime:   opts.now().Sub(startT),
 				Feasible:  true,
 				Objective: obj,
 			}
@@ -128,7 +127,7 @@ func HeuristicWithRepairCtx(ctx context.Context, s *System, opts Options, seed i
 	if opts.Objective == MinimizeEnergy {
 		obj = m.SumEnergy
 	}
-	ri := &SolveInfo{Runtime: time.Since(startT), Feasible: false, Objective: obj}
+	ri := &SolveInfo{Runtime: opts.now().Sub(startT), Feasible: false, Objective: obj}
 	done(ri)
 	return d, ri, nil
 }

@@ -12,6 +12,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"nocdeploy/internal/noc"
 	"nocdeploy/internal/obs"
@@ -68,6 +69,23 @@ type Options struct {
 	// engine by Optimal. Observability only: the solvers never read it, so
 	// results are identical with tracing on or off.
 	Trace *obs.Trace
+	// Clock supplies the time source behind SolveInfo.Runtime and the
+	// per-phase timings, and is forwarded to the MILP engine by Optimal.
+	// Nil means the wall clock; tests inject a fake clock to pin phase
+	// timings and deadline behaviour deterministically.
+	Clock obs.Clock
+}
+
+// now reads the configured clock. This is the core package's only
+// approved wall-clock access: phase timing and deadline logic must go
+// through it so solves stay testable under a fake clock.
+//
+//lint:fact clockseam
+func (o Options) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now()
 }
 
 // System bundles one deployment problem instance.

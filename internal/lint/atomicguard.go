@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicGuard flags struct fields that are accessed through sync/atomic in
+// one place and through a plain read or write somewhere else in the same
+// package. Mixing the two forfeits the happens-before edges the atomic
+// calls were bought for: the plain access races with every atomic one, and
+// the race detector only catches it when both sides actually interleave
+// under test. A field is either always atomic or never atomic.
+//
+// Fields of the atomic wrapper types (atomic.Uint64 and friends) are safe
+// by construction — their only access path is method calls — so this
+// analyzer concerns the older pattern of passing &s.field to
+// atomic.LoadUint64 / atomic.StoreUint64 / atomic.AddInt64 etc.
+var AtomicGuard = &Analyzer{
+	Name: "atomicguard",
+	Doc: "flags struct fields accessed both via sync/atomic calls and via " +
+		"plain reads/writes in the same package; pick one discipline " +
+		"(prefer the atomic.* wrapper types)",
+	Run: runAtomicGuard,
+}
+
+func runAtomicGuard(pass *Pass) {
+	// Pass 1: fields whose address is taken into a sync/atomic call.
+	atomicFields := map[*types.Var]string{} // field -> atomic func name (first seen)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := atomicCallName(pass.Info, call)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := arg.(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := un.X.(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := selectedField(pass.Info, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = name
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	// Pass 2: plain selector accesses to those fields. An access is atomic
+	// only when it is the &x.f operand of a sync/atomic call.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if ok {
+				if _, isAtomic := atomicCallName(pass.Info, call); isAtomic {
+					// Skip the sanctioned &x.f arguments but still walk any
+					// nested expressions inside them.
+					for _, arg := range call.Args {
+						ast.Inspect(arg, func(m ast.Node) bool {
+							if un, ok := m.(*ast.UnaryExpr); ok && un.Op == token.AND {
+								if _, ok := un.X.(*ast.SelectorExpr); ok {
+									return false
+								}
+							}
+							reportPlainAtomicAccess(pass, m, atomicFields)
+							return true
+						})
+					}
+					return false
+				}
+			}
+			reportPlainAtomicAccess(pass, n, atomicFields)
+			return true
+		})
+	}
+}
+
+func reportPlainAtomicAccess(pass *Pass, n ast.Node, atomicFields map[*types.Var]string) {
+	sel, ok := n.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fld := selectedField(pass.Info, sel)
+	if fld == nil {
+		return
+	}
+	fn, tracked := atomicFields[fld]
+	if !tracked {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s is accessed with atomic.%s elsewhere but plainly here; "+
+			"mixing atomic and plain access races", fld.Name(), fn)
+}
+
+// atomicCallName reports whether call invokes a sync/atomic package-level
+// function and returns its name.
+func atomicCallName(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "sync/atomic" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// selectedField returns the struct field behind a selector expression, or
+// nil when the selector resolves to something else (method, package
+// member, ...).
+func selectedField(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

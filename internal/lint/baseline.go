@@ -1,0 +1,123 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// BaselineEntry identifies one accepted finding. Matching is deliberately
+// line- and column-insensitive: a baseline must survive unrelated edits
+// that shift code around, so an entry pins (analyzer, file, message) and
+// nothing positional. Identical findings in the same file collapse to one
+// entry — the baseline accepts the message wherever it appears in that
+// file, which is the coarseness that makes the mechanism stable.
+type BaselineEntry struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Message  string `json:"message"`
+}
+
+// Baseline is a set of accepted findings, serialized as a sorted JSON
+// array so the file diffs cleanly under version control.
+type Baseline struct {
+	entries map[BaselineEntry]bool
+}
+
+// NewBaseline builds a baseline accepting exactly the given findings.
+func NewBaseline(findings []Finding) *Baseline {
+	b := &Baseline{entries: map[BaselineEntry]bool{}}
+	for _, f := range findings {
+		b.entries[entryOf(f)] = true
+	}
+	return b
+}
+
+// Len returns the number of distinct accepted entries.
+func (b *Baseline) Len() int {
+	if b == nil {
+		return 0
+	}
+	return len(b.entries)
+}
+
+// Filter returns the findings not covered by the baseline, preserving
+// order. A nil baseline filters nothing.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if b == nil || len(b.entries) == 0 {
+		return findings
+	}
+	var kept []Finding
+	for _, f := range findings {
+		if !b.entries[entryOf(f)] {
+			kept = append(kept, f)
+		}
+	}
+	return kept
+}
+
+// Entries returns the accepted entries sorted by file, analyzer, message.
+func (b *Baseline) Entries() []BaselineEntry {
+	if b == nil {
+		return nil
+	}
+	entries := make([]BaselineEntry, 0, len(b.entries))
+	for e := range b.entries {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].File != entries[j].File {
+			return entries[i].File < entries[j].File
+		}
+		if entries[i].Analyzer != entries[j].Analyzer {
+			return entries[i].Analyzer < entries[j].Analyzer
+		}
+		return entries[i].Message < entries[j].Message
+	})
+	return entries
+}
+
+// Marshal renders the baseline as sorted, indented JSON. An empty baseline
+// marshals to "[]" — the committed .noclint-baseline.json stays a visible,
+// diffable assertion that the tree owes no suppressions.
+func (b *Baseline) Marshal() ([]byte, error) {
+	entries := b.Entries()
+	if entries == nil {
+		entries = []BaselineEntry{}
+	}
+	out, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// LoadBaseline reads a baseline file written by Marshal.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []BaselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("lint: baseline %s: %w", path, err)
+	}
+	b := &Baseline{entries: map[BaselineEntry]bool{}}
+	for _, e := range entries {
+		// Canonicalize to the same forward-slashed form entryOf produces so
+		// lookups match regardless of the OS that wrote the file.
+		e.File = filepath.ToSlash(filepath.Clean(filepath.FromSlash(e.File)))
+		b.entries[e] = true
+	}
+	return b, nil
+}
+
+func entryOf(f Finding) BaselineEntry {
+	return BaselineEntry{
+		Analyzer: f.Analyzer,
+		File:     filepath.ToSlash(filepath.Clean(f.File)),
+		Message:  f.Message,
+	}
+}

@@ -1,0 +1,94 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxLoopScope is the set of solver package basenames whose hot paths must
+// stay cancellable: simplex pivoting, branch-and-bound node expansion and
+// the heuristic/anneal phases all run unbounded iteration counts, and a
+// deadline the loop never polls is a deadline that does not exist.
+var ctxLoopScope = map[string]bool{"lp": true, "milp": true, "core": true}
+
+// CtxLoop flags condition-less `for {` loops in solver packages whose body
+// never consults a context.Context (no ctx.Err(), ctx.Done() or a call
+// forwarding the context). Such a loop cannot be cancelled or deadlined;
+// every solver iteration structure must poll its context — possibly
+// stride-sampled, like the simplex's every-64-pivots check — or carry a
+// //lint:allow ctxloop directive explaining why termination is otherwise
+// guaranteed.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "flags unbounded for-loops in solver packages (lp, milp, core) " +
+		"that never poll a context.Context; cancellation must reach every " +
+		"hot loop",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *Pass) {
+	if !ctxLoopScope[baseName(pass.PkgPath)] {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			fl, ok := n.(*ast.ForStmt)
+			if !ok || fl.Cond != nil {
+				return true
+			}
+			if !loopTouchesContext(pass.Info, fl.Body) {
+				pass.Reportf(fl.Pos(),
+					"unbounded for-loop never polls a context; check ctx.Err() "+
+						"(stride-sampled is fine) so cancellation and deadlines reach this loop")
+			}
+			return true
+		})
+	}
+}
+
+// loopTouchesContext reports whether the loop body mentions a
+// context.Context-typed value at all — selecting on ctx.Done(), checking
+// ctx.Err(), or passing the context to a callee (which is then responsible
+// for polling it). Mentioning the context is a deliberately generous
+// notion of "polls": the analyzer's job is to catch loops where
+// cancellation *cannot* propagate, not to prove that it does.
+func loopTouchesContext(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if isContextType(obj.Type()) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context (possibly behind a
+// named type or pointer).
+func isContextType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Well-known facts. Analyzers consult these to reason about calls that
+// cross package boundaries: the callee's body is not in the pass being
+// analyzed, but its facts — gathered over every loaded package up front —
+// are.
+const (
+	// FactEmit marks a function whose call contributes to ordered program
+	// output (it writes to a writer, builder or trace). Ranging over a map
+	// while calling an emitter leaks map iteration order into output — the
+	// canonical determinism bug maporder exists to catch.
+	FactEmit = "emit"
+	// FactClockSeam marks a function approved to read the wall clock
+	// directly. Solver packages must route every time.Now through exactly
+	// one such seam (an injectable-clock accessor), which is what keeps
+	// deadline logic testable; wallclock skips findings inside seams.
+	FactClockSeam = "clockseam"
+)
+
+const factPrefix = "lint:fact"
+
+// Facts is the cross-package knowledge base handed to every Pass: a map
+// from a function's fully qualified name (types.Func.FullName) to the set
+// of facts established for it. Facts come from two sources:
+//
+//   - explicit //lint:fact <name> directives in a function's doc comment,
+//     the way a package exports a domain property the analyzers cannot
+//     derive ("this is the approved clock seam");
+//   - derivation: a function whose body directly writes through fmt.Fprint*
+//     / fmt.Print*, a strings.Builder, a bytes.Buffer or an io.Writer is
+//     marked FactEmit automatically.
+//
+// Derivation is one level deep by design: a helper that merely calls an
+// emitting helper in another package is not itself marked, keeping the
+// fact set small and predictable; annotate such trampolines explicitly
+// when maporder should see through them.
+type Facts struct {
+	byFunc map[string]map[string]bool
+}
+
+// HasFunc reports whether fn carries the fact. Nil-safe on both receiver
+// and fn so analyzer call sites stay unconditional.
+func (f *Facts) HasFunc(fn *types.Func, fact string) bool {
+	if f == nil || fn == nil {
+		return false
+	}
+	return f.byFunc[fn.FullName()][fact]
+}
+
+// Has reports whether the function with the given fully qualified name
+// (types.Func.FullName form) carries the fact.
+func (f *Facts) Has(fullName, fact string) bool {
+	if f == nil {
+		return false
+	}
+	return f.byFunc[fullName][fact]
+}
+
+// Funcs returns the sorted fully qualified names carrying the fact,
+// primarily for tests and -debug output.
+func (f *Facts) Funcs(fact string) []string {
+	if f == nil {
+		return nil
+	}
+	var names []string
+	for name, set := range f.byFunc {
+		if set[fact] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (f *Facts) add(fullName, fact string) {
+	set := f.byFunc[fullName]
+	if set == nil {
+		set = map[string]bool{}
+		f.byFunc[fullName] = set
+	}
+	set[fact] = true
+}
+
+// GatherFacts sweeps every loaded package once and returns the shared
+// fact base. It runs before any analyzer so facts exported by one package
+// are visible when any other package is analyzed, regardless of package
+// order.
+func GatherFacts(pkgs []*Package) *Facts {
+	facts := &Facts{byFunc: map[string]map[string]bool{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				name := fn.FullName()
+				for _, fact := range parseFactDirectives(fd.Doc) {
+					facts.add(name, fact)
+				}
+				if fd.Body != nil && derivesEmit(pkg.Info, fd.Body) {
+					facts.add(name, FactEmit)
+				}
+			}
+		}
+	}
+	return facts
+}
+
+// parseFactDirectives extracts //lint:fact names from a doc comment.
+func parseFactDirectives(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var facts []string
+	for _, c := range doc.List {
+		body := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		rest, ok := strings.CutPrefix(body, factPrefix)
+		if !ok {
+			continue
+		}
+		if fields := strings.Fields(rest); len(fields) > 0 {
+			facts = append(facts, fields[0])
+		}
+	}
+	return facts
+}
+
+// derivesEmit reports whether a function body directly performs ordered
+// output: fmt printing, or a write through strings.Builder, bytes.Buffer
+// or an io.Writer-typed value.
+func derivesEmit(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if emittingCall(info, call, nil) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// emittingCall reports whether call is an ordered-output operation. The
+// built-in recognizers cover fmt printing and writer methods; when facts
+// is non-nil, functions carrying FactEmit (explicit or derived in any
+// loaded package) count as well.
+func emittingCall(info *types.Info, call *ast.CallExpr, facts *Facts) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level function call: fmt.Fprintf(...), fmt.Println(...).
+	if id, ok := sel.X.(*ast.Ident); ok {
+		if pn, ok := info.Uses[id].(*types.PkgName); ok {
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Fprint") {
+				return true
+			}
+			if pn.Imported().Path() == "fmt" && strings.HasPrefix(sel.Sel.Name, "Print") {
+				return true
+			}
+			// Cross-package call to a function with the emit fact.
+			if fn, ok := info.Uses[sel.Sel].(*types.Func); ok && facts.HasFunc(fn, FactEmit) {
+				return true
+			}
+			return false
+		}
+	}
+	// Method call: resolve the method object and the receiver type.
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return false
+	}
+	if facts.HasFunc(fn, FactEmit) {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	switch named := recv.(type) {
+	case *types.Named:
+		obj := named.Obj()
+		if obj.Pkg() == nil {
+			return false
+		}
+		path, tname := obj.Pkg().Path(), obj.Name()
+		if (path == "strings" && tname == "Builder") || (path == "bytes" && tname == "Buffer") {
+			return strings.HasPrefix(fn.Name(), "Write")
+		}
+		if path == "io" && tname == "Writer" && fn.Name() == "Write" {
+			return true
+		}
+	case *types.Interface:
+		// An interface method named Write with ([]byte) (int, error) is
+		// io.Writer in spirit regardless of the declaring package.
+		if fn.Name() == "Write" && sig.Params().Len() == 1 {
+			if sl, ok := sig.Params().At(0).Type().(*types.Slice); ok {
+				if b, ok := sl.Elem().(*types.Basic); ok && b.Kind() == types.Byte {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

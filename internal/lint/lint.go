@@ -2,28 +2,38 @@
 // static-analysis framework built directly on the standard library's
 // go/ast, go/parser and go/types. It exists because generic linters do not
 // know this repository's domain invariants — a numerical solver stack must
-// not compare floats exactly, must not panic in library code, and must not
-// drop errors — so we enforce them ourselves.
+// not compare floats exactly, must not panic in library code, must not
+// drop errors, and must not let map iteration order or the wall clock leak
+// into solver output — so we enforce them ourselves.
 //
 // An Analyzer inspects one type-checked package at a time through a Pass
-// and reports Findings with precise file:line:col positions. Findings can
-// be suppressed with an in-source directive:
+// and reports Findings with precise file:line:col positions. Analyzers
+// additionally see cross-package Facts (see facts.go) gathered over every
+// loaded package before any analysis runs, so properties like "this
+// function emits output" or "this function is the approved clock seam"
+// survive package boundaries. Findings can be suppressed with an in-source
+// directive:
 //
-//	//lint:allow <name>[,<name>...] [reason]
+//	//lint:allow <name>[,<name>...] <reason>
 //
 // placed on the offending line, on the line directly above it, or in the
 // doc comment of the enclosing function declaration (which suppresses the
-// named analyzers for the whole function). The reason text is free-form
-// but expected: an allow without a why will not survive review.
+// named analyzers for the whole function). The reason is mandatory: a
+// directive without one suppresses nothing, and Audit reports it — along
+// with directives that no longer suppress anything — so suppression debt
+// stays visible.
 package lint
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
 	"sort"
 	"strings"
+
+	"nocdeploy/internal/runner"
 )
 
 // Finding is one analyzer report.
@@ -59,6 +69,9 @@ type Pass struct {
 	Pkg      *types.Package
 	PkgPath  string
 	Info     *types.Info
+	// Facts is the cross-package fact base gathered over every package of
+	// the run; nil when the caller skipped fact gathering.
+	Facts *Facts
 
 	findings *[]Finding
 }
@@ -77,7 +90,10 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 
 // All returns the full analyzer suite in a stable order.
 func All() []*Analyzer {
-	return []*Analyzer{FloatEq, NoPanic, ErrDrop, LoopRange, RawLog}
+	return []*Analyzer{
+		FloatEq, NoPanic, ErrDrop, LoopRange, RawLog,
+		MapOrder, WallClock, RandSource, AtomicGuard, CtxLoop,
+	}
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -91,30 +107,68 @@ func ByName(name string) *Analyzer {
 }
 
 // Run applies every analyzer to every package and returns the surviving
-// findings (allow-directives already applied), sorted by position.
+// findings (allow-directives already applied), sorted by position. It is
+// RunParallel with one worker per core.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunParallel(pkgs, analyzers, 0)
+}
+
+// RunParallel is Run with an explicit analysis worker count (≤ 0 means all
+// cores). Packages are analyzed concurrently — each package's files, type
+// info and suppressor are private to its work item, and the shared
+// FileSet, Facts and analyzer set are only read — then merged and sorted,
+// so the output is byte-identical at any worker count.
+func RunParallel(pkgs []*Package, analyzers []*Analyzer, workers int) []Finding {
+	facts := GatherFacts(pkgs)
+	perPkg, err := runner.Map(context.Background(), workers, len(pkgs),
+		func(_ context.Context, i int) ([]Finding, error) {
+			return analyzePackage(pkgs[i], analyzers, facts, nil), nil
+		})
+	if err != nil {
+		// The analysis function never returns an error and the context is
+		// never cancelled, so the only failure mode is a panicking
+		// analyzer; re-raise it rather than silently dropping findings.
+		panic(err) //lint:allow nopanic — re-raising a worker panic captured by the pool
+	}
 	var all []Finding
-	for _, pkg := range pkgs {
-		sup := newSuppressor(pkg.Fset, pkg.Files)
-		var raw []Finding
-		for _, a := range analyzers {
-			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Files:    pkg.Files,
-				Pkg:      pkg.Types,
-				PkgPath:  pkg.PkgPath,
-				Info:     pkg.Info,
-				findings: &raw,
-			}
-			a.Run(pass)
+	for _, fs := range perPkg {
+		all = append(all, fs...)
+	}
+	sortFindings(all)
+	return all
+}
+
+// analyzePackage runs the analyzers over one package and applies its
+// suppression directives. When sup is non-nil the caller's suppressor is
+// used (and its usage counters updated); otherwise a fresh one is built.
+func analyzePackage(pkg *Package, analyzers []*Analyzer, facts *Facts, sup *suppressor) []Finding {
+	if sup == nil {
+		sup = newSuppressor(pkg.Fset, pkg.Files)
+	}
+	var raw []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			PkgPath:  pkg.PkgPath,
+			Info:     pkg.Info,
+			Facts:    facts,
+			findings: &raw,
 		}
-		for _, f := range raw {
-			if !sup.allows(f) {
-				all = append(all, f)
-			}
+		a.Run(pass)
+	}
+	var kept []Finding
+	for _, f := range raw {
+		if !sup.allows(f) {
+			kept = append(kept, f)
 		}
 	}
+	return kept
+}
+
+func sortFindings(all []Finding) {
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].File != all[j].File {
 			return all[i].File < all[j].File
@@ -125,119 +179,197 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 		if all[i].Col != all[j].Col {
 			return all[i].Col < all[j].Col
 		}
-		return all[i].Analyzer < all[j].Analyzer
+		if all[i].Analyzer != all[j].Analyzer {
+			return all[i].Analyzer < all[j].Analyzer
+		}
+		return all[i].Message < all[j].Message
 	})
+}
+
+// AuditName is the pseudo-analyzer name under which Audit reports
+// suppression-hygiene findings.
+const AuditName = "allowaudit"
+
+// Audit checks every //lint:allow directive of the given packages against
+// the analyzers: a directive that names an unknown analyzer, carries no
+// reason, or no longer suppresses any finding is itself reported as a
+// finding (analyzer "allowaudit"). Run it with the full suite — a
+// directive can only be proven stale against the analyzers that could
+// have fired.
+func Audit(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := map[string]bool{"all": true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	facts := GatherFacts(pkgs)
+	var all []Finding
+	for _, pkg := range pkgs {
+		sup := newSuppressor(pkg.Fset, pkg.Files)
+		// Running the analyzers through the shared suppressor counts, per
+		// directive and per name, how many findings each one absorbs.
+		analyzePackage(pkg, analyzers, facts, sup)
+		for _, d := range sup.directives {
+			if !d.hasReason {
+				all = append(all, Finding{
+					Analyzer: AuditName, File: d.file, Line: d.line, Col: d.col,
+					Message: fmt.Sprintf("//lint:allow %s has no reason; a suppression without a why does not suppress", strings.Join(d.sortedNames(), ",")),
+				})
+			}
+			for _, name := range d.sortedNames() {
+				if !known[name] {
+					all = append(all, Finding{
+						Analyzer: AuditName, File: d.file, Line: d.line, Col: d.col,
+						Message: fmt.Sprintf("//lint:allow names unknown analyzer %q", name),
+					})
+					continue
+				}
+				if d.used[name] == 0 {
+					all = append(all, Finding{
+						Analyzer: AuditName, File: d.file, Line: d.line, Col: d.col,
+						Message: fmt.Sprintf("stale //lint:allow %s: it suppresses no finding; delete it", name),
+					})
+				}
+			}
+		}
+	}
+	sortFindings(all)
 	return all
 }
 
 const allowPrefix = "lint:allow"
 
-// suppressor indexes //lint:allow directives of one package.
-type suppressor struct {
-	// line[file][line] holds analyzer names allowed on that line and the
-	// line below it.
-	line map[string]map[int]map[string]bool
-	// span holds function-scoped allows: findings inside [from, to] lines
-	// of file for the named analyzers are suppressed.
-	spans []allowSpan
+// allowDirective is one parsed //lint:allow comment with its suppression
+// span and per-name usage counters (filled in by suppressor.allows).
+type allowDirective struct {
+	file      string
+	line, col int // position of the directive comment
+	from, to  int // line span the directive suppresses
+	names     map[string]bool
+	hasReason bool
+	used      map[string]int
 }
 
-type allowSpan struct {
-	file     string
-	from, to int
-	names    map[string]bool
+func (d *allowDirective) sortedNames() []string {
+	names := make([]string, 0, len(d.names))
+	for n := range d.names {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// suppressor indexes the //lint:allow directives of one package.
+type suppressor struct {
+	directives []*allowDirective
+	// byFile groups directives per file for the per-finding scan; package
+	// directive counts are small, so a linear span check is fine.
+	byFile map[string][]*allowDirective
 }
 
 func newSuppressor(fset *token.FileSet, files []*ast.File) *suppressor {
-	s := &suppressor{line: map[string]map[int]map[string]bool{}}
+	s := &suppressor{byFile: map[string][]*allowDirective{}}
+	add := func(d *allowDirective) {
+		s.directives = append(s.directives, d)
+		s.byFile[d.file] = append(s.byFile[d.file], d)
+	}
+	// Directive comments inside function doc comments suppress the whole
+	// function body; remember them so the comment sweep below can widen
+	// their span instead of double-registering them.
+	span := map[*ast.Comment][2]int{}
 	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				names := parseAllow(c.Text)
-				if names == nil {
-					continue
-				}
-				pos := fset.Position(c.Pos())
-				byLine := s.line[pos.Filename]
-				if byLine == nil {
-					byLine = map[int]map[string]bool{}
-					s.line[pos.Filename] = byLine
-				}
-				set := byLine[pos.Line]
-				if set == nil {
-					set = map[string]bool{}
-					byLine[pos.Line] = set
-				}
-				for n := range names {
-					set[n] = true
-				}
-			}
-		}
-		// Function-scoped allows via the declaration's doc comment.
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			names := map[string]bool{}
+			from := fset.Position(fd.Pos()).Line
+			to := fset.Position(fd.End()).Line
 			for _, c := range fd.Doc.List {
-				for n := range parseAllow(c.Text) {
-					names[n] = true
+				span[c] = [2]int{from, to}
+			}
+		}
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, reason := parseAllow(c.Text)
+				if names == nil {
+					continue
 				}
+				pos := fset.Position(c.Pos())
+				d := &allowDirective{
+					file: pos.Filename, line: pos.Line, col: pos.Column,
+					// A line directive suppresses its own line and the line
+					// directly below, so it can trail the statement or sit
+					// on its own line above it.
+					from: pos.Line, to: pos.Line + 1,
+					names: names, hasReason: reason,
+					used: map[string]int{},
+				}
+				if sp, ok := span[c]; ok {
+					d.from, d.to = sp[0], sp[1]
+				}
+				add(d)
 			}
-			if len(names) == 0 {
-				continue
-			}
-			from := fset.Position(fd.Pos())
-			to := fset.Position(fd.End())
-			s.spans = append(s.spans, allowSpan{
-				file:  from.Filename,
-				from:  from.Line,
-				to:    to.Line,
-				names: names,
-			})
 		}
 	}
 	return s
 }
 
-// parseAllow extracts the analyzer names of one //lint:allow comment, or
-// nil if the comment is not a directive.
-func parseAllow(text string) map[string]bool {
+// parseAllow extracts the analyzer names and reason presence of one
+// //lint:allow comment; names is nil if the comment is not a directive.
+func parseAllow(text string) (names map[string]bool, hasReason bool) {
 	body := strings.TrimPrefix(text, "//")
 	body = strings.TrimSpace(body)
 	if !strings.HasPrefix(body, allowPrefix) {
-		return nil
+		return nil, false
 	}
 	rest := strings.TrimSpace(strings.TrimPrefix(body, allowPrefix))
 	fields := strings.Fields(rest)
 	if len(fields) == 0 {
-		return nil
+		return nil, false
 	}
-	names := map[string]bool{}
+	names = map[string]bool{}
 	for _, n := range strings.Split(fields[0], ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			names[n] = true
 		}
 	}
-	return names
+	if len(names) == 0 {
+		return nil, false
+	}
+	// Everything after the name list is the reason. Punctuation-only
+	// separators ("—", "-") do not count as one.
+	for _, f := range fields[1:] {
+		if strings.Trim(f, "—–-:") != "" {
+			return names, true
+		}
+	}
+	return names, false
 }
 
+// allows reports whether a directive suppresses f, updating the matching
+// directive's usage counters. A directive without a reason matches for
+// accounting (Audit reports it) but does not suppress.
 func (s *suppressor) allows(f Finding) bool {
-	if byLine := s.line[f.File]; byLine != nil {
-		// A directive suppresses its own line and the line directly below,
-		// so it can trail the statement or sit on its own line above.
-		for _, l := range [2]int{f.Line, f.Line - 1} {
-			if set := byLine[l]; set != nil && (set[f.Analyzer] || set["all"]) {
-				return true
-			}
+	suppressed := false
+	for _, d := range s.byFile[f.File] {
+		if f.Line < d.from || f.Line > d.to {
+			continue
+		}
+		name := ""
+		switch {
+		case d.names[f.Analyzer]:
+			name = f.Analyzer
+		case d.names["all"]:
+			name = "all"
+		default:
+			continue
+		}
+		d.used[name]++
+		if d.hasReason {
+			suppressed = true
 		}
 	}
-	for _, sp := range s.spans {
-		if sp.file == f.File && f.Line >= sp.from && f.Line <= sp.to &&
-			(sp.names[f.Analyzer] || sp.names["all"]) {
-			return true
-		}
-	}
-	return false
+	return suppressed
 }

@@ -2,20 +2,23 @@ package lint
 
 import (
 	"encoding/json"
+	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
 
-// loadFixture loads one seeded package from testdata/src.
+// loadFixture loads one seeded fixture tree (the named directory and any
+// subpackages) from testdata/src.
 func loadFixture(t *testing.T, name string) []*Package {
 	t.Helper()
-	pkgs, err := Load([]string{filepath.Join("testdata", "src", name)})
-	if err != nil {
-		t.Fatalf("loading fixture %s: %v", name, err)
+	pkgs, errs := Load([]string{filepath.Join("testdata", "src", name) + "/..."})
+	for _, e := range errs {
+		t.Errorf("loading fixture %s: %v", name, e)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", name, len(pkgs))
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s: no packages loaded", name)
 	}
 	return pkgs
 }
@@ -54,6 +57,11 @@ func TestGoldenFixtures(t *testing.T) {
 		{"errdrop", "errdrop", []int{15, 16, 17, 18}},
 		{"looprange", "looprange", []int{7, 12}},
 		{"rawlog", "rawlog", []int{12, 13, 14}},
+		{"maporder", "maporder", []int{16, 22, 29, 36}},
+		{"wallclock", "wallclock", []int{22, 26, 30}},
+		{"randsource", "randsource", []int{11, 15, 19}},
+		{"atomicguard", "atomicguard", []int{21, 25}},
+		{"ctxloop", "ctxloop", []int{8, 22}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.analyzer, func(t *testing.T) {
@@ -87,21 +95,108 @@ func TestSuiteSilentOnCleanFixture(t *testing.T) {
 	}
 }
 
+// TestFactsCrossPackage pins the two fact sources the maporder fixture
+// depends on: the derived emit fact (EmitRow's body prints) and the
+// explicit //lint:fact emit directive (Record's body does not trip a
+// built-in recognizer).
+func TestFactsCrossPackage(t *testing.T) {
+	pkgs := loadFixture(t, "maporder")
+	facts := GatherFacts(pkgs)
+	const lib = "nocdeploy/internal/lint/testdata/src/maporder/emitlib"
+	for _, fn := range []string{lib + ".EmitRow", lib + ".Record"} {
+		if !facts.Has(fn, FactEmit) {
+			t.Errorf("fact base missing emit fact for %s; have %v", fn, facts.Funcs(FactEmit))
+		}
+	}
+	if facts.Has(lib+".Pure", FactEmit) {
+		t.Errorf("%s.Pure wrongly carries the emit fact", lib)
+	}
+}
+
+// TestAuditFixture checks the suppression-hygiene sweep: a reasonless
+// directive, a stale one and an unknown analyzer name are each reported;
+// a live, reasoned directive is not.
+func TestAuditFixture(t *testing.T) {
+	pkgs := loadFixture(t, "audit")
+	got := Audit(pkgs, All())
+	if want := []int{8, 12, 17}; !equalInts(findingLines(got), want) {
+		t.Fatalf("audit lines = %v, want %v\nfindings:\n%s", findingLines(got), want, renderFindings(got))
+	}
+	for i, substr := range []string{"has no reason", "stale //lint:allow nopanic", `unknown analyzer "nosuchcheck"`} {
+		if got[i].Analyzer != AuditName {
+			t.Errorf("finding %d attributed to %q, want %q", i, got[i].Analyzer, AuditName)
+		}
+		if !strings.Contains(got[i].Message, substr) {
+			t.Errorf("audit finding %d = %q, want substring %q", i, got[i].Message, substr)
+		}
+	}
+}
+
+// TestReasonlessAllowDoesNotSuppress pins the mandatory-reason contract: a
+// directive without a reason leaves the finding live.
+func TestReasonlessAllowDoesNotSuppress(t *testing.T) {
+	pkgs := loadFixture(t, "audit")
+	got := Run(pkgs, []*Analyzer{FloatEq})
+	if want := []int{8}; !equalInts(findingLines(got), want) {
+		t.Errorf("floateq lines = %v, want %v (reasonless allow on line 8 must not suppress, "+
+			"reasoned allow on line 22 must)", findingLines(got), want)
+	}
+}
+
+// TestRunParallelDeterministic pins the engine's own determinism contract:
+// findings are byte-identical at any worker count.
+func TestRunParallelDeterministic(t *testing.T) {
+	pkgs := loadFixture(t, "maporder")
+	pkgs = append(pkgs, loadFixture(t, "randsource")...)
+	serial := RunParallel(pkgs, All(), 1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := RunParallel(pkgs, All(), workers); !reflect.DeepEqual(got, serial) {
+			t.Errorf("workers=%d findings differ from serial run:\n%s\nvs\n%s",
+				workers, renderFindings(got), renderFindings(serial))
+		}
+	}
+}
+
+// TestLoadTolerant pins the degraded-run contract: a package that fails to
+// type-check comes back as a LoadError naming it, and the healthy sibling
+// packages still load and analyze.
+func TestLoadTolerant(t *testing.T) {
+	pkgs, errs := Load([]string{
+		filepath.Join("testdata", "src", "broken"),
+		filepath.Join("testdata", "src", "rawlog"),
+	})
+	if len(errs) != 1 {
+		t.Fatalf("got %d load errors, want 1: %v", len(errs), errs)
+	}
+	if want := "nocdeploy/internal/lint/testdata/src/broken"; errs[0].PkgPath != want {
+		t.Errorf("LoadError.PkgPath = %q, want %q", errs[0].PkgPath, want)
+	}
+	if len(pkgs) != 1 || filepath.Base(pkgs[0].Dir) != "rawlog" {
+		t.Fatalf("healthy sibling did not load: %v", pkgs)
+	}
+	if got := Run(pkgs, []*Analyzer{RawLog}); len(got) == 0 {
+		t.Error("healthy package produced no findings despite seeded violations")
+	}
+}
+
 // TestRepoLintsClean is the integration check behind `go run ./cmd/noclint
 // ./...` exiting 0: the repository's own tree must stay free of findings.
 func TestRepoLintsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the whole module; skipped in -short mode")
 	}
-	pkgs, err := Load([]string{filepath.Join("..", "..") + "/..."})
-	if err != nil {
-		t.Fatalf("loading repository: %v", err)
+	pkgs, errs := Load([]string{filepath.Join("..", "..") + "/..."})
+	for _, e := range errs {
+		t.Errorf("loading repository: %v", e)
 	}
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; pattern expansion is broken", len(pkgs))
 	}
 	if got := Run(pkgs, All()); len(got) != 0 {
 		t.Errorf("repository is not lint-clean:\n%s", renderFindings(got))
+	}
+	if got := Audit(pkgs, All()); len(got) != 0 {
+		t.Errorf("suppression audit is not clean:\n%s", renderFindings(got))
 	}
 }
 
@@ -119,6 +214,92 @@ func TestFindingJSONShape(t *testing.T) {
 	}
 	if got, want := f.String(), "x.go:3:7: floateq: m"; got != want {
 		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+// TestSARIFRoundTrip pins the SARIF 2.1.0 output: required top-level
+// fields, one rule per analyzer (plus allowaudit), stable marshaling, and
+// a lossless findings round-trip.
+func TestSARIFRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "maporder", File: "internal/core/report.go", Line: 12, Col: 3, Message: "m1"},
+		{Analyzer: "wallclock", File: "internal/lp/simplex.go", Line: 40, Col: 9, Message: "m2"},
+	}
+	log := ToSARIF(findings, All())
+	if log.Version != "2.1.0" || !strings.Contains(log.Schema, "sarif-2.1.0") {
+		t.Fatalf("log version/schema = %q / %q", log.Version, log.Schema)
+	}
+	if len(log.Runs) != 1 || log.Runs[0].Tool.Driver.Name != "noclint" {
+		t.Fatalf("unexpected runs shape: %+v", log.Runs)
+	}
+	if got, want := len(log.Runs[0].Tool.Driver.Rules), len(All())+1; got != want {
+		t.Errorf("declared %d rules, want %d (suite + allowaudit)", got, want)
+	}
+	for i, r := range log.Runs[0].Tool.Driver.Rules {
+		if i > 0 && log.Runs[0].Tool.Driver.Rules[i-1].ID >= r.ID {
+			t.Errorf("rules not sorted at %d: %q >= %q", i, log.Runs[0].Tool.Driver.Rules[i-1].ID, r.ID)
+		}
+	}
+
+	data, err := MarshalSARIF(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := MarshalSARIF(ToSARIF(findings, All()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != string(data2) {
+		t.Error("SARIF marshaling is not byte-stable across identical runs")
+	}
+
+	var decoded SarifLog
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatalf("emitted SARIF does not parse back: %v", err)
+	}
+	if got := FindingsFromSARIF(&decoded); !reflect.DeepEqual(got, findings) {
+		t.Errorf("round-trip mismatch:\n got %+v\nwant %+v", got, findings)
+	}
+}
+
+// TestBaselineFilter pins baseline semantics: matching is line-insensitive
+// (the finding moved but stays accepted) and message-sensitive (a changed
+// message resurfaces).
+func TestBaselineFilter(t *testing.T) {
+	accepted := Finding{Analyzer: "rawlog", File: "a/b.go", Line: 10, Col: 2, Message: "m"}
+	base := NewBaseline([]Finding{accepted})
+
+	moved := accepted
+	moved.Line, moved.Col = 99, 1
+	changed := accepted
+	changed.Message = "other"
+	got := base.Filter([]Finding{moved, changed})
+	if len(got) != 1 || got[0].Message != "other" {
+		t.Fatalf("Filter kept %+v, want only the changed-message finding", got)
+	}
+
+	data, err := base.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Filter([]Finding{moved, changed}); len(got) != 1 || got[0].Message != "other" {
+		t.Fatalf("after save/load, Filter kept %+v", got)
+	}
+
+	empty, err := NewBaseline(nil).Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(empty)) != "[]" {
+		t.Errorf("empty baseline marshals to %q, want []", empty)
 	}
 }
 

@@ -23,6 +23,25 @@ type Package struct {
 	Info    *types.Info
 }
 
+// LoadError is one package (or pattern) that failed to parse or
+// type-check. The loader reports these alongside the packages that did
+// load, so one broken package degrades the run instead of aborting it.
+type LoadError struct {
+	Dir     string // directory (or pattern) that failed
+	PkgPath string // import path when known, "" for pattern errors
+	Err     error
+}
+
+func (e *LoadError) Error() string {
+	where := e.PkgPath
+	if where == "" {
+		where = e.Dir
+	}
+	return fmt.Sprintf("%s: %v", where, e.Err)
+}
+
+func (e *LoadError) Unwrap() error { return e.Err }
+
 // Load resolves package patterns ("./...", "dir/...", or plain directory
 // paths), parses every non-test Go file and type-checks each package with
 // the standard library's source importer, so the loader works inside any
@@ -30,32 +49,38 @@ type Package struct {
 // vendor, and hidden or underscore-prefixed directories, are skipped when
 // expanding "..." patterns (matching the go tool's convention) but are
 // honored when named explicitly.
-func Load(patterns []string) ([]*Package, error) {
-	dirs, err := expandPatterns(patterns)
-	if err != nil {
-		return nil, err
-	}
+//
+// Loading is tolerant: a package that fails to parse or type-check is
+// returned as a LoadError while every other package still loads, so the
+// driver can report findings for the healthy part of the tree and name
+// each failing package precisely (its exit-code contract: findings exit 1,
+// load errors exit 2).
+func Load(patterns []string) ([]*Package, []*LoadError) {
+	dirs, errs := expandPatterns(patterns)
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
 	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := loadDir(fset, imp, dir)
 		if err != nil {
-			return nil, err
+			pkgPath, _ := packagePath(dir)
+			errs = append(errs, &LoadError{Dir: dir, PkgPath: pkgPath, Err: err})
+			continue
 		}
 		if pkg != nil {
 			pkgs = append(pkgs, pkg)
 		}
 	}
-	return pkgs, nil
+	return pkgs, errs
 }
 
-func expandPatterns(patterns []string) ([]string, error) {
+func expandPatterns(patterns []string) ([]string, []*LoadError) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 	seen := map[string]bool{}
 	var dirs []string
+	var errs []*LoadError
 	add := func(dir string) {
 		clean := filepath.Clean(dir)
 		if !seen[clean] {
@@ -90,21 +115,23 @@ func expandPatterns(patterns []string) ([]string, error) {
 				return nil
 			})
 			if err != nil {
-				return nil, fmt.Errorf("lint: expanding %s: %w", pat, err)
+				errs = append(errs, &LoadError{Dir: pat, Err: fmt.Errorf("lint: expanding %s: %w", pat, err)})
 			}
 			continue
 		}
 		info, err := os.Stat(pat)
 		if err != nil {
-			return nil, fmt.Errorf("lint: pattern %s: %w", pat, err)
+			errs = append(errs, &LoadError{Dir: pat, Err: fmt.Errorf("lint: pattern %s: %w", pat, err)})
+			continue
 		}
 		if !info.IsDir() {
-			return nil, fmt.Errorf("lint: pattern %s is not a directory", pat)
+			errs = append(errs, &LoadError{Dir: pat, Err: fmt.Errorf("lint: pattern %s is not a directory", pat)})
+			continue
 		}
 		add(pat)
 	}
 	sort.Strings(dirs)
-	return dirs, nil
+	return dirs, errs
 }
 
 func hasGoFiles(dir string) bool {

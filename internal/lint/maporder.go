@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrder flags loops that range over a map while feeding an ordered
+// sink: printing or writing inside the body, calling a function that
+// carries the cross-package emit fact (see facts.go), or appending to a
+// slice declared outside the loop that is never subsequently sorted in the
+// enclosing function. Go randomizes map iteration order per run, so any of
+// these leaks nondeterminism straight into program output — the canonical
+// way a "byte-identical tables" contract dies. The fix is mechanical:
+// collect the keys, sort them, range over the sorted slice.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags ranging over a map while emitting output or appending to " +
+		"an unsorted slice; sort the keys first so map iteration order " +
+		"cannot leak into results",
+	Run: runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapOrderFunc(pass, fd)
+		}
+	}
+}
+
+func checkMapOrderFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		reportMapOrderBody(pass, fd, rs)
+		return true
+	})
+}
+
+// reportMapOrderBody scans one map-range body for ordered-sink operations
+// and reports the first of each kind.
+func reportMapOrderBody(pass *Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	reportedEmit, reportedAppend := false, false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if !reportedEmit && emittingCall(pass.Info, node, pass.Facts) {
+				reportedEmit = true
+				pass.Reportf(node.Pos(),
+					"emitting inside a range over a map leaks iteration order into output; "+
+						"sort the keys and range over them")
+			}
+		case *ast.AssignStmt:
+			if reportedAppend {
+				return true
+			}
+			for i, rhs := range node.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(node.Lhs) {
+					continue
+				}
+				fun, ok := call.Fun.(*ast.Ident)
+				if !ok || fun.Name != "append" {
+					continue
+				}
+				if _, isBuiltin := pass.Info.Uses[fun].(*types.Builtin); !isBuiltin {
+					continue
+				}
+				target, ok := node.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.Info.Uses[target]
+				if obj == nil {
+					obj = pass.Info.Defs[target]
+				}
+				if obj == nil {
+					continue
+				}
+				// Only slices declared outside the loop carry order out of
+				// it; a loop-local slice dies with the iteration.
+				if obj.Pos() >= rs.Pos() && obj.Pos() <= rs.End() {
+					continue
+				}
+				if sortedAfter(pass, fd, obj, rs.End()) {
+					continue
+				}
+				reportedAppend = true
+				pass.Reportf(node.Pos(),
+					"appending to %s inside a range over a map records iteration order; "+
+						"sort %s afterwards or range over sorted keys", target.Name, target.Name)
+			}
+		}
+		return true
+	})
+}
+
+// sortedAfter reports whether obj is passed to a sort.* / slices.Sort*
+// call after pos inside fd — the collect-then-sort idiom that launders map
+// order back out.
+func sortedAfter(pass *Pass, fd *ast.FuncDecl, obj types.Object, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.Info.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		if path != "sort" && path != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if argID, ok := arg.(*ast.Ident); ok && pass.Info.Uses[argID] == obj {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// randSourceAllowed are the math/rand package-level entry points that do
+// not touch the global, process-wide generator: constructors a caller
+// seeds explicitly.
+var randSourceAllowed = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// RandSource flags randomness that cannot be replayed from an instance
+// seed in library code: calls to math/rand's package-level functions
+// (which share the global, implicitly seeded generator) and sources seeded
+// from the wall clock. The repository's determinism contract — tables
+// byte-identical at any worker count — holds because every random stream
+// is derived from an explicit per-instance seed (rand.New(rand.NewSource
+// (seed)), as in exp's evalGrid); global or time-seeded randomness breaks
+// that silently.
+var RandSource = &Analyzer{
+	Name: "randsource",
+	Doc: "flags global math/rand functions and time-seeded sources in " +
+		"internal/ library code; derive randomness from an explicit " +
+		"per-instance seed via rand.New(rand.NewSource(seed))",
+	Run: runRandSource,
+}
+
+func runRandSource(pass *Pass) {
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		return
+	}
+	if !strings.Contains(pass.PkgPath, "internal/") {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			if path != "math/rand" && path != "math/rand/v2" {
+				return true
+			}
+			if fn, ok := pass.Info.Uses[sel.Sel].(*types.Func); !ok || fn == nil {
+				return true // type references like rand.Rand, rand.Source
+			}
+			if !randSourceAllowed[sel.Sel.Name] {
+				pass.Reportf(sel.Pos(),
+					"global rand.%s uses the shared implicitly-seeded generator; "+
+						"derive randomness from an explicit per-instance seed",
+					sel.Sel.Name)
+				return true
+			}
+			if sel.Sel.Name == "NewSource" && timeSeeded(pass, n) {
+				pass.Reportf(sel.Pos(),
+					"rand.NewSource seeded from the wall clock is not replayable; "+
+						"use an explicit per-instance seed")
+			}
+			return true
+		})
+	}
+}
+
+// timeSeeded reports whether the rand.NewSource selector at n is called
+// with an argument derived from the time package (the classic
+// rand.NewSource(time.Now().UnixNano()) anti-pattern).
+func timeSeeded(pass *Pass, n ast.Node) bool {
+	// Find the enclosing call: n is the SelectorExpr; its parent CallExpr
+	// holds the seed argument. Walk the file for the call whose Fun is n.
+	var seeded bool
+	for _, file := range pass.Files {
+		if n.Pos() < file.Pos() || n.Pos() > file.End() {
+			continue
+		}
+		ast.Inspect(file, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok || call.Fun != n || len(call.Args) != 1 {
+				return true
+			}
+			ast.Inspect(call.Args[0], func(a ast.Node) bool {
+				id, ok := a.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if pn, ok := pass.Info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "time" {
+					seeded = true
+				}
+				return true
+			})
+			return false
+		})
+	}
+	return seeded
+}

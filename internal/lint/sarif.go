@@ -1,0 +1,154 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"sort"
+)
+
+// SARIF types: the subset of the SARIF 2.1.0 schema that code-scanning
+// consumers (GitHub, VS Code SARIF viewers) need. Field order in the
+// structs matches the schema's conventional serialization so emitted files
+// diff cleanly run-to-run.
+
+// SarifLog is the top-level SARIF 2.1.0 document.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one tool invocation.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool identifies noclint and declares one rule per analyzer.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver is the tool.driver component.
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule is one analyzer as a reporting descriptor.
+type SarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription SarifMessage `json:"shortDescription"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+}
+
+// SarifMessage wraps a plain-text message.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifLocation is a physical file location.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation `json:"physicalLocation"`
+}
+
+// SarifPhysicalLocation names the artifact and region of a result.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation is a repo-relative, forward-slashed file URI.
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is a line/column position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ToSARIF converts sorted findings into a SARIF 2.1.0 log. Every analyzer
+// in the suite is declared as a rule — including the allowaudit
+// pseudo-analyzer — whether or not it fired, so consumers can render rule
+// metadata for historical results. File paths are cleaned to
+// forward-slashed relative URIs as the schema requires.
+func ToSARIF(findings []Finding, analyzers []*Analyzer) *SarifLog {
+	rules := make([]SarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, SarifRule{ID: a.Name, ShortDescription: SarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, SarifRule{
+		ID:               AuditName,
+		ShortDescription: SarifMessage{Text: "suppression hygiene: reasonless, unknown-name or stale //lint:allow directives"},
+	})
+	sort.Slice(rules, func(i, j int) bool { return rules[i].ID < rules[j].ID })
+
+	results := make([]SarifResult, 0, len(findings))
+	for _, f := range findings {
+		results = append(results, SarifResult{
+			RuleID:  f.Analyzer,
+			Level:   "warning",
+			Message: SarifMessage{Text: f.Message},
+			Locations: []SarifLocation{{
+				PhysicalLocation: SarifPhysicalLocation{
+					ArtifactLocation: SarifArtifactLocation{URI: sarifURI(f.File)},
+					Region:           SarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return &SarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool:    SarifTool{Driver: SarifDriver{Name: "noclint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}
+
+// MarshalSARIF renders the log as indented JSON with a trailing newline —
+// the byte-stable form the CI artifact and baseline diffs rely on.
+func MarshalSARIF(log *SarifLog) ([]byte, error) {
+	b, err := json.MarshalIndent(log, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FindingsFromSARIF recovers findings from a SARIF log, inverting ToSARIF.
+// It exists for the round-trip test and for tooling that post-processes
+// the CI artifact.
+func FindingsFromSARIF(log *SarifLog) []Finding {
+	var findings []Finding
+	for _, run := range log.Runs {
+		for _, r := range run.Results {
+			f := Finding{Analyzer: r.RuleID, Message: r.Message.Text}
+			if len(r.Locations) > 0 {
+				loc := r.Locations[0].PhysicalLocation
+				f.File = filepath.FromSlash(loc.ArtifactLocation.URI)
+				f.Line = loc.Region.StartLine
+				f.Col = loc.Region.StartColumn
+			}
+			findings = append(findings, f)
+		}
+	}
+	return findings
+}
+
+// sarifURI converts a (possibly OS-specific) file path to the relative
+// forward-slashed form SARIF artifact locations use.
+func sarifURI(path string) string {
+	return filepath.ToSlash(filepath.Clean(path))
+}

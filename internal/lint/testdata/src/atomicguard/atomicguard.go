@@ -1,0 +1,53 @@
+// Package atomicguard seeds atomicguard violations: fields touched both
+// through sync/atomic and through plain reads or writes.
+package atomicguard
+
+import "sync/atomic"
+
+type counter struct {
+	hits  uint64 // accessed atomically AND plainly: the bug
+	safe  uint64 // accessed atomically only
+	plain uint64 // never atomic; plain access is fine
+	boxed atomic.Uint64
+}
+
+func bump(c *counter) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.AddUint64(&c.safe, 1)
+	c.boxed.Add(1)
+}
+
+func badPlainRead(c *counter) uint64 {
+	return c.hits
+}
+
+func badPlainWrite(c *counter) {
+	c.hits = 0
+}
+
+func allowed(c *counter) uint64 {
+	return c.hits //lint:allow atomicguard — fixture suppression
+}
+
+func cleanAtomicRead(c *counter) uint64 {
+	return atomic.LoadUint64(&c.safe)
+}
+
+func cleanPlainField(c *counter) uint64 {
+	c.plain++
+	return c.plain
+}
+
+func cleanWrapper(c *counter) uint64 {
+	return c.boxed.Load()
+}
+
+var (
+	_ = bump
+	_ = badPlainRead
+	_ = badPlainWrite
+	_ = allowed
+	_ = cleanAtomicRead
+	_ = cleanPlainField
+	_ = cleanWrapper
+)

@@ -1,0 +1,30 @@
+// Package audit seeds suppression-hygiene violations for the allowaudit
+// golden test: a reasonless directive, a stale one, and an unknown name.
+package audit
+
+import "fmt"
+
+func reasonless(a, b float64) bool {
+	return a == b //lint:allow floateq
+}
+
+func stale() int {
+	//lint:allow nopanic — historical: the panic below was removed long ago
+	return 1
+}
+
+func unknown() {
+	//lint:allow nosuchcheck — the analyzer this suppressed was renamed
+	fmt.Sprintln("x")
+}
+
+func live(a, b float64) bool {
+	return a == b //lint:allow floateq — fixture: legitimate exact comparison
+}
+
+var (
+	_ = reasonless
+	_ = stale
+	_ = unknown
+	_ = live
+)

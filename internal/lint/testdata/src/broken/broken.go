@@ -1,0 +1,6 @@
+// Package broken fails to type-check on purpose: the loader-tolerance
+// test asserts that this package surfaces as a LoadError while its healthy
+// siblings still load and analyze.
+package broken
+
+var oops int = "not an int"

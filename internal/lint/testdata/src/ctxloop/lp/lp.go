@@ -1,0 +1,89 @@
+// Package lp seeds ctxloop violations: its basename places it in the
+// solver scope where unbounded loops must poll a context.
+package lp
+
+import "context"
+
+func badSpin(work func() bool) {
+	for {
+		if work() {
+			return
+		}
+	}
+}
+
+func badNested(ctx context.Context, work func() bool) {
+	// The outer loop consults ctx, the inner one cannot be cancelled.
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		spin := 0
+		for i := 0; ; i++ {
+			spin++
+			if work() {
+				break
+			}
+		}
+	}
+}
+
+//lint:allow ctxloop — fixture: termination proven by the bounded counter
+func allowedCounted(work func() bool) {
+	n := 0
+	for {
+		n++
+		if n > 1000 || work() {
+			return
+		}
+	}
+}
+
+func cleanPolling(ctx context.Context, work func() bool) {
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		if work() {
+			return
+		}
+	}
+}
+
+func cleanSelect(ctx context.Context, ch <-chan int) int {
+	total := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return total
+		case v := <-ch:
+			total += v
+		}
+	}
+}
+
+func cleanForwarded(ctx context.Context, step func(context.Context) bool) {
+	for {
+		if step(ctx) {
+			return
+		}
+	}
+}
+
+func cleanBounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		total += i
+	}
+	return total
+}
+
+var (
+	_ = badSpin
+	_ = badNested
+	_ = allowedCounted
+	_ = cleanPolling
+	_ = cleanSelect
+	_ = cleanForwarded
+	_ = cleanBounded
+)

@@ -1,0 +1,24 @@
+// Package emitlib exports emit-faceted helpers for the maporder fixture.
+package emitlib
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// EmitRow writes one table row; the emit fact is derived from the Fprintf.
+func EmitRow(w io.Writer, k string, v int) {
+	fmt.Fprintf(w, "%s=%d\n", k, v)
+}
+
+// Record appends to an internal builder without any built-in recognizer
+// firing at the call site; the explicit fact is what maporder sees.
+//
+//lint:fact emit
+func Record(b *strings.Builder, k string) {
+	b.WriteString(k)
+}
+
+// Pure is a helper with no facts: calling it inside a map range is fine.
+func Pure(k string) int { return len(k) }

@@ -1,0 +1,95 @@
+// Package maporder seeds maporder violations for the golden-fixture test,
+// including cross-package emits resolved through the fact base.
+package maporder
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"nocdeploy/internal/lint/testdata/src/maporder/emitlib"
+)
+
+func badDirectPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v)
+	}
+}
+
+func badCrossPackageDerived(m map[string]int) {
+	for k, v := range m {
+		emitlib.EmitRow(os.Stdout, k, v)
+	}
+}
+
+func badCrossPackageExplicit(m map[string]int) {
+	var b strings.Builder
+	for k := range m {
+		emitlib.Record(&b, k)
+	}
+}
+
+func badUnsortedAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func allowed(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) //lint:allow maporder — fixture suppression
+	}
+}
+
+func cleanCollectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func cleanAggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func cleanPureCall(m map[string]int) int {
+	total := 0
+	for k := range m {
+		total += emitlib.Pure(k)
+	}
+	return total
+}
+
+func cleanLoopLocal(ms []map[string]int) []string {
+	var rows []string
+	for _, inner := range ms {
+		var local []string
+		for k := range inner {
+			local = append(local, k)
+		}
+		sort.Strings(local)
+		rows = append(rows, strings.Join(local, ","))
+	}
+	return rows
+}
+
+var (
+	_ = badDirectPrint
+	_ = badCrossPackageDerived
+	_ = badCrossPackageExplicit
+	_ = badUnsortedAppend
+	_ = allowed
+	_ = cleanCollectThenSort
+	_ = cleanAggregate
+	_ = cleanPureCall
+	_ = cleanLoopLocal
+)

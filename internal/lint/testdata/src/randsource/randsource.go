@@ -1,0 +1,41 @@
+// Package randsource seeds randsource violations for the golden-fixture
+// test: global math/rand use and time-seeded sources in library code.
+package randsource
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badGlobalInt() int {
+	return rand.Intn(10)
+}
+
+func badGlobalFloat() float64 {
+	return rand.Float64()
+}
+
+func badTimeSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+func allowed() int {
+	return rand.Intn(10) //lint:allow randsource — fixture suppression
+}
+
+func cleanSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+func cleanInstance(rng *rand.Rand) int {
+	return rng.Intn(10)
+}
+
+var (
+	_ = badGlobalInt
+	_ = badGlobalFloat
+	_ = badTimeSeeded
+	_ = allowed
+	_ = cleanSeeded
+	_ = cleanInstance
+)

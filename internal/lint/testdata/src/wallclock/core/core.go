@@ -1,0 +1,52 @@
+// Package core seeds wallclock violations: its basename places it in the
+// solver scope where raw clock reads are banned outside the seam.
+package core
+
+import "time"
+
+type opts struct {
+	clock func() time.Time
+}
+
+// now is the approved per-package clock accessor.
+//
+//lint:fact clockseam
+func (o opts) now() time.Time {
+	if o.clock != nil {
+		return o.clock()
+	}
+	return time.Now()
+}
+
+func badNow() time.Time {
+	return time.Now()
+}
+
+func badSince(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second)
+}
+
+func allowed() time.Time {
+	return time.Now() //lint:allow wallclock — fixture suppression
+}
+
+func cleanSeamUse(o opts, deadline time.Time) bool {
+	return o.now().After(deadline)
+}
+
+func cleanDuration(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}
+
+var (
+	_ = badNow
+	_ = badSince
+	_ = badTicker
+	_ = allowed
+	_ = cleanSeamUse
+	_ = cleanDuration
+)

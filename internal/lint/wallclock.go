@@ -1,0 +1,99 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallClockScope is the set of solver package basenames under the
+// injected-clock contract: their results (deadline behaviour, phase
+// timings, incumbent trajectories) must be reproducible under a fake
+// clock, so raw wall-clock reads are banned outside an approved seam.
+var wallClockScope = map[string]bool{"lp": true, "milp": true, "core": true, "exp": true}
+
+// wallClockFuncs are the time-package entry points that read or arm the
+// process clock. Pure constructors (time.Duration arithmetic, time.Unix)
+// stay legal.
+var wallClockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"NewTimer": true, "NewTicker": true, "After": true, "AfterFunc": true, "Tick": true,
+}
+
+// WallClock flags raw wall-clock access — time.Now, time.Since and timer
+// constructors — in the solver packages (lp, milp, core, exp). Solver
+// timing must flow through an injected obs.Clock seam so deadline logic is
+// testable with a fake clock and solver output never depends on when it
+// ran. A function annotated //lint:fact clockseam is the per-package
+// approved seam (the single place that falls back to time.Now when no
+// clock is injected); everything else must call it.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "flags time.Now/time.Since/timer constructors in solver packages " +
+		"(lp, milp, core, exp) outside a //lint:fact clockseam function; " +
+		"route timing through the options' obs.Clock",
+	Run: runWallClock,
+}
+
+func runWallClock(pass *Pass) {
+	if !wallClockScope[baseName(pass.PkgPath)] {
+		return
+	}
+	for _, file := range pass.Files {
+		seams := clockSeamSpans(pass, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Info.Uses[id].(*types.PkgName)
+			if !ok || pn.Imported().Path() != "time" || !wallClockFuncs[sel.Sel.Name] {
+				return true
+			}
+			pos := pass.Fset.Position(sel.Pos())
+			for _, sp := range seams {
+				if pos.Line >= sp[0] && pos.Line <= sp[1] {
+					return true // inside the approved seam
+				}
+			}
+			pass.Reportf(sel.Pos(),
+				"raw time.%s in solver package %s; read the injected clock (opts clock seam) instead",
+				sel.Sel.Name, pass.Pkg.Name())
+			return true
+		})
+	}
+}
+
+// clockSeamSpans returns the line spans of functions in file carrying the
+// clockseam fact (declared in this package; facts are keyed by qualified
+// name so the lookup works identically for methods).
+func clockSeamSpans(pass *Pass, file *ast.File) [][2]int {
+	var spans [][2]int
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if fn == nil || !pass.Facts.HasFunc(fn, FactClockSeam) {
+			continue
+		}
+		from := pass.Fset.Position(fd.Pos()).Line
+		to := pass.Fset.Position(fd.End()).Line
+		spans = append(spans, [2]int{from, to})
+	}
+	return spans
+}
+
+// baseName returns the last path segment of an import path.
+func baseName(pkgPath string) string {
+	for i := len(pkgPath) - 1; i >= 0; i-- {
+		if pkgPath[i] == '/' {
+			return pkgPath[i+1:]
+		}
+	}
+	return pkgPath
+}

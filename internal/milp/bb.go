@@ -80,7 +80,23 @@ type SolveOptions struct {
 	// search never reads it, so the solve is identical with tracing on or
 	// off.
 	Trace *obs.Trace
+	// Clock supplies the time source behind TimeLimit deadlines and the
+	// Incumbent.T trajectory stamps. Nil means the wall clock; tests inject
+	// a fake clock to exercise deadline logic deterministically.
+	Clock obs.Clock
 	LP    lp.Options // passed through to the LP engine
+}
+
+// now reads the configured clock. This is the MILP engine's only approved
+// wall-clock access: everything else in the package must go through it so
+// deadline behaviour stays injectable.
+//
+//lint:fact clockseam
+func (o SolveOptions) now() time.Time {
+	if o.Clock != nil {
+		return o.Clock()
+	}
+	return time.Now()
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -232,7 +248,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 	base := m.buildLP()
 	res := &Result{Bound: math.Inf(-1), Obj: math.Inf(1)}
 	tr := opts.Trace
-	startT := time.Now()
+	startT := opts.now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = startT.Add(opts.TimeLimit)
@@ -322,7 +338,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		if res.Nodes >= opts.MaxNodes {
 			break
 		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
+		if !deadline.IsZero() && opts.now().After(deadline) {
 			break
 		}
 		if opts.Ctx.Err() != nil {
@@ -357,7 +373,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 				requeue()
 				break
 			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
+			if !deadline.IsZero() && opts.now().After(deadline) {
 				requeue()
 				break
 			}
@@ -380,7 +396,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 					res.X = append([]float64(nil), sol.X...)
 					roundIntegers(m, res.X, opts.IntTol)
 					res.Obj = m.Eval(res.X)
-					res.Incumbents = append(res.Incumbents, Incumbent{T: time.Since(startT), Obj: res.Obj, Nodes: res.Nodes})
+					res.Incumbents = append(res.Incumbents, Incumbent{T: opts.now().Sub(startT), Obj: res.Obj, Nodes: res.Nodes})
 					if tr.Enabled() {
 						tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: res.Obj, Node: res.Nodes})
 					}

@@ -132,7 +132,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 		}
 	}
 
-	startT := time.Now()
+	startT := opts.now()
 	deadline := time.Time{}
 	if opts.TimeLimit > 0 {
 		deadline = startT.Add(opts.TimeLimit)
@@ -180,7 +180,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					s.mu.Unlock()
 					return
 				}
-				if (!deadline.IsZero() && time.Now().After(deadline)) || s.nodes >= opts.MaxNodes {
+				if (!deadline.IsZero() && opts.now().After(deadline)) || s.nodes >= opts.MaxNodes {
 					s.stopped, s.limitStop = true, true
 					s.cond.Broadcast()
 					s.mu.Unlock()
@@ -291,7 +291,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 							s.incX = append(s.incX[:0], sol.X...)
 							gotInc = true
 							incObjModel = sol.Obj + m.objConst
-							s.incumbents = append(s.incumbents, Incumbent{T: time.Since(startT), Obj: incObjModel, Nodes: nodeCount})
+							s.incumbents = append(s.incumbents, Incumbent{T: opts.now().Sub(startT), Obj: incObjModel, Nodes: nodeCount})
 						}
 					} else {
 						floorV := math.Floor(sol.X[j])

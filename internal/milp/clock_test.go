@@ -1,0 +1,102 @@
+package milp
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/lp"
+	"nocdeploy/internal/obs"
+)
+
+// fakeClock is a deterministic obs.Clock advancing by step per read. It
+// is locked because the parallel search reads the options clock from
+// every worker.
+func fakeClock(step time.Duration) obs.Clock {
+	var mu sync.Mutex
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+// knapsackModel builds a small model with a non-trivial search tree.
+func knapsackModel() *Model {
+	values := []float64{10, 13, 18, 31, 7, 15}
+	weights := []float64{2, 3, 4, 5, 1, 4}
+	m := NewModel()
+	obj := NewExpr(0)
+	row := NewExpr(0)
+	for i := range values {
+		x := m.AddBinary("x")
+		obj.Add(x, -values[i])
+		row.Add(x, weights[i])
+	}
+	m.AddConstr(row, lp.LE, 10)
+	m.SetObjective(obj)
+	return m
+}
+
+// TestTimeLimitFakeClock drives the serial search with an injected clock
+// that jumps one hour per read: the very first deadline check after the
+// root fires, so the solve stops on the time limit deterministically —
+// no wall time involved.
+func TestTimeLimitFakeClock(t *testing.T) {
+	m := knapsackModel()
+	res, err := m.Solve(SolveOptions{
+		TimeLimit: time.Second,
+		Clock:     fakeClock(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Optimal {
+		t.Fatalf("status = %v; an instantly-expired fake-clock deadline must stop the search early", res.Status)
+	}
+	if res.Status != Limit && res.Status != Feasible {
+		t.Fatalf("status = %v, want limit or feasible", res.Status)
+	}
+}
+
+// TestTimeLimitFakeClockParallel is the same contract for the parallel
+// search: workers read the shared options clock for the deadline.
+func TestTimeLimitFakeClockParallel(t *testing.T) {
+	m := knapsackModel()
+	res, err := m.Solve(SolveOptions{
+		TimeLimit: time.Second,
+		Workers:   4,
+		Clock:     fakeClock(time.Hour),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status == Optimal {
+		t.Fatalf("status = %v; an instantly-expired fake-clock deadline must stop the search early", res.Status)
+	}
+}
+
+// TestIncumbentTrajectoryFakeClock pins the incumbent timestamps to the
+// fake clock: with a 1ms step every Incumbent.T must be an exact multiple
+// of the step, proving the trajectory is stamped through the seam and not
+// through a stray time.Now.
+func TestIncumbentTrajectoryFakeClock(t *testing.T) {
+	m := knapsackModel()
+	res, err := m.Solve(SolveOptions{Clock: fakeClock(time.Millisecond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != Optimal {
+		t.Fatalf("status = %v, want optimal", res.Status)
+	}
+	if len(res.Incumbents) == 0 {
+		t.Fatal("no incumbent trajectory recorded")
+	}
+	for _, inc := range res.Incumbents {
+		if inc.T%time.Millisecond != 0 {
+			t.Errorf("incumbent T=%v is not a whole number of fake-clock steps", inc.T)
+		}
+	}
+}

@@ -79,7 +79,7 @@ func IsZero(x float64) bool { return math.Abs(x) <= ZeroTol }
 // to nothing.
 func RelEq(a, b, tol float64) bool {
 	if math.IsInf(a, 0) || math.IsInf(b, 0) {
-		return a == b //lint:allow floateq — exact identity is the only sane answer for ±Inf
+		return a == b
 	}
 	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
 	return math.Abs(a-b) <= tol*scale

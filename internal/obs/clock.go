@@ -1,0 +1,24 @@
+package obs
+
+import "time"
+
+// Clock is an injectable time source shared across the solver stack. The
+// zero value (nil) means the wall clock; solver options embed a Clock so
+// deadline logic and phase timing are testable with a fake clock, and so
+// the wallclock analyzer (internal/lint) can mechanically verify that no
+// solver package reads time.Now directly outside an approved seam.
+//
+// A fake clock for tests is just a closure over a mutable time.Time; it
+// must be monotone non-decreasing, like the clock given to NewWithClock.
+type Clock func() time.Time
+
+// Now returns the current time from the clock; a nil Clock reads the wall
+// clock. This is the canonical seam: packages under the wallclock analyzer
+// call their options' clock instead of time.Now, and only the per-package
+// default (annotated //lint:fact clockseam) touches the real clock.
+func (c Clock) Now() time.Time {
+	if c == nil {
+		return time.Now()
+	}
+	return c()
+}

@@ -44,7 +44,7 @@ func (l *accessLogger) log(rec accessRecord) {
 		return
 	}
 	l.mu.Lock()
-	_ = l.enc.Encode(rec) //lint:allow errdrop — access logging is best-effort by design
+	_ = l.enc.Encode(rec)
 	l.mu.Unlock()
 }
 

@@ -108,7 +108,7 @@ func (s *Service) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	s.met.Add(obs.Key("http.status", "code", strconv.Itoa(code)), 1)
 	// A failed write means the client went away; nothing useful to do.
-	_ = json.NewEncoder(w).Encode(v) //lint:allow errdrop — response write errors are the client's problem
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func (s *Service) writeError(w http.ResponseWriter, code int, err error) {
@@ -374,11 +374,11 @@ func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", obs.PromContentType)
 		s.met.Add(obs.Key("http.status", "code", "200"), 1)
 		// A failed write means the client went away; nothing useful to do.
-		_ = obs.WritePrometheus(w, s.met.Snapshot()) //lint:allow errdrop — response write errors are the client's problem
+		_ = obs.WritePrometheus(w, s.met.Snapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	s.met.Add(obs.Key("http.status", "code", "200"), 1)
 	// A failed write means the client went away; nothing useful to do.
-	_ = s.met.WriteJSON(w) //lint:allow errdrop — response write errors are the client's problem
+	_ = s.met.WriteJSON(w)
 }

@@ -233,7 +233,7 @@ func (s *Service) Close() {
 	s.pool.Close()
 	// All emitters have stopped; flush file-backed trace sinks. Errors
 	// have nowhere useful to go — the service is already down.
-	_ = s.trace.Close() //lint:allow errdrop — shutdown path, sinks are best-effort
+	_ = s.trace.Close()
 }
 
 // SolveRuns reports how many underlying solver invocations have happened —
