@@ -159,6 +159,26 @@ func BenchmarkOptimalM3(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimal4x4 runs the node-budgeted exact sweep at the paper's
+// full 4×4 scale (internal/exp "ext-opt4x4"). The dense solver core could
+// not complete this inside any benchmark budget; it exists to keep the
+// paper-scale exact configuration inside the CI bench envelope now that
+// the sparse warm-started core has unlocked it.
+func BenchmarkOptimal4x4(b *testing.B) {
+	// Node LPs at this scale run seconds each; a handful of nodes per
+	// instance keeps the three Quick reps near twenty seconds total.
+	cfg := exp.Config{Seed: 1, Quick: true, TimeLimit: 5 * time.Second, MaxNodes: 4}
+	for i := 0; i < b.N; i++ {
+		tbl, err := exp.RunOptimal4x4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
 // BenchmarkMILPRootRelaxation times one LP solve of the full P1 model —
 // the unit of work branch & bound repeats per node.
 func BenchmarkMILPRootRelaxation(b *testing.B) {

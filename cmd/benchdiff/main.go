@@ -1,0 +1,204 @@
+// Command benchdiff compares two cmd/benchjson reports and renders the
+// per-benchmark deltas as a markdown table, exiting non-zero when a gated
+// benchmark regresses beyond the tolerance. CI runs it against the
+// committed baseline (BENCH_PR2.json) so solver and observability
+// regressions fail the pull request instead of landing silently.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff -old BENCH_PR2.json -new bench.json \
+//	    -gate BenchmarkEmitNil,BenchmarkExecuteReplay -tol 0.25
+//
+// Only the benchmarks named in -gate are enforced (all of them when the
+// flag is empty); everything else in the intersection of the two reports
+// is reported advisory-only. The enforced metrics are ns/op and B/op;
+// allocs/op is always advisory, since a count change without a byte or
+// time change is a refactor signal, not a regression. A gated benchmark
+// missing from either report is an error: a gate that silently vanishes
+// is a gate that no longer gates.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Entry mirrors cmd/benchjson's per-benchmark record.
+type Entry struct {
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"b_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	Goos       string           `json:"goos,omitempty"`
+	Goarch     string           `json:"goarch,omitempty"`
+	CPU        string           `json:"cpu,omitempty"`
+	Package    string           `json:"pkg,omitempty"`
+	Benchmarks map[string]Entry `json:"benchmarks"`
+}
+
+func load(path string) (*Report, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(buf, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// delta returns (new−old)/old, or 0 when either side is missing (< 0
+// marks a benchmark run without -benchmem) or the baseline is zero.
+func delta(oldV, newV float64) float64 {
+	if oldV <= 0 || newV < 0 {
+		return 0
+	}
+	return (newV - oldV) / oldV
+}
+
+// pct renders a signed percentage, or "–" for an undefined delta.
+func pct(oldV, newV float64) string {
+	if oldV <= 0 || newV < 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*delta(oldV, newV))
+}
+
+// human renders a quantity with an SI-ish suffix so 21087730771 ns reads
+// as 21.1G rather than a wall of digits.
+func human(v float64) string {
+	if v < 0 {
+		return "–"
+	}
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.3gG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.3gM", v/1e6)
+	case v >= 1e3:
+		return fmt.Sprintf("%.3gk", v/1e3)
+	default:
+		return fmt.Sprintf("%.3g", v)
+	}
+}
+
+// regression is one gated metric beyond tolerance.
+type regression struct {
+	bench, metric string
+	d             float64
+}
+
+// Diff renders the markdown comparison of old vs new and returns the
+// gated regressions. gate lists the enforced benchmark names (empty =
+// enforce every common benchmark); tol is the fractional regression
+// allowed on ns/op and B/op.
+func Diff(oldR, newR *Report, gate []string, tol float64) (string, []regression, error) {
+	gated := map[string]bool{}
+	for _, g := range gate {
+		if g == "" {
+			continue
+		}
+		gated[g] = true
+		if _, ok := oldR.Benchmarks[g]; !ok {
+			return "", nil, fmt.Errorf("gated benchmark %s missing from baseline", g)
+		}
+		if _, ok := newR.Benchmarks[g]; !ok {
+			return "", nil, fmt.Errorf("gated benchmark %s missing from new report", g)
+		}
+	}
+	var names []string
+	for name := range oldR.Benchmarks {
+		if _, ok := newR.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "| benchmark | ns/op (old→new) | Δns/op | B/op (old→new) | ΔB/op | Δallocs | gate |\n")
+	fmt.Fprintf(&b, "|---|---|---|---|---|---|---|\n")
+	var regs []regression
+	for _, name := range names {
+		o, n := oldR.Benchmarks[name], newR.Benchmarks[name]
+		enforced := gated[name] || len(gated) == 0
+		mark := ""
+		if enforced {
+			mark = "✓"
+			for _, m := range []struct {
+				metric     string
+				oldV, newV float64
+			}{
+				{"ns/op", o.NsPerOp, n.NsPerOp},
+				{"B/op", o.BytesPerOp, n.BytesPerOp},
+			} {
+				if d := delta(m.oldV, m.newV); d > tol {
+					regs = append(regs, regression{bench: name, metric: m.metric, d: d})
+					mark = "✗"
+				}
+			}
+		}
+		fmt.Fprintf(&b, "| %s | %s→%s | %s | %s→%s | %s | %s | %s |\n",
+			name,
+			human(o.NsPerOp), human(n.NsPerOp), pct(o.NsPerOp, n.NsPerOp),
+			human(o.BytesPerOp), human(n.BytesPerOp), pct(o.BytesPerOp, n.BytesPerOp),
+			pct(o.AllocsPerOp, n.AllocsPerOp), mark)
+	}
+	return b.String(), regs, nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchdiff: ")
+	var (
+		oldPath = flag.String("old", "", "baseline benchjson report")
+		newPath = flag.String("new", "", "candidate benchjson report")
+		gateCSV = flag.String("gate", "", "comma-separated benchmarks to enforce (empty = all common)")
+		tol     = flag.Float64("tol", 0.25, "allowed fractional regression on ns/op and B/op")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("both -old and -new are required")
+	}
+	if *tol < 0 {
+		log.Fatal("-tol must be ≥ 0")
+	}
+	oldR, err := load(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newR, err := load(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var gate []string
+	if *gateCSV != "" {
+		gate = strings.Split(*gateCSV, ",")
+	}
+	table, regs, err := Diff(oldR, newR, gate, *tol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+	if len(regs) > 0 {
+		fmt.Println()
+		for _, r := range regs {
+			fmt.Printf("REGRESSION: %s %s %+.1f%% (tolerance %.0f%%)\n",
+				r.bench, r.metric, 100*r.d, 100**tol)
+		}
+		os.Exit(1)
+	}
+}

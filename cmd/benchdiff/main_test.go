@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(entries map[string]Entry) *Report {
+	return &Report{Benchmarks: entries}
+}
+
+func TestDiffFlagsGatedRegression(t *testing.T) {
+	oldR := report(map[string]Entry{
+		"BenchmarkEmitNil":  {NsPerOp: 10, BytesPerOp: 0, AllocsPerOp: 0},
+		"BenchmarkFig2a":    {NsPerOp: 1e9, BytesPerOp: 1e6, AllocsPerOp: 100},
+		"BenchmarkNewOnly?": {NsPerOp: 1},
+	})
+	newR := report(map[string]Entry{
+		"BenchmarkEmitNil": {NsPerOp: 20, BytesPerOp: 0, AllocsPerOp: 0}, // +100% ns/op
+		"BenchmarkFig2a":   {NsPerOp: 5e9, BytesPerOp: 5e6, AllocsPerOp: 500},
+	})
+	table, regs, err := Diff(oldR, newR, []string{"BenchmarkEmitNil"}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].bench != "BenchmarkEmitNil" || regs[0].metric != "ns/op" {
+		t.Fatalf("regressions = %+v, want one ns/op hit on BenchmarkEmitNil", regs)
+	}
+	// Fig2a regressed 5× but is not gated: advisory only.
+	if !strings.Contains(table, "BenchmarkFig2a") {
+		t.Error("advisory benchmark missing from table")
+	}
+	if !strings.Contains(table, "✗") {
+		t.Error("gated regression not marked in table")
+	}
+}
+
+func TestDiffWithinToleranceAndImprovementsPass(t *testing.T) {
+	oldR := report(map[string]Entry{
+		"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000},
+		"BenchmarkB": {NsPerOp: 100, BytesPerOp: 1000},
+	})
+	newR := report(map[string]Entry{
+		"BenchmarkA": {NsPerOp: 120, BytesPerOp: 900}, // +20% < 25% tol
+		"BenchmarkB": {NsPerOp: 10, BytesPerOp: 10},   // big improvement
+	})
+	_, regs, err := Diff(oldR, newR, nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none", regs)
+	}
+}
+
+func TestDiffBytesRegressionCaught(t *testing.T) {
+	oldR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 100, BytesPerOp: 1000}})
+	newR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 100, BytesPerOp: 2000}})
+	_, regs, err := Diff(oldR, newR, nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].metric != "B/op" {
+		t.Fatalf("regressions = %+v, want one B/op hit", regs)
+	}
+}
+
+func TestDiffMissingGatedBenchmarkErrors(t *testing.T) {
+	oldR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 1}})
+	newR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 1}})
+	if _, _, err := Diff(oldR, newR, []string{"BenchmarkGone"}, 0.25); err == nil {
+		t.Fatal("missing gated benchmark did not error")
+	}
+}
+
+func TestDiffNoBenchmemBaselineIsNotARegression(t *testing.T) {
+	// B/op = -1 marks a run without -benchmem; the comparison must skip
+	// the metric rather than treat any finite new value as ±∞.
+	oldR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 100, BytesPerOp: -1, AllocsPerOp: -1}})
+	newR := report(map[string]Entry{"BenchmarkA": {NsPerOp: 100, BytesPerOp: 500, AllocsPerOp: 5}})
+	_, regs, err := Diff(oldR, newR, nil, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %+v, want none for a no-benchmem baseline", regs)
+	}
+}

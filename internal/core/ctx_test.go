@@ -101,15 +101,16 @@ func TestAnnealCtxCancelMidRun(t *testing.T) {
 
 // cancelledOptimalWithIncumbent runs a deadline-cancelled warm-started
 // OptimalCtx and asserts the incumbent deployment comes back with
-// Cancelled set. The instance is sized so per-node LPs stay in the tens of
-// milliseconds (cancellation latency is one LP) while the full tree takes
-// tens of seconds. The deadline must outlast the model build (machine
-// dependent) yet expire long before the exact solve would finish, so the
-// test walks an escalating ladder: a deadline that dies during the build
-// (nil deployment) steps up to the next rung.
+// Cancelled set. The instance — 12 tasks on a 4×4 mesh — is sized so the
+// full tree takes hours even for the sparse warm-started solver core
+// (node LPs run seconds each; cancellation latency is bounded by the
+// in-LP context poll, not a whole node). The deadline must outlast the
+// model build (machine dependent) yet expire long before the exact solve
+// would finish, so the test walks an escalating ladder: a deadline that
+// dies during the build (nil deployment) steps up to the next rung.
 func cancelledOptimalWithIncumbent(t *testing.T, workers int) {
 	t.Helper()
-	s := tinySystem(t, 6, 9.2)
+	s := mediumSystem(t, 12, 3)
 	opts := Options{}
 	hd, hinfo, err := Heuristic(s, opts, 1)
 	if err != nil {
@@ -126,7 +127,7 @@ func cancelledOptimalWithIncumbent(t *testing.T, workers int) {
 			t.Fatal(err)
 		}
 		if !info.Cancelled {
-			// The exact solve on a 10-task, 16-processor instance is far
+			// The exact solve on a 12-task, 16-processor instance is far
 			// beyond any rung of the ladder; completing means cancellation
 			// was ignored.
 			t.Fatalf("optimal solve was not cancelled within %v (nodes %d)", budget, info.Nodes)

@@ -263,5 +263,6 @@ func ExtensionRunners() []Runner {
 		{"ext-improve", RunAblationImprove},
 		{"ext-warmstart", RunAblationWarmStart},
 		{"ext-anneal", RunAblationAnneal},
+		{"ext-opt4x4", RunOptimal4x4},
 	}
 }

@@ -1,0 +1,433 @@
+package lp
+
+import (
+	"math"
+
+	"nocdeploy/internal/numeric"
+)
+
+// basisFactor is a sparse factorization of the simplex basis: a
+// Gilbert–Peierls LU decomposition P·B·Q = L·U of the basis at the last
+// refactorization, plus a product-form (PFI) eta file recording every
+// pivot since. FTRAN/BTRAN solve against the factors and the eta file in
+// O(m + nnz) instead of the O(m²) dense-inverse products the solver used
+// before, and the per-pivot update appends one sparse eta vector instead
+// of rewriting an m×m inverse.
+//
+// Index spaces, fixed by construction and used consistently below:
+//
+//   - "row" indices are original constraint rows (the scatter space of
+//     column data and of BTRAN results);
+//   - "position" indices are basis positions i (basis[i] = basic column);
+//   - "pivot" indices p order the elimination: pivRow[p] is the original
+//     row eliminated p-th, colPos[p] the basis position of the column that
+//     eliminated it (the column permutation Q, chosen sparsest-first so
+//     slack-heavy bases factor with almost no fill).
+//
+// All storage is flat and append-grown, so a pooled basisFactor reuses its
+// backing arrays across refactorizations and across solves.
+type basisFactor struct {
+	m int
+
+	// L: unit lower triangular by pivot column p. Entries sit on original
+	// rows that are eliminated after p (rowPos[lRow] > p always).
+	lStart []int32
+	lRow   []int32
+	lVal   []float64
+
+	// U by factor column t (elimination order). Off-diagonal entries pair
+	// (pivot position p < t, value); the diagonal is stored separately.
+	uStart []int32
+	uPos   []int32
+	uVal   []float64
+	uDiag  []float64
+
+	pivRow []int32 // pivot order -> original row
+	rowPos []int32 // original row -> pivot order; -1 while unpivoted
+	colPos []int32 // factor column t -> basis position (the permutation Q)
+	posCol []int32 // basis position -> factor column
+
+	// Eta file: one entry per pivot since the last refactorization. Eta e
+	// replaces basis position etaR[e] with the FTRAN direction w recorded
+	// sparsely (etaPiv[e] = w[etaR[e]], off-pivot entries in etaIdx/etaVal).
+	etaStart []int32
+	etaIdx   []int32
+	etaVal   []float64
+	etaR     []int32
+	etaPiv   []float64
+
+	// Factorization scratch, kept with the factor so refactorization
+	// allocates nothing once grown.
+	x       []float64 // dense accumulator, row space
+	order   []int32   // reverse-postorder DFS output
+	stackR  []int32   // DFS stack: row
+	stackC  []int32   // DFS stack: child cursor
+	visited []int32   // DFS stamp per row
+	stamp   int32
+	nnzBuf  []int32 // column-nnz counting-sort buckets scratch
+}
+
+// pivotTolFactor rejects pivots smaller than this during elimination; a
+// basis whose every candidate pivot is below it is reported singular.
+const factorPivotTol = 1e-11
+
+// reset prepares the factor for a basis of m rows, growing (never
+// shrinking) its buffers.
+func (f *basisFactor) reset(m int) {
+	f.m = m
+	f.lStart = growI32(f.lStart, m+1)[:1]
+	f.lStart[0] = 0
+	f.lRow = f.lRow[:0]
+	f.lVal = f.lVal[:0]
+	f.uStart = growI32(f.uStart, m+1)[:1]
+	f.uStart[0] = 0
+	f.uPos = f.uPos[:0]
+	f.uVal = f.uVal[:0]
+	f.uDiag = growF64(f.uDiag, m)[:0]
+	f.pivRow = growI32(f.pivRow, m)[:0]
+	f.rowPos = growI32(f.rowPos, m)[:m]
+	f.colPos = growI32(f.colPos, m)[:0]
+	f.posCol = growI32(f.posCol, m)[:m]
+	f.clearEtas()
+	f.x = growF64(f.x, m)[:m]
+	f.order = growI32(f.order, m)[:m]
+	f.stackR = growI32(f.stackR, m)[:m]
+	f.stackC = growI32(f.stackC, m)[:m]
+	if cap(f.visited) < m {
+		f.visited = make([]int32, m)
+		f.stamp = 0
+	}
+	f.visited = f.visited[:m]
+	for i := 0; i < m; i++ {
+		f.rowPos[i] = -1
+		f.x[i] = 0
+	}
+}
+
+// clearEtas drops the eta file (after a refactorization).
+func (f *basisFactor) clearEtas() {
+	f.etaStart = growI32(f.etaStart, 1)[:1]
+	f.etaStart[0] = 0
+	f.etaIdx = f.etaIdx[:0]
+	f.etaVal = f.etaVal[:0]
+	f.etaR = f.etaR[:0]
+	f.etaPiv = f.etaPiv[:0]
+}
+
+// nEtas reports how many pivots the eta file currently carries.
+func (f *basisFactor) nEtas() int { return len(f.etaR) }
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// factorize computes P·B·Q = L·U for the basis whose columns are delivered
+// by col(i) (sparse, row-space indices) for basis positions i = 0..m-1.
+// Columns are eliminated sparsest-first (a stable counting sort on nnz),
+// which keeps fill near zero on the slack-dominated bases branch & bound
+// produces. It reports false on a (near-)singular basis.
+func (f *basisFactor) factorize(m int, col func(i int) ([]int32, []float64)) bool {
+	f.reset(m)
+
+	// Column order: stable counting sort by nnz ascending. Deterministic —
+	// equal-nnz columns keep basis-position order — so factorization, and
+	// with it every pivot the solver takes, is reproducible run to run.
+	const maxBucket = 64
+	buckets := growI32(f.nnzBuf, maxBucket+1)
+	for b := range buckets {
+		buckets[b] = 0
+	}
+	for i := 0; i < m; i++ {
+		idx, _ := col(i)
+		b := len(idx)
+		if b > maxBucket {
+			b = maxBucket
+		}
+		buckets[b]++
+	}
+	var sum int32
+	for b := 0; b <= maxBucket; b++ {
+		c := buckets[b]
+		buckets[b] = sum
+		sum += c
+	}
+	f.colPos = f.colPos[:m]
+	for i := 0; i < m; i++ {
+		idx, _ := col(i)
+		b := len(idx)
+		if b > maxBucket {
+			b = maxBucket
+		}
+		f.colPos[buckets[b]] = int32(i)
+		buckets[b]++
+	}
+	f.nnzBuf = buckets
+
+	for t := 0; t < m; t++ {
+		pos := f.colPos[t]
+		idx, val := col(int(pos))
+		if !f.eliminate(t, idx, val) {
+			return false
+		}
+		f.posCol[pos] = int32(t)
+	}
+	return true
+}
+
+// eliminate performs one Gilbert–Peierls step: sparse-solve
+// x = L⁻¹·(column), pick a partial pivot among unpivoted rows, and append
+// the resulting L column and U column.
+func (f *basisFactor) eliminate(t int, idx []int32, val []float64) bool {
+	m := f.m
+	f.stamp++
+	stamp := f.stamp
+	ordTop := m // f.order[ordTop:] is the reverse-postorder pattern
+
+	// DFS from every nonzero row of the column through the L graph: an
+	// edge leads from a pivoted row to the rows of its L column.
+	for _, seed := range idx {
+		if f.visited[seed] == stamp {
+			continue
+		}
+		sp := 0
+		f.stackR[0] = seed
+		f.stackC[0] = 0
+		f.visited[seed] = stamp
+		for sp >= 0 {
+			r := f.stackR[sp]
+			p := f.rowPos[r]
+			advanced := false
+			if p >= 0 {
+				for c := f.stackC[sp]; c < f.lStart[p+1]-f.lStart[p]; c++ {
+					child := f.lRow[f.lStart[p]+c]
+					if f.visited[child] != stamp {
+						f.visited[child] = stamp
+						f.stackC[sp] = c + 1
+						sp++
+						f.stackR[sp] = child
+						f.stackC[sp] = 0
+						advanced = true
+						break
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			ordTop--
+			f.order[ordTop] = r
+			sp--
+		}
+	}
+
+	// Numeric phase over the topological order.
+	for k, r := range idx {
+		f.x[r] = val[k]
+	}
+	for k := ordTop; k < m; k++ {
+		r := f.order[k]
+		p := f.rowPos[r]
+		if p < 0 {
+			continue
+		}
+		v := f.x[r]
+		if numeric.IsZero(v) {
+			continue
+		}
+		for q := f.lStart[p]; q < f.lStart[p+1]; q++ {
+			f.x[f.lRow[q]] -= f.lVal[q] * v
+		}
+	}
+
+	// Partial pivot among unpivoted rows of the pattern.
+	pivRow, pivAbs := int32(-1), factorPivotTol
+	for k := ordTop; k < m; k++ {
+		r := f.order[k]
+		if f.rowPos[r] >= 0 {
+			continue
+		}
+		if a := math.Abs(f.x[r]); a > pivAbs {
+			pivRow, pivAbs = r, a
+		}
+	}
+	if pivRow < 0 {
+		for k := ordTop; k < m; k++ {
+			f.x[f.order[k]] = 0
+		}
+		return false
+	}
+	d := f.x[pivRow]
+
+	// Emit U (entries on already-pivoted rows) and L (on later rows).
+	for k := ordTop; k < m; k++ {
+		r := f.order[k]
+		v := f.x[r]
+		f.x[r] = 0
+		if numeric.IsZero(v) {
+			continue
+		}
+		if p := f.rowPos[r]; p >= 0 {
+			f.uPos = append(f.uPos, p)
+			f.uVal = append(f.uVal, v)
+		} else if r != pivRow {
+			f.lRow = append(f.lRow, r)
+			f.lVal = append(f.lVal, v/d)
+		}
+	}
+	f.uDiag = append(f.uDiag, d)
+	f.uStart = append(f.uStart, int32(len(f.uPos)))
+	f.lStart = append(f.lStart, int32(len(f.lRow)))
+	f.pivRow = append(f.pivRow, pivRow)
+	f.rowPos[pivRow] = int32(t)
+	return true
+}
+
+// ftran solves B·w = a for a sparse right-hand side in row space. The
+// result is written densely into w (basis-position space, length m);
+// scratch must be a zeroed length-m row-space buffer and is returned
+// zeroed again.
+func (f *basisFactor) ftran(idx []int32, val []float64, w, scratch []float64) {
+	x := scratch
+	for k, r := range idx {
+		x[r] = val[k]
+	}
+	f.solveScattered(x, w)
+}
+
+// ftranDense solves B·w = b for a dense row-space right-hand side b;
+// scratch obeys the same zeroed-in/zeroed-out contract as in ftran.
+func (f *basisFactor) ftranDense(b, w, scratch []float64) {
+	copy(scratch[:f.m], b[:f.m])
+	f.solveScattered(scratch, w)
+}
+
+// solveScattered is the FTRAN body: x holds the right-hand side scattered
+// in row space and is returned zeroed; w receives the dense solution in
+// basis-position space.
+func (f *basisFactor) solveScattered(x, w []float64) {
+	m := f.m
+	// L solve in pivot order; x stays in row space.
+	for p := 0; p < m; p++ {
+		v := x[f.pivRow[p]]
+		if numeric.IsZero(v) {
+			continue
+		}
+		for q := f.lStart[p]; q < f.lStart[p+1]; q++ {
+			x[f.lRow[q]] -= f.lVal[q] * v
+		}
+	}
+	// Gather into factor-column space and back-substitute U in place.
+	for t := 0; t < m; t++ {
+		w[t] = x[f.pivRow[t]]
+		x[f.pivRow[t]] = 0
+	}
+	for t := m - 1; t >= 0; t-- {
+		v := w[t]
+		if numeric.IsZero(v) {
+			w[t] = 0
+			continue
+		}
+		v /= f.uDiag[t]
+		w[t] = v
+		for q := f.uStart[t]; q < f.uStart[t+1]; q++ {
+			w[f.uPos[q]] -= f.uVal[q] * v
+		}
+	}
+	// Permute factor columns back to basis positions, reusing x (now
+	// zeroed) as the staging buffer.
+	for t := 0; t < m; t++ {
+		x[f.colPos[t]] = w[t]
+	}
+	copy(w, x[:m])
+	for i := 0; i < m; i++ {
+		x[i] = 0
+	}
+	// Eta file, oldest first: w ← E_e⁻¹ w.
+	f.applyEtas(w)
+}
+
+// applyEtas applies the eta-file inverses to a basis-position vector,
+// oldest eta first — the FTRAN tail shared by warm and incremental solves.
+func (f *basisFactor) applyEtas(w []float64) {
+	for e := 0; e < len(f.etaR); e++ {
+		r := f.etaR[e]
+		t := w[r] / f.etaPiv[e]
+		if !numeric.IsZero(t) {
+			for q := f.etaStart[e]; q < f.etaStart[e+1]; q++ {
+				w[f.etaIdx[q]] -= f.etaVal[q] * t
+			}
+		}
+		w[r] = t
+	}
+}
+
+// btran solves Bᵀ·y = c. c is dense in basis-position space (length m) and
+// is consumed as scratch; y (length m, row space) receives the result.
+func (f *basisFactor) btran(c, y []float64) {
+	m := f.m
+	// Eta transposes, newest first: c ← E_eᵀ⁻¹ c.
+	for e := len(f.etaR) - 1; e >= 0; e-- {
+		r := f.etaR[e]
+		s := c[r]
+		for q := f.etaStart[e]; q < f.etaStart[e+1]; q++ {
+			s -= f.etaVal[q] * c[f.etaIdx[q]]
+		}
+		c[r] = s / f.etaPiv[e]
+	}
+	// Permute basis positions to factor columns via y as staging.
+	for t := 0; t < m; t++ {
+		y[t] = c[f.colPos[t]]
+	}
+	copy(c[:m], y[:m])
+	// Uᵀ forward solve in place (factor-column space).
+	for t := 0; t < m; t++ {
+		s := c[t]
+		for q := f.uStart[t]; q < f.uStart[t+1]; q++ {
+			s -= f.uVal[q] * c[f.uPos[q]]
+		}
+		c[t] = s / f.uDiag[t]
+	}
+	// Lᵀ backward solve in place (pivot-order space).
+	for p := m - 1; p >= 0; p-- {
+		s := c[p]
+		for q := f.lStart[p]; q < f.lStart[p+1]; q++ {
+			s -= f.lVal[q] * c[f.rowPos[f.lRow[q]]]
+		}
+		c[p] = s
+	}
+	// Scatter to row space.
+	for p := 0; p < m; p++ {
+		y[f.pivRow[p]] = c[p]
+	}
+}
+
+// update appends one PFI eta for a pivot at basis position r with FTRAN
+// direction w. It reports false when the pivot element is numerically too
+// small to divide by — the caller must refactorize instead.
+func (f *basisFactor) update(w []float64, r int) bool {
+	piv := w[r]
+	if math.Abs(piv) < factorPivotTol {
+		return false
+	}
+	for i, v := range w {
+		if i == r || numeric.IsZero(v) {
+			continue
+		}
+		f.etaIdx = append(f.etaIdx, int32(i))
+		f.etaVal = append(f.etaVal, v)
+	}
+	f.etaStart = append(f.etaStart, int32(len(f.etaIdx)))
+	f.etaR = append(f.etaR, int32(r))
+	f.etaPiv = append(f.etaPiv, piv)
+	return true
+}

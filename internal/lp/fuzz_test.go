@@ -5,13 +5,24 @@ import (
 	"testing"
 )
 
-// FuzzSimplexSolve drives the simplex with randomly generated small LPs and
-// checks the solver's core contract: it never errors on valid input, and
-// any solution reported Optimal actually satisfies every bound and row.
+// FuzzSimplexSolve drives the simplex with randomly generated small LPs
+// and checks the solver's core contract: it never errors on valid input,
+// any solution reported Optimal actually satisfies every bound and row,
+// and the presolve reductions never change the answer.
 func FuzzSimplexSolve(f *testing.F) {
 	f.Add([]byte{2, 1, 10, 20, 1, 200, 3, 0, 5})
 	f.Add([]byte{3, 2, 0, 50, 128, 90, 2, 1, 60, 5, 9, 1, 30, 7})
 	f.Add([]byte{1, 0, 255})
+	// Degenerate: two identical rows x₀+x₁ ≤ 0 with x₀ ≥ 0, x₁ ∈ [0,1] —
+	// the optimum sits on a degenerate vertex where the duplicate rows tie.
+	f.Add([]byte{1, 2, 144, 0, 112, 1, 128, 0, 144, 0, 144, 0, 128, 0, 144, 0, 144, 0, 128})
+	// Rank-deficient: the same rows as equalities, so phase 1 must park a
+	// redundant artificial at zero and the LU factors a singular-ish basis.
+	f.Add([]byte{1, 2, 144, 0, 112, 1, 128, 0, 144, 2, 144, 2, 128, 0, 144, 2, 144, 2, 128})
+	// A zero-width (fixed) column alongside a free-ish one under a GE row:
+	// exercises the fixed-column eliminations and the crash's signed
+	// artificial on a row made infeasible by its slack bound.
+	f.Add([]byte{2, 1, 144, 3, 128, 128, 96, 2, 128, 128, 0, 0, 160, 0, 144, 0, 144, 1, 160})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		next := func() byte {
 			if len(data) == 0 {
@@ -59,6 +70,24 @@ func FuzzSimplexSolve(f *testing.F) {
 		sol, err := Solve(p, Options{})
 		if err != nil {
 			t.Fatalf("Solve returned error on valid input: %v\nproblem: %+v", err, p)
+		}
+		// Presolve round-trip under fuzz: the reductions must agree with
+		// the plain solve on status and objective (iteration-limited runs
+		// excepted — the two paths pivot differently).
+		pre, err := Solve(p, Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("presolved Solve returned error on valid input: %v\nproblem: %+v", err, p)
+		}
+		if pre.Status != sol.Status && pre.Status != IterLimit && sol.Status != IterLimit {
+			t.Fatalf("presolve changed status %v → %v\nproblem: %+v", sol.Status, pre.Status, p)
+		}
+		if pre.Status == Optimal && sol.Status == Optimal {
+			if math.Abs(pre.Obj-sol.Obj) > 1e-5*(1+math.Abs(sol.Obj)) {
+				t.Fatalf("presolve changed objective %g → %g\nproblem: %+v", sol.Obj, pre.Obj, p)
+			}
+			if !p.Feasible(pre.X, 1e-6) {
+				t.Fatalf("presolved solution violates constraints\nx = %v\nproblem: %+v", pre.X, p)
+			}
 		}
 		if sol.Status != Optimal {
 			return // infeasible / unbounded / iteration limit are all legal outcomes

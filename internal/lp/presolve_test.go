@@ -1,0 +1,238 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nocdeploy/internal/numeric"
+)
+
+// randomLP generates a small LP in the same family as
+// TestRandomVsBruteForce: integer-ish data, a mix of senses, occasional
+// fixed columns and redundant rows so the presolve reductions all fire.
+func randomLP(rng *rand.Rand) *Problem {
+	n := 2 + rng.Intn(4)
+	rows := 1 + rng.Intn(4)
+	p := NewProblem(n)
+	for j := 0; j < n; j++ {
+		lo := float64(rng.Intn(5)) - 2
+		width := float64(rng.Intn(4)) // width 0 → fixed column
+		p.SetBounds(j, lo, lo+width)
+		p.Cost[j] = float64(rng.Intn(11) - 5)
+	}
+	for r := 0; r < rows; r++ {
+		idx := make([]int, 0, n)
+		val := make([]float64, 0, n)
+		for j := 0; j < n; j++ {
+			if rng.Intn(3) > 0 {
+				idx = append(idx, j)
+				val = append(val, float64(rng.Intn(9)-4))
+			}
+		}
+		if len(idx) == 0 {
+			idx, val = []int{0}, []float64{1}
+		}
+		p.AddConstraint(idx, val, Op(rng.Intn(3)), float64(rng.Intn(13)-6))
+	}
+	return p
+}
+
+// TestPresolveRoundTrip: solving with and without presolve must agree —
+// same status, objectives within numeric.Eps, and the postsolved point
+// feasible for the original problem. 400 random instances cover singleton
+// rows, fixed columns, empty rows and tightenable bounds.
+func TestPresolveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		p := randomLP(rng)
+		plain, err := Solve(p, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: plain solve: %v", trial, err)
+		}
+		pre, err := Solve(p, Options{Presolve: true})
+		if err != nil {
+			t.Fatalf("trial %d: presolved solve: %v", trial, err)
+		}
+		if plain.Status != pre.Status {
+			t.Fatalf("trial %d: presolve changed status %v → %v\nproblem: %+v",
+				trial, plain.Status, pre.Status, p)
+		}
+		if plain.Status != Optimal {
+			continue
+		}
+		if math.Abs(plain.Obj-pre.Obj) > numeric.Eps*(1+math.Abs(plain.Obj)) {
+			t.Fatalf("trial %d: objectives diverge: plain %g vs presolved %g\nproblem: %+v",
+				trial, plain.Obj, pre.Obj, p)
+		}
+		if !p.Feasible(pre.X, 1e-6) {
+			t.Fatalf("trial %d: postsolved point infeasible for the original problem\nx = %v\nproblem: %+v",
+				trial, pre.X, p)
+		}
+		// The reported objective must be the objective of the reported
+		// point (postsolve reconstructs X; the two must not drift apart).
+		if math.Abs(p.Eval(pre.X)-pre.Obj) > 1e-6*(1+math.Abs(pre.Obj)) {
+			t.Fatalf("trial %d: Obj %g does not match Eval(X) %g", trial, pre.Obj, p.Eval(pre.X))
+		}
+	}
+}
+
+// TestPresolveAllEliminated: a problem presolve can solve outright (every
+// column fixed or implied) must still return a checked solution.
+func TestPresolveAllEliminated(t *testing.T) {
+	p := NewProblem(2)
+	p.SetBounds(0, 3, 3) // fixed
+	p.SetBounds(1, 0, 5)
+	p.Cost[0] = 1
+	p.Cost[1] = 2
+	p.AddConstraint([]int{1}, []float64{1}, EQ, 4) // singleton: x1 = 4
+	sol, err := Solve(p, Options{Presolve: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal", sol.Status)
+	}
+	if math.Abs(sol.Obj-11) > 1e-9 {
+		t.Fatalf("obj = %g, want 11", sol.Obj)
+	}
+	if math.Abs(sol.X[0]-3) > 1e-9 || math.Abs(sol.X[1]-4) > 1e-9 {
+		t.Fatalf("x = %v, want [3 4]", sol.X)
+	}
+}
+
+// TestPresolveDetectsInfeasible: contradictions visible to the reductions
+// (inconsistent singleton vs bounds, empty rows) report Infeasible just
+// like the simplex would.
+func TestPresolveDetectsInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	p.SetBounds(0, 0, 1)
+	p.AddConstraint([]int{0}, []float64{1}, GE, 2) // x0 ≥ 2 vs ub 1
+	for _, presolve := range []bool{false, true} {
+		sol, err := Solve(p, Options{Presolve: presolve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Infeasible {
+			t.Fatalf("presolve=%v: status = %v, want Infeasible", presolve, sol.Status)
+		}
+	}
+}
+
+// TestPresolveDetectsUnbounded: a column with improving cost, no rows and
+// an open bound is unbounded with or without the reduction pass.
+func TestPresolveDetectsUnbounded(t *testing.T) {
+	p := NewProblem(2)
+	p.Cost[0] = -1 // minimize -x0, x0 ∈ [0, +Inf): unbounded
+	p.SetBounds(1, 0, 1)
+	p.AddConstraint([]int{1}, []float64{1}, LE, 1)
+	for _, presolve := range []bool{false, true} {
+		sol, err := Solve(p, Options{Presolve: presolve})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != Unbounded {
+			t.Fatalf("presolve=%v: status = %v, want Unbounded", presolve, sol.Status)
+		}
+	}
+}
+
+// TestWarmStartEquivalence mimics branch & bound: solve a parent LP with
+// WantBasis, tighten one column's bounds, and re-solve warm vs cold. The
+// two child solves must agree on status and objective, and the warm one
+// should report Warm on instances where the snapshot installs.
+func TestWarmStartEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	warmHeld := 0
+	for trial := 0; trial < 300; trial++ {
+		p := randomLP(rng)
+		parent, err := Solve(p, Options{WantBasis: true})
+		if err != nil {
+			t.Fatalf("trial %d: parent solve: %v", trial, err)
+		}
+		if parent.Status != Optimal || parent.Basis == nil {
+			continue
+		}
+		// Branch: tighten a random column to the floor/ceil of its value,
+		// the way branch & bound fixes a fractional binary.
+		child := *p
+		child.Lower = append([]float64(nil), p.Lower...)
+		child.Upper = append([]float64(nil), p.Upper...)
+		j := rng.Intn(p.NumCols)
+		if rng.Intn(2) == 0 {
+			child.Upper[j] = math.Floor(parent.X[j])
+		} else {
+			child.Lower[j] = math.Ceil(parent.X[j])
+		}
+		if child.Lower[j] > child.Upper[j] {
+			continue
+		}
+		cold, err := Solve(&child, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: cold child: %v", trial, err)
+		}
+		warm, err := Solve(&child, Options{WarmBasis: parent.Basis})
+		if err != nil {
+			t.Fatalf("trial %d: warm child: %v", trial, err)
+		}
+		if cold.Status != warm.Status {
+			t.Fatalf("trial %d: warm start changed status %v → %v\nproblem: %+v",
+				trial, cold.Status, warm.Status, &child)
+		}
+		if cold.Status == Optimal {
+			if math.Abs(cold.Obj-warm.Obj) > 1e-6*(1+math.Abs(cold.Obj)) {
+				t.Fatalf("trial %d: objectives diverge: cold %g vs warm %g",
+					trial, cold.Obj, warm.Obj)
+			}
+			if !child.Feasible(warm.X, 1e-6) {
+				t.Fatalf("trial %d: warm solution infeasible", trial)
+			}
+		}
+		if warm.Warm {
+			warmHeld++
+		}
+	}
+	// The point of the machinery: the warm path must actually engage on a
+	// healthy fraction of branch-like children, not silently cold-start.
+	if warmHeld < 50 {
+		t.Fatalf("warm start held on only %d trials; expected ≥ 50", warmHeld)
+	}
+}
+
+// TestWarmStartStaleBasisFallsBack: a snapshot from an unrelated basis
+// (here: deliberately corrupted to duplicate a basic column) must fall
+// back to a cold solve, not error or return garbage.
+func TestWarmStartStaleBasisFallsBack(t *testing.T) {
+	p := NewProblem(3)
+	for j := 0; j < 3; j++ {
+		p.SetBounds(j, 0, 4)
+		p.Cost[j] = float64(j) - 1
+	}
+	p.AddConstraint([]int{0, 1, 2}, []float64{1, 1, 1}, LE, 6)
+	p.AddConstraint([]int{0, 1}, []float64{1, -1}, GE, -2)
+	parent, err := Solve(p, Options{WantBasis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parent.Status != Optimal || parent.Basis == nil {
+		t.Fatalf("parent = %+v, want optimal with basis", parent)
+	}
+	bad := &Basis{
+		Basic:    append([]int32(nil), parent.Basis.Basic...),
+		NonBasic: append([]uint8(nil), parent.Basis.NonBasic...),
+	}
+	bad.Basic[1] = bad.Basic[0] // duplicate: structurally singular
+	warm, err := Solve(p, Options{WarmBasis: bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Status != Optimal {
+		t.Fatalf("status = %v, want Optimal after fallback", warm.Status)
+	}
+	if warm.Warm {
+		t.Fatal("corrupt snapshot reported Warm")
+	}
+	if math.Abs(warm.Obj-parent.Obj) > 1e-9 {
+		t.Fatalf("fallback obj %g differs from parent %g", warm.Obj, parent.Obj)
+	}
+}

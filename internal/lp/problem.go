@@ -11,9 +11,12 @@
 // the LP engine underneath package milp's branch & bound, standing in for
 // the Gurobi solver used in the paper's evaluation.
 //
-// The implementation is a two-phase revised simplex with an explicitly
-// maintained basis inverse, Dantzig pricing with a Bland anti-cycling
-// fallback, and periodic refactorization for numerical hygiene.
+// The implementation is a two-phase revised simplex over a sparse LU
+// factorization of the basis with product-form eta updates per pivot,
+// Dantzig pricing with a Bland anti-cycling fallback, periodic
+// refactorization for numerical hygiene, an optional presolve/postsolve
+// reduction pass, and dual-simplex warm starts from a caller-supplied
+// basis snapshot (Options.WarmBasis).
 package lp
 
 import (
@@ -162,6 +165,35 @@ type Solution struct {
 	Obj     float64   // cᵀx
 	Iters   int       // simplex iterations across both phases
 	ItersP1 int       // iterations spent in phase 1 (feasibility search)
+	// Basis is the optimal basis snapshot, attached only when
+	// Options.WantBasis is set, Status is Optimal and the solve ran without
+	// presolve (the reduction would change the snapshot's index space).
+	// May still be nil in rare degenerate cases; callers must handle nil.
+	Basis *Basis
+	// Warm reports that the solve was seeded from Options.WarmBasis and
+	// the warm start held (false when it fell back to a cold start).
+	Warm bool
+	// DualIters counts dual simplex pivots spent restoring feasibility of
+	// a warm-started basis; included in Iters.
+	DualIters int
+	// Refactors counts mid-solve basis refactorizations (periodic cadence
+	// plus stability-triggered refreshes).
+	Refactors int
+}
+
+// Basis is a reusable snapshot of a simplex basis over the structural and
+// slack columns of a problem. Snapshots taken from one solve
+// (Options.WantBasis) can seed another solve of a problem with the same
+// shape — identical columns and rows; bounds may differ — via
+// Options.WarmBasis. The intended use is branch & bound, where a child
+// node differs from its parent only in one variable's bounds.
+type Basis struct {
+	// Basic holds, per row, the column occupying the basis (structural
+	// columns first, then slacks: indices in [0, NumCols+len(Cons))).
+	Basic []int32
+	// NonBasic records where each nonbasic column sits (internal varState
+	// values); entries for basic columns are ignored by the consumer.
+	NonBasic []uint8
 }
 
 // Options tunes the solver.
@@ -169,7 +201,7 @@ type Options struct {
 	MaxIters   int     // total simplex iterations; 0 means a generous default
 	FeasTol    float64 // bound/feasibility tolerance; 0 means 1e-7
 	OptTol     float64 // reduced-cost tolerance; 0 means 1e-9
-	Refactor   int     // refactorization interval; 0 means 128
+	Refactor   int     // refactorization interval (pivots between refreshes); 0 means 32
 	BlandAfter int     // switch to Bland's rule after this many degenerate pivots; 0 means 64
 	// Trace, if non-nil, receives one obs.LPSolve event per Solve call
 	// (iteration counts and outcome). Observability only: the solver
@@ -180,6 +212,22 @@ type Options struct {
 	// Status IterLimit. Callers that must distinguish cancellation from a
 	// genuine iteration limit should inspect Ctx.Err themselves.
 	Ctx context.Context
+	// WarmBasis, if non-nil, seeds the solve from a previous
+	// Solution.Basis of a same-shaped problem. Primal feasibility under
+	// the possibly-changed bounds is restored by dual simplex pivots; a
+	// stale, singular or stalled basis falls back to a cold start, so the
+	// option is always safe. The snapshot is read-only and may be shared
+	// across concurrent solves.
+	WarmBasis *Basis
+	// WantBasis asks Solve to attach Solution.Basis to optimal solutions
+	// so the caller can warm-start related solves.
+	WantBasis bool
+	// Presolve runs a reduction pass (singleton rows to bounds, fixed and
+	// unconstrained columns, empty rows, conservative bound tightening)
+	// before the simplex and maps the solution back to the original
+	// variables. Ignored when WarmBasis is set: the reduction would
+	// invalidate the basis' index space.
+	Presolve bool
 }
 
 func (o Options) withDefaults(m int) Options {
@@ -193,7 +241,7 @@ func (o Options) withDefaults(m int) Options {
 		o.OptTol = 1e-9
 	}
 	if o.Refactor == 0 {
-		o.Refactor = 128
+		o.Refactor = 32
 	}
 	if o.BlandAfter == 0 {
 		o.BlandAfter = 64

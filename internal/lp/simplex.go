@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"nocdeploy/internal/numeric"
 	"nocdeploy/internal/obs"
@@ -18,15 +19,24 @@ const (
 	inBasis
 )
 
-// simplex carries the working state of one solve.
+// dualStalled is the internal outcome of a dual-simplex warm start that
+// made no progress (cycling or numerical trouble); the caller falls back
+// to a cold start, so it never escapes the package.
+const dualStalled Status = -1
+
+// simplex carries the working state of one solve. Instances are pooled
+// (see simplexPool): every slice is capacity-reused across solves, so a
+// branch & bound node solve allocates almost nothing beyond its Solution.
 type simplex struct {
 	opt Options
 
 	n, m int // structural columns, rows
 
-	// column-major matrix over all columns: structural, slack, artificial.
-	colIdx [][]int
-	colVal [][]float64
+	// Column-major (CSC) matrix over all columns, laid out
+	// structural | slack | artificial in flat pooled storage.
+	colStart []int32
+	colRow   []int32
+	colA     []float64
 
 	lo, hi []float64 // working bounds for all columns
 	cost   []float64 // phase-dependent cost for all columns
@@ -35,12 +45,28 @@ type simplex struct {
 	state []varState
 	basis []int     // basis[i] = column basic in row i
 	xB    []float64 // values of basic variables
-	binv  []float64 // m×m row-major basis inverse
+
+	f basisFactor // sparse LU + eta file replacing the dense inverse
+
+	// Per-iteration work vectors (pooled with the struct).
+	y       []float64 // simplex multipliers, row space
+	rho     []float64 // dual pivot row BTRAN result, row space
+	w       []float64 // FTRAN direction, basis-position space
+	cB      []float64 // BTRAN input scratch, basis-position space
+	scratch []float64 // zeroed row-space FTRAN scratch
+	cnt     []int32   // CSC build cursors
+	dualD   []float64 // reduced costs maintained across dual pivots, column space
+	dualA   []float64 // pivot-row coefficients α_j = ρ·a_j per dual scan, column space
 
 	iters       int
-	sincePivot  int // pivots since last refactorization
-	degenStreak int // consecutive (near-)degenerate pivots, drives Bland switch
+	dualIters   int
+	refactors   int  // mid-solve refactorizations (periodic + stability)
+	warm        bool // the current solve runs from Options.WarmBasis
+	sincePivot  int  // pivots since last refactorization
+	degenStreak int  // consecutive (near-)degenerate pivots, drives Bland switch
 }
+
+var simplexPool = sync.Pool{New: func() interface{} { return new(simplex) }}
 
 // errSingular reports a numerically broken basis; Solve retries once with
 // conservative settings before giving up.
@@ -53,19 +79,40 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	sol, err := solveOnce(p, opt)
+	if opt.Presolve && opt.WarmBasis == nil && len(p.Cons) > 0 {
+		return solvePresolved(p, opt)
+	}
+	return solveDirect(p, opt)
+}
+
+func solveDirect(p *Problem, opt Options) (*Solution, error) {
+	s := simplexPool.Get().(*simplex)
+	defer simplexPool.Put(s)
+	sol, err := solveOnce(p, opt, s)
 	if err == errSingular {
 		// Numerical breakdown: retry with frequent refactorization and
 		// early Bland pivoting, which is slower but far more stable.
 		retry := opt
 		retry.Refactor = 16
 		retry.BlandAfter = 8
-		sol, err = solveOnce(p, retry)
+		retry.WarmBasis = nil
+		sol, err = solveOnce(p, retry, s)
 		if err == errSingular {
 			return nil, fmt.Errorf("lp: basis singular even under conservative pivoting")
 		}
 	}
 	if err == nil && opt.Trace.Enabled() {
+		if opt.WarmBasis != nil {
+			phase := "ok"
+			if !sol.Warm {
+				phase = "fallback"
+			}
+			opt.Trace.Emit(obs.Event{
+				Kind:  obs.LPWarmStart,
+				Iters: sol.DualIters,
+				Phase: phase,
+			})
+		}
 		opt.Trace.Emit(obs.Event{
 			Kind:    obs.LPSolve,
 			Iters:   sol.Iters,
@@ -76,11 +123,9 @@ func Solve(p *Problem, opt Options) (*Solution, error) {
 	return sol, err
 }
 
-func solveOnce(p *Problem, opt Options) (*Solution, error) {
+func solveOnce(p *Problem, opt Options, s *simplex) (*Solution, error) {
 	m := len(p.Cons)
 	opt = opt.withDefaults(m)
-	s := &simplex{opt: opt, n: p.NumCols, m: m}
-	s.build(p)
 
 	if m == 0 {
 		// Pure box problem: each column sits at its cheapest bound.
@@ -109,47 +154,76 @@ func solveOnce(p *Problem, opt Options) (*Solution, error) {
 		return &Solution{Status: Optimal, X: x, Obj: p.Eval(x)}, nil
 	}
 
-	// Phase 1: minimize the sum of artificial variables.
-	phase1 := make([]float64, len(s.cost))
-	for j := s.n + s.m; j < len(phase1); j++ {
-		phase1[j] = 1
+	s.init(p, opt)
+
+	// Warm path: install the caller's basis, restore primal feasibility
+	// with dual simplex pivots under the real cost, then let the shared
+	// primal phase below prove optimality (usually zero extra pivots).
+	if wb := opt.WarmBasis; wb != nil && s.installWarm(wb) {
+		s.setCost(p.Cost)
+		st, err := s.dualIterate()
+		switch {
+		case err != nil:
+			return nil, err
+		case st == Infeasible:
+			return &Solution{Status: Infeasible, Iters: s.iters, Obj: s.primalInfeasibility(),
+				Warm: true, DualIters: s.dualIters, Refactors: s.refactors}, nil
+		case st == IterLimit:
+			return &Solution{Status: IterLimit, Iters: s.iters,
+				Warm: true, DualIters: s.dualIters, Refactors: s.refactors}, nil
+		case st == dualStalled:
+			s.warm = false // fall back to a cold start below
+		}
 	}
-	s.cost = phase1
+
+	p1Iters := 0
+	if !s.warm {
+		// Cold path. Phase 1: minimize the sum of artificial variables.
+		if err := s.crash(); err != nil {
+			return nil, err
+		}
+		for j := range s.cost {
+			s.cost[j] = 0
+		}
+		for j := s.n + s.m; j < len(s.cost); j++ {
+			s.cost[j] = 1
+		}
+		st, err := s.iterate()
+		if err != nil {
+			return nil, err
+		}
+		if st == IterLimit {
+			return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: s.iters, Refactors: s.refactors}, nil
+		}
+		p1Iters = s.iters
+		if infeas := s.phaseObj(); infeas > 1e-6 {
+			// Obj carries the residual infeasibility (sum of artificial
+			// values) to help callers distinguish numerical noise from real
+			// constraint conflicts.
+			return &Solution{Status: Infeasible, Iters: s.iters, ItersP1: p1Iters, Obj: infeas, Refactors: s.refactors}, nil
+		}
+		// Phase 2: fix artificials at zero and optimize the real cost.
+		for j := s.n + s.m; j < len(s.cost); j++ {
+			s.lo[j], s.hi[j] = 0, 0
+			if s.state[j] != inBasis {
+				s.state[j] = atLower
+			}
+		}
+		s.setCost(p.Cost)
+	}
+
+	s.degenStreak = 0
 	st, err := s.iterate()
 	if err != nil {
 		return nil, err
 	}
 	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: s.iters}, nil
-	}
-	p1Iters := s.iters
-	if infeas := s.phaseObj(); infeas > 1e-6 {
-		// Obj carries the residual infeasibility (sum of artificial
-		// values) to help callers distinguish numerical noise from real
-		// constraint conflicts.
-		return &Solution{Status: Infeasible, Iters: s.iters, ItersP1: p1Iters, Obj: infeas}, nil
-	}
-
-	// Phase 2: fix artificials at zero and optimize the real cost.
-	for j := s.n + s.m; j < len(s.cost); j++ {
-		s.lo[j], s.hi[j] = 0, 0
-		if s.state[j] != inBasis {
-			s.state[j] = atLower
-		}
-	}
-	phase2 := make([]float64, len(s.cost))
-	copy(phase2, p.Cost)
-	s.cost = phase2
-	s.degenStreak = 0
-	st, err = s.iterate()
-	if err != nil {
-		return nil, err
-	}
-	if st == IterLimit {
-		return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: p1Iters}, nil
+		return &Solution{Status: IterLimit, Iters: s.iters, ItersP1: p1Iters,
+			Warm: s.warm, DualIters: s.dualIters, Refactors: s.refactors}, nil
 	}
 	if st == Unbounded {
-		return &Solution{Status: Unbounded, Iters: s.iters, ItersP1: p1Iters}, nil
+		return &Solution{Status: Unbounded, Iters: s.iters, ItersP1: p1Iters,
+			Warm: s.warm, DualIters: s.dualIters, Refactors: s.refactors}, nil
 	}
 
 	// Refresh basic values once more for accuracy before extraction.
@@ -174,34 +248,86 @@ func solveOnce(p *Problem, opt Options) (*Solution, error) {
 			x[j] = p.Upper[j]
 		}
 	}
-	return &Solution{Status: Optimal, X: x, Obj: p.Eval(x), Iters: s.iters, ItersP1: p1Iters}, nil
+	sol := &Solution{Status: Optimal, X: x, Obj: p.Eval(x), Iters: s.iters, ItersP1: p1Iters,
+		Warm: s.warm, DualIters: s.dualIters, Refactors: s.refactors}
+	if opt.WantBasis {
+		sol.Basis = s.snapshotBasis()
+	}
+	return sol, nil
 }
 
-// build lays out columns (structural | slack | artificial) and the initial
-// all-artificial basis.
-func (s *simplex) build(p *Problem) {
-	n, m := s.n, s.m
+// init lays out the CSC matrix (structural | slack | artificial columns),
+// bounds and the default nonbasic starting states, reusing pooled storage.
+func (s *simplex) init(p *Problem, opt Options) {
+	n, m := p.NumCols, len(p.Cons)
+	s.opt = opt
+	s.n, s.m = n, m
+	s.iters, s.dualIters, s.refactors = 0, 0, 0
+	s.sincePivot, s.degenStreak = 0, 0
+	s.warm = false
+
 	total := n + 2*m
-	s.colIdx = make([][]int, total)
-	s.colVal = make([][]float64, total)
-	s.lo = make([]float64, total)
-	s.hi = make([]float64, total)
-	s.cost = make([]float64, total)
-	s.state = make([]varState, total)
-	s.rhs = make([]float64, m)
+	nnz := 2 * m
+	for _, c := range p.Cons {
+		nnz += len(c.Idx)
+	}
+	s.colStart = growI32(s.colStart, total+1)
+	s.colRow = growI32(s.colRow, nnz)
+	s.colA = growF64(s.colA, nnz)
+	s.cnt = growI32(s.cnt, total)
+	for j := 0; j < total; j++ {
+		s.cnt[j] = 0
+	}
+	for _, c := range p.Cons {
+		for _, j := range c.Idx {
+			s.cnt[j]++
+		}
+	}
+	for r := 0; r < m; r++ {
+		s.cnt[n+r] = 1
+		s.cnt[n+m+r] = 1
+	}
+	s.colStart[0] = 0
+	for j := 0; j < total; j++ {
+		s.colStart[j+1] = s.colStart[j] + s.cnt[j]
+		s.cnt[j] = s.colStart[j] // becomes the fill cursor
+	}
+	for r, c := range p.Cons {
+		for k, j := range c.Idx {
+			q := s.cnt[j]
+			s.colRow[q] = int32(r)
+			s.colA[q] = c.Val[k]
+			s.cnt[j] = q + 1
+		}
+	}
+
+	s.lo = growF64(s.lo, total)
+	s.hi = growF64(s.hi, total)
+	s.cost = growF64(s.cost, total)
+	s.rhs = growF64(s.rhs, m)
+	s.state = growState(s.state, total)
+	s.basis = growInt(s.basis, m)
+	s.xB = growF64(s.xB, m)
+	s.y = growF64(s.y, m)
+	s.rho = growF64(s.rho, m)
+	s.w = growF64(s.w, m)
+	s.cB = growF64(s.cB, m)
+	s.scratch = growF64(s.scratch, m)
+	s.dualD = growF64(s.dualD, total)
+	s.dualA = growF64(s.dualA, total)
+	for i := 0; i < m; i++ {
+		s.scratch[i] = 0
+	}
 
 	copy(s.lo, p.Lower)
 	copy(s.hi, p.Upper)
 	for r, c := range p.Cons {
 		s.rhs[r] = c.RHS
-		for k, j := range c.Idx {
-			s.colIdx[j] = append(s.colIdx[j], r)
-			s.colVal[j] = append(s.colVal[j], c.Val[k])
-		}
 		// Slack column: a·x + s = b with sense-dependent slack bounds.
 		sj := n + r
-		s.colIdx[sj] = []int{r}
-		s.colVal[sj] = []float64{1}
+		q := s.colStart[sj]
+		s.colRow[q] = int32(r)
+		s.colA[q] = 1
 		switch c.Op {
 		case LE:
 			s.lo[sj], s.hi[sj] = 0, math.Inf(1)
@@ -210,6 +336,14 @@ func (s *simplex) build(p *Problem) {
 		case EQ:
 			s.lo[sj], s.hi[sj] = 0, 0
 		}
+		// Artificial column: unit coefficient, fixed out of play until the
+		// cold-start crash decides it is needed (and with which sign).
+		aj := n + m + r
+		q = s.colStart[aj]
+		s.colRow[q] = int32(r)
+		s.colA[q] = 1
+		s.lo[aj], s.hi[aj] = 0, 0
+		s.state[aj] = atLower
 	}
 
 	// Nonbasic starting point: nearest finite bound, or 0 for free columns.
@@ -223,33 +357,39 @@ func (s *simplex) build(p *Problem) {
 			s.state[j] = isFree
 		}
 	}
+}
 
-	// Crash basis: rows whose residual fits inside the slack's bounds get
-	// the slack as the basic variable; only violated rows need an
-	// artificial. This usually leaves phase 1 with little or no work.
-	res := make([]float64, m)
+// setCost installs the phase-2 objective (structural costs, zeros
+// elsewhere).
+func (s *simplex) setCost(structural []float64) {
+	copy(s.cost[:s.n], structural)
+	for j := s.n; j < len(s.cost); j++ {
+		s.cost[j] = 0
+	}
+}
+
+// crash builds the cold-start basis: rows whose residual fits inside the
+// slack's bounds get the slack as the basic variable; only violated rows
+// need an artificial. This usually leaves phase 1 with little or no work.
+func (s *simplex) crash() error {
+	n, m := s.n, s.m
+	res := s.y // borrow a work vector for the residuals
 	copy(res, s.rhs)
 	for j := 0; j < n; j++ {
 		if v := s.value(j); !numeric.IsZero(v) {
-			for k, r := range s.colIdx[j] {
-				res[r] -= s.colVal[j][k] * v
+			for q := s.colStart[j]; q < s.colStart[j+1]; q++ {
+				res[s.colRow[q]] -= s.colA[q] * v
 			}
 		}
 	}
-	s.basis = make([]int, m)
-	s.xB = make([]float64, m)
-	s.binv = make([]float64, m*m)
 	for r := 0; r < m; r++ {
 		aj := n + m + r
 		sj := n + r
 		if res[r] >= s.lo[sj]-1e-12 && res[r] <= s.hi[sj]+1e-12 {
-			// Slack absorbs the residual; artificial fixed out of play.
+			// Slack absorbs the residual; artificial stays fixed at zero.
 			s.state[sj] = inBasis
 			s.basis[r] = sj
-			s.xB[r] = res[r]
-			s.binv[r*m+r] = 1
-			s.colIdx[aj] = []int{r}
-			s.colVal[aj] = []float64{1}
+			s.colA[s.colStart[aj]] = 1
 			s.lo[aj], s.hi[aj] = 0, 0
 			s.state[aj] = atLower
 			continue
@@ -264,19 +404,94 @@ func (s *simplex) build(p *Problem) {
 			sv = s.hi[sj]
 			s.state[sj] = atUpper
 		}
-		rem := res[r] - sv
 		sign := 1.0
-		if rem < 0 {
+		if res[r]-sv < 0 {
 			sign = -1
 		}
-		s.colIdx[aj] = []int{r}
-		s.colVal[aj] = []float64{sign}
+		s.colA[s.colStart[aj]] = sign
 		s.lo[aj], s.hi[aj] = 0, math.Inf(1)
 		s.state[aj] = inBasis
 		s.basis[r] = aj
-		s.xB[r] = math.Abs(rem)
-		s.binv[r*m+r] = sign // inverse of diag(sign)
 	}
+	return s.refactorize()
+}
+
+// installWarm seeds the solve from a caller-supplied basis snapshot. It
+// reports false — leaving the state ready for a cold start — when the
+// snapshot has the wrong shape, repeats a column, or factorizes singular.
+func (s *simplex) installWarm(b *Basis) bool {
+	n, m := s.n, s.m
+	if len(b.Basic) != m || len(b.NonBasic) != n+m {
+		return false
+	}
+	for j := 0; j < n+m; j++ {
+		st := varState(b.NonBasic[j])
+		// Normalize states against the current bounds: branching may have
+		// moved a bound since the snapshot, and a nonbasic column must sit
+		// at a finite bound (or at zero when genuinely free).
+		switch {
+		case st == atLower && !math.IsInf(s.lo[j], -1):
+		case st == atUpper && !math.IsInf(s.hi[j], 1):
+		case !math.IsInf(s.lo[j], -1):
+			st = atLower
+		case !math.IsInf(s.hi[j], 1):
+			st = atUpper
+		default:
+			st = isFree
+		}
+		s.state[j] = st
+	}
+	for i, c := range b.Basic {
+		j := int(c)
+		if j < 0 || j >= n+m || s.state[j] == inBasis {
+			return false
+		}
+		s.basis[i] = j
+		s.state[j] = inBasis
+	}
+	if err := s.refactorize(); err != nil {
+		// Singular snapshot (stale bounds can do this): restore default
+		// nonbasic states so the cold-start crash sees a clean slate.
+		for j := 0; j < n+m; j++ {
+			switch {
+			case !math.IsInf(s.lo[j], -1):
+				s.state[j] = atLower
+			case !math.IsInf(s.hi[j], 1):
+				s.state[j] = atUpper
+			default:
+				s.state[j] = isFree
+			}
+		}
+		return false
+	}
+	s.warm = true
+	return true
+}
+
+// snapshotBasis captures the current basis for reuse by a related solve.
+// Basic artificials (degenerate at zero) are swapped for their row's slack
+// column — same sparsity pattern up to sign, so nonsingularity is
+// preserved; if the slack is itself basic elsewhere the snapshot is
+// unusable and nil is returned.
+func (s *simplex) snapshotBasis() *Basis {
+	n, m := s.n, s.m
+	b := &Basis{Basic: make([]int32, m), NonBasic: make([]uint8, n+m)}
+	for j := 0; j < n+m; j++ {
+		b.NonBasic[j] = uint8(s.state[j])
+	}
+	for i, bj := range s.basis {
+		if bj >= n+m {
+			sj := n + (bj - n - m)
+			if s.state[sj] == inBasis {
+				return nil
+			}
+			b.Basic[i] = int32(sj)
+			b.NonBasic[sj] = uint8(inBasis)
+			continue
+		}
+		b.Basic[i] = int32(bj)
+	}
+	return b
 }
 
 // value returns the current value of a nonbasic column.
@@ -308,51 +523,75 @@ func (s *simplex) phaseObj() float64 {
 	return obj
 }
 
-// iterate runs simplex pivots until the current cost is optimal, the
-// problem proves unbounded, or the iteration budget runs out.
+// primalInfeasibility sums the bound violations of the basic variables —
+// the residual reported with a dual-simplex infeasibility verdict.
+func (s *simplex) primalInfeasibility() float64 {
+	var sum float64
+	for i, bj := range s.basis {
+		if d := s.lo[bj] - s.xB[i]; d > 0 {
+			sum += d
+		}
+		if d := s.xB[i] - s.hi[bj]; d > 0 {
+			sum += d
+		}
+	}
+	return sum
+}
+
+// reducedCost prices column j against the multipliers in s.y.
+func (s *simplex) reducedCost(j int) float64 {
+	d := s.cost[j]
+	for q := s.colStart[j]; q < s.colStart[j+1]; q++ {
+		d -= s.y[s.colRow[q]] * s.colA[q]
+	}
+	return d
+}
+
+// ftranColumn computes w = B⁻¹·a_j for matrix column j.
+func (s *simplex) ftranColumn(j int) {
+	cs, ce := s.colStart[j], s.colStart[j+1]
+	s.f.ftran(s.colRow[cs:ce], s.colA[cs:ce], s.w, s.scratch)
+}
+
+// multipliers refreshes y = c_Bᵀ·B⁻¹ via BTRAN of the basic costs.
+func (s *simplex) multipliers() {
+	for i, bj := range s.basis {
+		s.cB[i] = s.cost[bj]
+	}
+	s.f.btran(s.cB, s.y)
+}
+
+// iterate runs primal simplex pivots until the current cost is optimal,
+// the problem proves unbounded, or the iteration budget runs out.
 func (s *simplex) iterate() (Status, error) {
 	m := s.m
-	y := make([]float64, m)
-	w := make([]float64, m)
+	total := s.n + 2*m
 	for {
 		if s.iters >= s.opt.MaxIters {
 			return IterLimit, nil
 		}
 		// Poll for cancellation on a stride: Ctx.Err takes a lock, and a
-		// pivot is only O(m·n), so checking every iteration would show up.
+		// pivot is only O(m + nnz), so checking every iteration would show
+		// up.
 		if s.opt.Ctx != nil && s.iters%64 == 0 && s.opt.Ctx.Err() != nil {
 			return IterLimit, nil
 		}
 		s.iters++
 		bland := s.degenStreak >= s.opt.BlandAfter
 
-		// Simplex multipliers y = c_Bᵀ B⁻¹.
-		for i := 0; i < m; i++ {
-			y[i] = 0
-		}
-		for i, bj := range s.basis {
-			if cb := s.cost[bj]; !numeric.IsZero(cb) {
-				row := s.binv[i*m : (i+1)*m]
-				for k := 0; k < m; k++ {
-					y[k] += cb * row[k]
-				}
-			}
-		}
+		s.multipliers()
 
 		// Pricing: find the entering column.
 		enter, dir := -1, 1.0
 		bestScore := s.opt.OptTol
-		for j := range s.cost {
+		for j := 0; j < total; j++ {
 			st := s.state[j]
 			// Fixed columns compare their bounds exactly: bounds are set, not
 			// computed, and the ±Inf pairs must not trip NaN tolerance math.
 			if st == inBasis || s.lo[j] == s.hi[j] { //lint:allow floateq — exact fixed-column check over assigned bounds
 				continue
 			}
-			d := s.cost[j]
-			for k, r := range s.colIdx[j] {
-				d -= y[r] * s.colVal[j][k]
-			}
+			d := s.reducedCost(j)
 			var improving bool
 			var dj float64
 			switch st {
@@ -384,15 +623,8 @@ func (s *simplex) iterate() (Status, error) {
 		}
 
 		// Direction w = B⁻¹ a_enter.
-		for i := 0; i < m; i++ {
-			w[i] = 0
-		}
-		for k, r := range s.colIdx[enter] {
-			a := s.colVal[enter][k]
-			for i := 0; i < m; i++ {
-				w[i] += s.binv[i*m+r] * a
-			}
-		}
+		s.ftranColumn(enter)
+		w := s.w
 
 		// Ratio test: step t moves the entering column by dir·t; basic
 		// values change by −dir·t·w.
@@ -454,6 +686,15 @@ func (s *simplex) iterate() (Status, error) {
 			continue
 		}
 
+		// A tiny pivot on an aged factorization is a stability hazard:
+		// refresh the factors and redo the iteration rather than divide.
+		if math.Abs(leavePivot) < 1e-7 && s.sincePivot > 0 {
+			if err := s.refactorizeTracked(); err != nil {
+				return Optimal, err
+			}
+			continue
+		}
+
 		if tMax <= 1e-12 {
 			s.degenStreak++
 		} else {
@@ -473,25 +714,11 @@ func (s *simplex) iterate() (Status, error) {
 		} else {
 			s.state[left] = atUpper
 		}
-		// Update B⁻¹ for the column swap.
-		piv := w[leave]
-		rowL := s.binv[leave*m : (leave+1)*m]
-		inv := 1 / piv
-		for k := 0; k < m; k++ {
-			rowL[k] *= inv
-		}
-		for i := 0; i < m; i++ {
-			if i == leave {
-				continue
+		if !s.f.update(w, leave) {
+			if err := s.refactorizeTracked(); err != nil {
+				return Optimal, err
 			}
-			f := w[i]
-			if numeric.IsZero(f) {
-				continue
-			}
-			row := s.binv[i*m : (i+1)*m]
-			for k := 0; k < m; k++ {
-				row[k] -= f * rowL[k]
-			}
+			continue
 		}
 		s.basis[leave] = enter
 		s.state[enter] = inBasis
@@ -499,101 +726,265 @@ func (s *simplex) iterate() (Status, error) {
 
 		s.sincePivot++
 		if s.sincePivot >= s.opt.Refactor {
-			if err := s.refactorize(); err != nil {
+			if err := s.refactorizeTracked(); err != nil {
 				return Optimal, err
 			}
 		}
 	}
 }
 
-// refactorize recomputes the basis inverse from scratch and refreshes the
-// basic variable values.
-func (s *simplex) refactorize() error {
+// dualIterate restores primal feasibility of a warm-started basis with
+// dual simplex pivots: repeatedly expel the most bound-violating basic
+// variable, choosing the entering column by the dual ratio test. It
+// returns Optimal once primal feasible (the caller then runs the primal
+// phase to optimality), Infeasible when a violated row admits no entering
+// column — a sound infeasibility certificate regardless of dual
+// feasibility — and dualStalled when it stops making progress, in which
+// case the caller falls back to a cold start.
+func (s *simplex) dualIterate() (Status, error) {
 	m := s.m
-	b := make([]float64, m*m)
-	for i, bj := range s.basis {
-		for k, r := range s.colIdx[bj] {
-			b[r*m+i] = s.colVal[bj][k]
+	total := s.n + 2*m
+	budget := m + 100
+	if budget > s.opt.MaxIters {
+		budget = s.opt.MaxIters
+	}
+	// Reduced costs are maintained across dual pivots (d_j ← d_j − θ_d·α_j
+	// after each basis change) instead of being recomputed from a BTRAN of
+	// the basic costs every iteration; they are refreshed from scratch
+	// whenever the factorization is rebuilt, which bounds drift to one
+	// refactorization interval.
+	d := s.dualD
+	alpha := s.dualA
+	dFresh := false
+	for {
+		if s.iters >= s.opt.MaxIters {
+			return IterLimit, nil
+		}
+		// Same cancellation contract as the primal loop: poll every 64
+		// pivots.
+		if s.opt.Ctx != nil && s.iters%64 == 0 && s.opt.Ctx.Err() != nil {
+			return IterLimit, nil
+		}
+		if s.dualIters >= budget {
+			return dualStalled, nil
+		}
+
+		if !dFresh {
+			s.multipliers()
+			for j := 0; j < total; j++ {
+				if s.state[j] == inBasis {
+					d[j] = 0
+					continue
+				}
+				d[j] = s.reducedCost(j)
+			}
+			dFresh = true
+		}
+
+		// Leaving choice: the most violated basic variable.
+		leave, viol := -1, s.opt.FeasTol
+		needUp := false
+		for i := 0; i < m; i++ {
+			bj := s.basis[i]
+			if v := s.lo[bj] - s.xB[i]; v > viol {
+				leave, viol, needUp = i, v, true
+			}
+			if v := s.xB[i] - s.hi[bj]; v > viol {
+				leave, viol, needUp = i, v, false
+			}
+		}
+		if leave < 0 {
+			return Optimal, nil // primal feasible
+		}
+		s.iters++
+		s.dualIters++
+
+		// Pivot row ρ = e_leaveᵀ·B⁻¹.
+		for i := 0; i < m; i++ {
+			s.cB[i] = 0
+		}
+		s.cB[leave] = 1
+		s.f.btran(s.cB, s.rho)
+
+		// Entering choice: among columns that can push the violated basic
+		// variable back toward its bound, take the smallest dual ratio
+		// |d_j|/|α_j| (ties to the larger pivot) so reduced-cost signs are
+		// preserved when the basis is dual feasible.
+		enter := -1
+		bestRatio, bestAbs := math.Inf(1), 0.0
+		for j := 0; j < total; j++ {
+			st := s.state[j]
+			if st == inBasis || s.lo[j] == s.hi[j] { //lint:allow floateq — exact fixed-column check over assigned bounds
+				alpha[j] = 0
+				continue
+			}
+			var a float64
+			for q := s.colStart[j]; q < s.colStart[j+1]; q++ {
+				a += s.rho[s.colRow[q]] * s.colA[q]
+			}
+			alpha[j] = a
+			if math.Abs(a) <= 1e-9 {
+				continue
+			}
+			// xB[leave] changes by −α_j·δ_j. Raising it (needUp) takes
+			// α < 0 for a column moving up off its lower bound, α > 0 for
+			// one moving down off its upper bound; lowering it is the
+			// mirror image. Free columns can move either way.
+			eligible := false
+			switch st {
+			case atLower:
+				eligible = (needUp && a < 0) || (!needUp && a > 0)
+			case atUpper:
+				eligible = (needUp && a > 0) || (!needUp && a < 0)
+			case isFree:
+				eligible = true
+			}
+			if !eligible {
+				continue
+			}
+			ratio := math.Abs(d[j]) / math.Abs(a)
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && math.Abs(a) > bestAbs) {
+				bestRatio, bestAbs, enter = ratio, math.Abs(a), j
+			}
+		}
+		if enter < 0 {
+			// The violated row is already at the extreme the nonbasic
+			// columns allow: primal infeasible.
+			return Infeasible, nil
+		}
+
+		// Pivot: FTRAN the entering column for the update and step.
+		s.ftranColumn(enter)
+		w := s.w
+		piv := w[leave]
+		if math.Abs(piv) <= 1e-9 {
+			// ρ and the dense recomputation disagree — the factorization
+			// has drifted. Refresh and retry, or give up if already fresh.
+			if s.sincePivot > 0 {
+				if err := s.refactorizeTracked(); err != nil {
+					return Optimal, err
+				}
+				dFresh = false
+				continue
+			}
+			return dualStalled, nil
+		}
+		bj := s.basis[leave]
+		var target float64
+		if needUp {
+			target = s.lo[bj]
+		} else {
+			target = s.hi[bj]
+		}
+		delta := (s.xB[leave] - target) / piv
+		enterVal := s.value(enter) + delta
+		if !s.f.update(w, leave) {
+			// Abort the pivot before touching any simplex state so the
+			// refreshed factorization restarts from a consistent basis.
+			if err := s.refactorizeTracked(); err != nil {
+				return Optimal, err
+			}
+			dFresh = false
+			continue
+		}
+		for i := 0; i < m; i++ {
+			if i != leave {
+				s.xB[i] -= delta * w[i]
+			}
+		}
+		// Dual update: y moves by θ_d·ρ, so every nonbasic reduced cost
+		// drops by θ_d·α_j; the leaving variable picks up d = −θ_d (its
+		// pivot-row coefficient is exactly 1) and the entering one zeroes.
+		thetaD := d[enter] / alpha[enter]
+		if thetaD != 0 { //lint:allow floateq — exact guard: a zero dual step leaves every reduced cost untouched
+			for j := 0; j < total; j++ {
+				if s.state[j] == inBasis || alpha[j] == 0 { //lint:allow floateq — exact guard: α was assigned 0 for skipped columns
+					continue
+				}
+				d[j] -= thetaD * alpha[j]
+			}
+		}
+		if needUp {
+			s.state[bj] = atLower
+		} else {
+			s.state[bj] = atUpper
+		}
+		s.basis[leave] = enter
+		s.state[enter] = inBasis
+		s.xB[leave] = enterVal
+		d[bj] = -thetaD
+		d[enter] = 0
+
+		if math.Abs(delta) <= 1e-12 {
+			s.degenStreak++
+			if s.degenStreak > 4*s.opt.BlandAfter {
+				return dualStalled, nil
+			}
+		} else {
+			s.degenStreak = 0
+		}
+		s.sincePivot++
+		if s.sincePivot >= s.opt.Refactor {
+			if err := s.refactorizeTracked(); err != nil {
+				return Optimal, err
+			}
+			dFresh = false
 		}
 	}
-	inv, ok := invertDense(b, m)
+}
+
+// refactorize rebuilds the sparse factorization from the current basis and
+// refreshes the basic variable values xB = B⁻¹(b − N·x_N).
+func (s *simplex) refactorize() error {
+	ok := s.f.factorize(s.m, func(i int) ([]int32, []float64) {
+		j := s.basis[i]
+		return s.colRow[s.colStart[j]:s.colStart[j+1]], s.colA[s.colStart[j]:s.colStart[j+1]]
+	})
 	if !ok {
 		return errSingular
 	}
-	s.binv = inv
-	// xB = B⁻¹ (b − N x_N).
-	eff := make([]float64, m)
+	eff := s.cB // borrow: same length m, overwritten by the next BTRAN anyway
 	copy(eff, s.rhs)
 	for j := range s.cost {
 		if s.state[j] == inBasis {
 			continue
 		}
 		if v := s.value(j); !numeric.IsZero(v) {
-			for k, r := range s.colIdx[j] {
-				eff[r] -= s.colVal[j][k] * v
+			for q := s.colStart[j]; q < s.colStart[j+1]; q++ {
+				eff[s.colRow[q]] -= s.colA[q] * v
 			}
 		}
 	}
-	for i := 0; i < m; i++ {
-		var v float64
-		row := s.binv[i*m : (i+1)*m]
-		for k := 0; k < m; k++ {
-			v += row[k] * eff[k]
-		}
-		s.xB[i] = v
-	}
+	s.f.ftranDense(eff, s.xB, s.scratch)
 	s.sincePivot = 0
 	return nil
 }
 
-// invertDense inverts an m×m row-major matrix with Gauss-Jordan elimination
-// and partial pivoting. It reports failure on (near-)singular input.
-func invertDense(a []float64, m int) ([]float64, bool) {
-	inv := make([]float64, m*m)
-	for i := 0; i < m; i++ {
-		inv[i*m+i] = 1
+// refactorizeTracked is the mid-solve refactorization path: it counts the
+// refresh and reports it to the trace (the initial and final factorization
+// of a solve are bookkeeping, not events).
+func (s *simplex) refactorizeTracked() error {
+	pivots := s.sincePivot
+	if err := s.refactorize(); err != nil {
+		return err
 	}
-	work := make([]float64, m*m)
-	copy(work, a)
-	for col := 0; col < m; col++ {
-		// Partial pivot.
-		piv, pivAbs := -1, 1e-11
-		for r := col; r < m; r++ {
-			if v := math.Abs(work[r*m+col]); v > pivAbs {
-				piv, pivAbs = r, v
-			}
-		}
-		if piv < 0 {
-			return nil, false
-		}
-		if piv != col {
-			swapRows(work, m, piv, col)
-			swapRows(inv, m, piv, col)
-		}
-		d := 1 / work[col*m+col]
-		for k := 0; k < m; k++ {
-			work[col*m+k] *= d
-			inv[col*m+k] *= d
-		}
-		for r := 0; r < m; r++ {
-			if r == col {
-				continue
-			}
-			f := work[r*m+col]
-			if numeric.IsZero(f) {
-				continue
-			}
-			for k := 0; k < m; k++ {
-				work[r*m+k] -= f * work[col*m+k]
-				inv[r*m+k] -= f * inv[col*m+k]
-			}
-		}
+	s.refactors++
+	if s.opt.Trace.Enabled() {
+		s.opt.Trace.Emit(obs.Event{Kind: obs.LPRefactor, Iters: pivots})
 	}
-	return inv, true
+	return nil
 }
 
-func swapRows(a []float64, m, r1, r2 int) {
-	for k := 0; k < m; k++ {
-		a[r1*m+k], a[r2*m+k] = a[r2*m+k], a[r1*m+k]
+func growState(s []varState, n int) []varState {
+	if cap(s) < n {
+		return make([]varState, n)
 	}
+	return s[:n]
+}
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

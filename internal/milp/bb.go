@@ -84,7 +84,14 @@ type SolveOptions struct {
 	// Incumbent.T trajectory stamps. Nil means the wall clock; tests inject
 	// a fake clock to exercise deadline logic deterministically.
 	Clock obs.Clock
-	LP    lp.Options // passed through to the LP engine
+	// ColdChildren disables warm-starting each child node's LP relaxation
+	// from its parent's optimal basis (on by default: a child differs from
+	// its parent in a single variable's bounds, so the dual simplex
+	// usually restores optimality in a handful of pivots). Results are
+	// identical either way — the basis only changes the pivot path — but
+	// the flag gives experiments and debugging a cold-start reference.
+	ColdChildren bool
+	LP           lp.Options // passed through to the LP engine
 }
 
 // now reads the configured clock. This is the MILP engine's only approved
@@ -155,11 +162,14 @@ func (r *Result) Gap() float64 {
 }
 
 // node is one branch & bound subproblem: bound overrides relative to the
-// root plus the parent's LP bound used for best-first ordering.
+// root plus the parent's LP bound used for best-first ordering and the
+// parent's optimal basis (nil at the root or under ColdChildren) used to
+// warm-start the node's own relaxation.
 type node struct {
 	overrides map[int][2]float64
 	bound     float64
 	depth     int
+	basis     *lp.Basis
 }
 
 type nodePQ []*node
@@ -272,7 +282,15 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 			lo[j], hi[j] = b[0], b[1]
 		}
 		base.Lower, base.Upper = lo, hi
-		sol, err := lp.Solve(base, opts.LP)
+		lpo := opts.LP
+		if !opts.ColdChildren {
+			// Warm-start from the parent's basis and snapshot this node's
+			// own basis for its children. Determinism holds: the solution is
+			// a pure function of the node (overrides + parent basis).
+			lpo.WantBasis = true
+			lpo.WarmBasis = nd.basis
+		}
+		sol, err := lp.Solve(base, lpo)
 		if err != nil {
 			return nil, err
 		}
@@ -424,7 +442,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 				if ov[j][0] > ov[j][1] {
 					continue
 				}
-				child := &node{overrides: ov, bound: sol.Obj, depth: nd.depth + 1}
+				child := &node{overrides: ov, bound: sol.Obj, depth: nd.depth + 1, basis: sol.Basis}
 				csol, err := evalNode(child)
 				if err != nil {
 					return nil, err

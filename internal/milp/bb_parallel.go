@@ -24,11 +24,14 @@ func normalizeWorkers(n int) int {
 
 // pnode is one subproblem of the parallel search: bound overrides relative
 // to the root plus the parent's LP objective, used both as the node's dual
-// bound until its own LP is solved and for queue ordering.
+// bound until its own LP is solved and for queue ordering, and the
+// parent's optimal basis for warm-starting (shared read-only between
+// siblings, so concurrent workers may consume it simultaneously).
 type pnode struct {
 	overrides map[int][2]float64
 	bound     float64
 	depth     int
+	basis     *lp.Basis
 }
 
 // parPQ is a depth-prioritized queue: deeper nodes first (diving quickly
@@ -233,7 +236,16 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					lo[j], hi[j] = b[0], b[1]
 				}
 				base.Lower, base.Upper = lo, hi
-				sol, err := lp.Solve(base, opts.LP)
+				lpo := opts.LP
+				if !opts.ColdChildren {
+					// Warm-start from the parent's basis; the node's LP
+					// solution stays a pure function of the node itself
+					// (overrides + parent basis), so the proven optimum is
+					// schedule-independent exactly as in the cold search.
+					lpo.WantBasis = true
+					lpo.WarmBasis = nd.basis
+				}
+				sol, err := lp.Solve(base, lpo)
 
 				s.mu.Lock()
 				s.working[id] = math.Inf(1)
@@ -314,7 +326,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 								ov[k] = v
 							}
 							ov[j] = b
-							heap.Push(&s.pq, &pnode{overrides: ov, bound: sol.Obj, depth: nd.depth + 1})
+							heap.Push(&s.pq, &pnode{overrides: ov, bound: sol.Obj, depth: nd.depth + 1, basis: sol.Basis})
 						}
 					}
 				} else if sol.Status == lp.Optimal {

@@ -203,6 +203,9 @@ func (m *Model) Complete(fixed map[VarID]float64, opts lp.Options) ([]float64, e
 		lo[v], hi[v] = val, val
 	}
 	p.Lower, p.Upper = lo, hi
+	// A completion LP is a one-shot solve over a heavily fixed model —
+	// exactly what the presolve reductions are good at shrinking.
+	opts.Presolve = true
 	sol, err := lp.Solve(p, opts)
 	if err != nil {
 		return nil, err

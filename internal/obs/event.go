@@ -30,6 +30,14 @@ const (
 	// LPSolve: one simplex solve finished. Iters is the total iteration
 	// count, ItersP1 the phase-1 share, Phase the lp.Status string.
 	LPSolve Kind = "lp.solve"
+	// LPRefactor: the simplex refreshed its sparse basis factorization
+	// mid-solve (periodic cadence or a stability trigger). Iters is the
+	// number of eta-updated pivots the discarded factorization served.
+	LPRefactor Kind = "lp.refactor"
+	// LPWarmStart: a solve was seeded from Options.WarmBasis. Phase is
+	// "ok" when the warm basis held or "fallback" when the solver reverted
+	// to a cold start; Iters is the dual simplex pivot count.
+	LPWarmStart Kind = "lp.warmstart"
 
 	// HeurPhaseStart/HeurPhaseEnd bracket one phase of the three-phase
 	// heuristic; Phase is "P1" (frequency & duplication), "P2"

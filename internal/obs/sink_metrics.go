@@ -51,6 +51,14 @@ func (s *MetricsSink) Write(e Event) {
 		s.m.Add("lp.iters", int64(e.Iters))
 		s.m.Add("lp.iters_phase1", int64(e.ItersP1))
 		s.m.Observe("lp.iters_per_solve", float64(e.Iters))
+	case LPRefactor:
+		s.m.Add("lp.refactors", 1)
+	case LPWarmStart:
+		s.m.Add("lp.warmstarts", 1)
+		s.m.Add("lp.warmstart_dual_iters", int64(e.Iters))
+		if e.Phase == "fallback" {
+			s.m.Add("lp.warmstart_fallbacks", 1)
+		}
 	case HeurPhaseEnd:
 		s.m.Observe("heur.phase_seconds", e.Dur)
 	case HeurRepair:

@@ -284,11 +284,33 @@ func (g *Graph) Clone() *Graph {
 type Expanded struct {
 	Base *Graph
 	M    int // original task count; expanded size is 2M
+
+	// depEdges caches the sorted expanded dependency pairs. The structure
+	// is immutable after Expand, and DepEdges sits on the hot path of
+	// every deployment evaluation, so it is computed once here rather
+	// than rebuilt and re-sorted per call.
+	depEdges [][2]int
 }
 
 // Expand builds the 2M-slot expanded view.
 func Expand(g *Graph) *Expanded {
-	return &Expanded{Base: g, M: g.M()}
+	e := &Expanded{Base: g, M: g.M()}
+	e.depEdges = make([][2]int, 0, 4*len(g.Edges))
+	for _, ed := range g.Edges {
+		e.depEdges = append(e.depEdges,
+			[2]int{ed.From, ed.To},
+			[2]int{ed.From + e.M, ed.To},
+			[2]int{ed.From, ed.To + e.M},
+			[2]int{ed.From + e.M, ed.To + e.M},
+		)
+	}
+	sort.Slice(e.depEdges, func(i, j int) bool {
+		if e.depEdges[i][0] != e.depEdges[j][0] {
+			return e.depEdges[i][0] < e.depEdges[j][0]
+		}
+		return e.depEdges[i][1] < e.depEdges[j][1]
+	})
+	return e
 }
 
 // Size returns 2M, the paper's M'.
@@ -323,27 +345,11 @@ func (e *Expanded) Data(from, to int) float64 {
 }
 
 // DepEdges lists every expanded dependency pair (from, to) with from ≠ to,
-// i.e. all (a,b) with p_ab = 1. Pairs between the two copies of the same
-// task are excluded (a task does not feed its own duplicate).
-func (e *Expanded) DepEdges() [][2]int {
-	var out [][2]int
-	for _, ed := range e.Base.Edges {
-		variants := [][2]int{
-			{ed.From, ed.To},
-			{ed.From + e.M, ed.To},
-			{ed.From, ed.To + e.M},
-			{ed.From + e.M, ed.To + e.M},
-		}
-		out = append(out, variants...)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i][0] != out[j][0] {
-			return out[i][0] < out[j][0]
-		}
-		return out[i][1] < out[j][1]
-	})
-	return out
-}
+// i.e. all (a,b) with p_ab = 1, sorted by (from, to). Pairs between the
+// two copies of the same task are excluded (a task does not feed its own
+// duplicate). The returned slice is cached and shared: callers must treat
+// it as read-only.
+func (e *Expanded) DepEdges() [][2]int { return e.depEdges }
 
 // ExistingGraph materializes the subgraph of slots with exists[i] == true as
 // a standalone Graph (ids renumbered compactly) and returns the slot id for
