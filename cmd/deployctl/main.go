@@ -6,6 +6,7 @@
 //	                                [-seed N] [-timeout D] [-async] [-check]
 //	                                [-out FILE]
 //	deployctl [-server URL] job     [-trace] ID
+//	deployctl [-server URL] watch   [-request] [-plain] ID
 //	deployctl [-server URL] health
 //	deployctl [-server URL] metrics [-format json|prom]
 //	deployctl [-server URL] top     [-interval D] [-n N] [-plain]
@@ -15,7 +16,11 @@
 // solve posts an instance and writes the returned deployment; -check
 // rebuilds the instance locally and validates the deployment against it,
 // exiting non-zero on mismatch. job -trace fetches the job's per-request
-// trace slice (JSONL) instead of its status. metrics -format prom asks
+// trace slice (JSONL) instead of its status. watch attaches to a job's
+// live SSE event stream and renders the solve's convergence — incumbent,
+// bound, gap %, event rate — until the terminal event; -request watches
+// by request ID and -plain appends lines instead of redrawing (for CI
+// and logs). metrics -format prom asks
 // the server for the Prometheus text exposition and validates it before
 // printing. top is a live terminal dashboard — request rate, per-stage
 // latency quantiles, queue depth and cache hit rate, recomputed over
@@ -55,7 +60,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("missing subcommand: solve, job, health, metrics, top or load")
+		log.Fatal("missing subcommand: solve, job, watch, health, metrics, top or load")
 	}
 	c := &client{base: *server, out: os.Stdout}
 	var err error
@@ -64,6 +69,8 @@ func main() {
 		err = cmdSolve(c, args[1:])
 	case "job":
 		err = cmdJob(c, args[1:])
+	case "watch":
+		err = cmdWatch(c, args[1:])
 	case "health":
 		err = cmdGet(c, "/healthz")
 	case "metrics":

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/url"
+	"strings"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// cmdWatch is the live convergence view: it attaches an SSE client to a
+// job's event stream (GET /v1/jobs/{id}/events) and renders the solve's
+// incumbent energy, best bound, relative gap, event rate and elapsed time
+// as they evolve, finishing when the stream's terminal solve.done event
+// arrives. -request watches by request ID instead (any X-Request-ID),
+// -plain appends a line per convergence update instead of redrawing in
+// place — for logs, CI, and non-ANSI terminals.
+func cmdWatch(c *client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	byRequest := fs.Bool("request", false, "ID is a request ID, not a job ID")
+	plain := fs.Bool("plain", false, "append update lines instead of redrawing (no ANSI escapes)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: deployctl watch [-request] [-plain] ID")
+	}
+	id := fs.Arg(0)
+	path := "/v1/jobs/" + url.PathEscape(id) + "/events"
+	if *byRequest {
+		path = "/v1/requests/" + url.PathEscape(id) + "/events"
+	}
+	resp, err := c.get(path)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != 200 {
+		got, _ := drainBody(resp) // drainBody closes the body
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	err = watchStream(c, id, bufio.NewScanner(resp.Body), *plain)
+	if cerr := resp.Body.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// watchState folds the event stream into the convergence view.
+type watchState struct {
+	incumbent float64
+	bound     float64
+	gap       float64
+	haveInc   bool
+	haveGap   bool
+	events    int
+	drops     int
+	start     time.Time
+}
+
+func (st *watchState) fold(e obs.Event) {
+	st.events++
+	switch e.Kind {
+	case obs.BBIncumbent:
+		st.incumbent = e.Obj
+		st.haveInc = true
+	case obs.BBGap:
+		st.incumbent = e.Obj
+		st.bound = e.Bound
+		st.gap = e.Gap
+		st.haveInc, st.haveGap = true, true
+	case obs.StreamGap:
+		st.drops += e.Node
+	}
+}
+
+// line renders the one-line convergence summary.
+func (st *watchState) line(id string) string {
+	inc, bound, gap := "-", "-", "-"
+	if st.haveInc {
+		inc = fmt.Sprintf("%.6g", st.incumbent)
+	}
+	if st.haveGap {
+		bound = fmt.Sprintf("%.6g", st.bound)
+		gap = fmt.Sprintf("%.2f%%", 100*st.gap)
+	}
+	elapsed := time.Since(st.start)
+	rate := float64(st.events) / elapsed.Seconds()
+	s := fmt.Sprintf("watch %s: inc=%s bound=%s gap=%s events=%d (%.0f/s) elapsed=%s",
+		id, inc, bound, gap, st.events, rate, elapsed.Round(100*time.Millisecond))
+	if st.drops > 0 {
+		s += fmt.Sprintf(" drops=%d", st.drops)
+	}
+	return s
+}
+
+// watchStream consumes the SSE stream until the terminal event. Split out
+// from cmdWatch so tests can drive it against a canned stream.
+func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	st := &watchState{start: time.Now()}
+	var name, data string
+	redrew := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+			continue
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+			continue
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+			continue
+		case line != "": // id: or unknown field
+			continue
+		}
+		// Blank line: dispatch the accumulated message.
+		if name == "" {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal([]byte(data), &e); err != nil {
+			return fmt.Errorf("bad event payload %q: %w", data, err)
+		}
+		if e.Kind == obs.SolveDone && e.Label == "request" {
+			// Terminal: the request is finished; report the outcome.
+			if redrew {
+				fmt.Fprintln(c.out)
+			}
+			fmt.Fprintf(c.out, "done: outcome=%s events=%d drops=%d elapsed=%s\n",
+				e.Phase, st.events, st.drops, time.Since(st.start).Round(time.Millisecond))
+			return nil
+		}
+		st.fold(e)
+		progress := e.Kind == obs.BBIncumbent || e.Kind == obs.BBGap ||
+			e.Kind == obs.BBBound || e.Kind == obs.StreamGap
+		if plain {
+			if progress {
+				fmt.Fprintf(c.out, "%s (%s)\n", st.line(id), e.Kind)
+			}
+		} else {
+			// Redraw in place; \r keeps it to one terminal line.
+			fmt.Fprintf(c.out, "\r\x1b[2K%s", st.line(id))
+			redrew = true
+		}
+		name, data = "", ""
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("stream read: %w", err)
+	}
+	if redrew {
+		fmt.Fprintln(c.out)
+	}
+	return fmt.Errorf("stream ended without a terminal event (server shutdown?)")
+}

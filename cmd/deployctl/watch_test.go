@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"nocdeploy/internal/service"
+)
+
+// TestWatchStreamParsing drives watchStream with a canned SSE stream and
+// checks the convergence fold: incumbent/bound/gap tracked, stream.gap
+// drops surfaced, terminal line carries the outcome.
+func TestWatchStreamParsing(t *testing.T) {
+	stream := strings.Join([]string{
+		": hb",
+		"",
+		"id: 3",
+		"event: bb.incumbent",
+		`data: {"seq":3,"t":0.01,"kind":"bb.incumbent","obj":12.5}`,
+		"",
+		"event: stream.gap",
+		`data: {"kind":"stream.gap","node":7}`,
+		"",
+		"id: 9",
+		"event: bb.gap",
+		`data: {"seq":9,"t":0.02,"kind":"bb.gap","obj":12.5,"bound":11.0,"gap":0.12}`,
+		"",
+		"event: solve.done",
+		`data: {"kind":"solve.done","label":"request","phase":"cancelled","dur":0.4}`,
+		"",
+	}, "\n") + "\n"
+
+	var out bytes.Buffer
+	c := &client{base: "http://unused", out: &out}
+	err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true)
+	if err != nil {
+		t.Fatalf("watchStream: %v", err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("plain watch printed %d lines, want 3 updates + done:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "inc=12.5") || !strings.Contains(lines[0], "(bb.incumbent)") {
+		t.Errorf("incumbent update line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "drops=7") {
+		t.Errorf("stream.gap update line %q does not show drops", lines[1])
+	}
+	if !strings.Contains(lines[2], "bound=11") || !strings.Contains(lines[2], "gap=12.00%") {
+		t.Errorf("bb.gap update line = %q", lines[2])
+	}
+	done := lines[3]
+	if !strings.HasPrefix(done, "done: outcome=cancelled") || !strings.Contains(done, "drops=7") {
+		t.Errorf("terminal line = %q", done)
+	}
+}
+
+// TestWatchStreamWithoutTerminal: a stream that just stops (server went
+// away) is an error, not a silent success.
+func TestWatchStreamWithoutTerminal(t *testing.T) {
+	stream := "event: bb.incumbent\ndata: {\"kind\":\"bb.incumbent\",\"obj\":1}\n\n"
+	var out bytes.Buffer
+	c := &client{base: "http://unused", out: &out}
+	err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true)
+	if err == nil || !strings.Contains(err.Error(), "without a terminal") {
+		t.Fatalf("err = %v, want terminal-missing error", err)
+	}
+}
+
+// TestWatchEndToEnd: watch an async job against a real service. The tiny
+// instance finishes quickly, so this mostly exercises the late-join path:
+// replayed prefix, then the terminal synthesized from req.done.
+func TestWatchEndToEnd(t *testing.T) {
+	c, out, stop := startServer(t)
+	defer stop()
+
+	path := writeInstanceFile(t)
+	if err := cmdSolve(c, []string{"-in", path, "-solver", "optimal", "-async"}); err != nil {
+		t.Fatal(err)
+	}
+	var job service.Job
+	if err := json.Unmarshal(out.Bytes(), &job); err != nil {
+		t.Fatalf("async solve output not a job: %v", err)
+	}
+	out.Reset()
+
+	if err := cmdWatch(c, []string{"-plain", job.ID}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "done: outcome=") {
+		t.Fatalf("watch output has no terminal line:\n%s", got)
+	}
+	if !strings.Contains(got, "inc=") {
+		t.Fatalf("watch output has no convergence update:\n%s", got)
+	}
+
+	if err := cmdWatch(c, []string{"-plain", "job-999"}); err == nil {
+		t.Fatal("watching an unknown job succeeded")
+	}
+}

@@ -7,6 +7,7 @@
 //	nocdeployd [-addr HOST:PORT] [-addr-file FILE] [-workers N] [-queue N]
 //	           [-cache-size N] [-max-jobs N] [-default-timeout D]
 //	           [-max-timeout D] [-drain-grace D] [-trace-buffer N]
+//	           [-stream-buffer N] [-heartbeat D] [-flight-recorder N]
 //	           [-access-log FILE] [-debug-addr HOST:PORT]
 //
 // The daemon answers POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and
@@ -14,7 +15,12 @@
 // or ?format=prom); cmd/deployctl is the matching client. Every request
 // is tagged with an X-Request-ID whose trace slice is retained in a ring
 // buffer of -trace-buffer events and served at
-// GET /v1/requests/{id}/trace. -access-log writes one JSON line per
+// GET /v1/requests/{id}/trace, and streamed live over SSE at
+// GET /v1/requests/{id}/events and GET /v1/jobs/{id}/events
+// (deployctl watch is the matching consumer). -stream-buffer bounds each
+// SSE subscriber's drop-oldest buffer, -heartbeat sets the idle keepalive
+// interval, and -flight-recorder caps the trailing trace events attached
+// to failed or cancelled job records. -access-log writes one JSON line per
 // request ("-" for stderr); -debug-addr starts a second listener serving
 // net/http/pprof, kept off the public API surface on purpose.
 //
@@ -56,6 +62,9 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", time.Hour, "clamp on per-request timeouts")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "shutdown grace for in-flight HTTP requests")
 		traceBuffer = flag.Int("trace-buffer", 4096, "trace events retained for /v1/requests/{id}/trace (0 disables tracing)")
+		streamBuf   = flag.Int("stream-buffer", 256, "per-subscriber SSE event buffer (drop-oldest when full)")
+		heartbeat   = flag.Duration("heartbeat", 15*time.Second, "SSE idle heartbeat interval")
+		flightRec   = flag.Int("flight-recorder", 64, "trailing trace events kept on failed/cancelled jobs (0 disables)")
 		accessLog   = flag.String("access-log", "", "structured access log destination (- for stderr, empty disables)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
@@ -75,6 +84,10 @@ func main() {
 	if tb <= 0 {
 		tb = -1
 	}
+	fr := *flightRec
+	if fr <= 0 {
+		fr = -1
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -84,6 +97,9 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		Metrics:        obs.NewMetrics(),
 		TraceBuffer:    tb,
+		StreamBuffer:   *streamBuf,
+		Heartbeat:      *heartbeat,
+		FlightRecorder: fr,
 		AccessLog:      alog,
 	})
 

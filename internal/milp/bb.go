@@ -150,11 +150,19 @@ func (r *Result) Gap() float64 {
 	if r.X == nil {
 		return math.Inf(1)
 	}
-	denom := math.Abs(r.Obj)
+	return relGap(r.Obj, r.Bound)
+}
+
+// relGap is the shared relative-gap formula: (incumbent − bound)/|incumbent|
+// with the denominator floored and the result clamped at zero (open nodes
+// whose bounds all exceed the incumbent mean optimality is proven, not a
+// negative gap).
+func relGap(obj, bound float64) float64 {
+	denom := math.Abs(obj)
 	if denom < 1e-12 {
 		denom = 1e-12
 	}
-	g := (r.Obj - r.Bound) / denom
+	g := (obj - bound) / denom
 	if g < 0 {
 		g = 0
 	}
@@ -347,6 +355,23 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 		return (incumbent-bestBound())/denom <= opts.RelGap
 	}
 
+	// emitGap publishes the convergence state — incumbent, best open
+	// bound, relative gap — as one bb.gap event whenever both sides are
+	// known: the first-class series live-streaming clients consume.
+	// Called at incumbent acceptances and bound improvements, right after
+	// the corresponding bb.incumbent / bb.bound event.
+	emitGap := func() {
+		if !tr.Enabled() || res.X == nil {
+			return
+		}
+		b := bestBound()
+		if math.IsInf(b, 0) {
+			return
+		}
+		boundM := b + m.objConst
+		tr.Emit(obs.Event{Kind: obs.BBGap, Obj: res.Obj, Bound: boundM, Gap: relGap(res.Obj, boundM), Node: res.Nodes})
+	}
+
 	// Hybrid search: nodes are drawn best-bound-first from the queue, but
 	// after branching we plunge depth-first into the cheaper child (the
 	// other child is queued). Plunging finds integral incumbents early;
@@ -370,6 +395,7 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 			if b := bestBound(); !math.IsInf(b, 0) && b > lastBound {
 				lastBound = b
 				tr.Emit(obs.Event{Kind: obs.BBBound, Bound: b + m.objConst, Node: res.Nodes})
+				emitGap()
 			}
 		}
 		nd := heap.Pop(pq).(*node)
@@ -417,6 +443,10 @@ func (m *Model) solveSerial(opts SolveOptions) (*Result, error) {
 					res.Incumbents = append(res.Incumbents, Incumbent{T: opts.now().Sub(startT), Obj: res.Obj, Nodes: res.Nodes})
 					if tr.Enabled() {
 						tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: res.Obj, Node: res.Nodes})
+						// The plunge node is consumed (an integral leaf), so
+						// the open frontier is exactly the queue: bestBound()
+						// is the true global dual bound here.
+						emitGap()
 					}
 				}
 				break

@@ -293,7 +293,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					return
 				}
 				gotInc, pruned := false, false
-				var incObjModel float64
+				var incObjModel, gapBoundM, gapRel float64
 				if sol.Status == lp.Optimal && !numeric.GeqTol(sol.Obj, s.incObj, 1e-9) {
 					if j := m.fractionalVar(sol.X, opts.IntTol); j < 0 {
 						// Integral: new incumbent (mutex-guarded, atomic
@@ -304,6 +304,11 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 							gotInc = true
 							incObjModel = sol.Obj + m.objConst
 							s.incumbents = append(s.incumbents, Incumbent{T: opts.now().Sub(startT), Obj: incObjModel, Nodes: nodeCount})
+							// Snapshot the convergence state under the lock
+							// (bestBound walks the queue and in-flight nodes)
+							// for the bb.gap event emitted after unlock.
+							gapBoundM = s.bestBound() + m.objConst
+							gapRel = relGap(incObjModel, gapBoundM)
 						}
 					} else {
 						floorV := math.Floor(sol.X[j])
@@ -342,6 +347,7 @@ func (m *Model) solveParallel(opts SolveOptions, workers int) (*Result, error) {
 					tr.Emit(e)
 					if gotInc {
 						tr.Emit(obs.Event{Kind: obs.BBIncumbent, Obj: incObjModel, Node: nodeCount, Worker: id + 1})
+						tr.Emit(obs.Event{Kind: obs.BBGap, Obj: incObjModel, Bound: gapBoundM, Gap: gapRel, Node: nodeCount, Worker: id + 1})
 					}
 					if pruned {
 						tr.Emit(obs.Event{Kind: obs.BBPrune, Node: nodeCount, Depth: nd.depth, Worker: id + 1})

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collect drains sub until io.EOF, returning everything read.
+func collect(t *testing.T, sub *Subscription) []Event {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	var got []Event
+	for {
+		e, err := sub.Next(ctx)
+		if errors.Is(err, io.EOF) {
+			return got
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		got = append(got, e)
+	}
+}
+
+func TestBroadcastFanOut(t *testing.T) {
+	b := NewBroadcastSink()
+	all := b.Subscribe(SubscribeOptions{})
+	only7 := b.Subscribe(SubscribeOptions{Req: "req-7"})
+	incOnly := b.Subscribe(SubscribeOptions{Kinds: []Kind{BBIncumbent}})
+
+	if got := b.Subscribers(); got != 3 {
+		t.Fatalf("Subscribers() = %d, want 3", got)
+	}
+	b.Write(Event{Kind: BBNode, Req: "req-7", Node: 1})
+	b.Write(Event{Kind: BBIncumbent, Req: "req-8", Obj: 5})
+	b.Write(Event{Kind: BBIncumbent, Req: "req-7", Obj: 4})
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	if got := collect(t, all); len(got) != 3 {
+		t.Errorf("unfiltered subscriber got %d events, want 3", len(got))
+	}
+	got7 := collect(t, only7)
+	if len(got7) != 2 {
+		t.Fatalf("req-filtered subscriber got %d events, want 2", len(got7))
+	}
+	for _, e := range got7 {
+		if e.Req != "req-7" {
+			t.Errorf("req filter leaked event for %q", e.Req)
+		}
+	}
+	gotInc := collect(t, incOnly)
+	if len(gotInc) != 2 {
+		t.Fatalf("kind-filtered subscriber got %d events, want 2", len(gotInc))
+	}
+	for _, e := range gotInc {
+		if e.Kind != BBIncumbent {
+			t.Errorf("kind filter leaked %q", e.Kind)
+		}
+	}
+}
+
+// TestBroadcastStalledSubscriberNeverBlocks is the backpressure contract:
+// a subscriber that never reads must not delay Write. The writer pushes
+// far more events than the buffer holds from the test goroutine — if any
+// Write could block on the stalled subscriber, the test would deadlock
+// and time out. Afterwards the drop accounting must be exact and the
+// subscriber's first read must be the in-band gap marker.
+func TestBroadcastStalledSubscriberNeverBlocks(t *testing.T) {
+	const buffer, writes = 8, 1000
+	b := NewBroadcastSink()
+	sub := b.Subscribe(SubscribeOptions{Buffer: buffer})
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < writes; i++ {
+			b.Write(Event{Kind: BBNode, Node: i, Seq: int64(i + 1)})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("writer blocked on a stalled subscriber")
+	}
+
+	wantDropped := int64(writes - buffer)
+	if got := sub.Dropped(); got != wantDropped {
+		t.Errorf("sub.Dropped() = %d, want %d", got, wantDropped)
+	}
+	if got := b.Dropped(); got != wantDropped {
+		t.Errorf("sink.Dropped() = %d, want %d", got, wantDropped)
+	}
+
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := collect(t, sub)
+	if len(got) != buffer+1 {
+		t.Fatalf("drained %d events, want %d (gap marker + buffer)", len(got), buffer+1)
+	}
+	gap := got[0]
+	if gap.Kind != StreamGap || int64(gap.Node) != wantDropped {
+		t.Fatalf("first read = %+v, want StreamGap with Node=%d", gap, wantDropped)
+	}
+	// Drop-oldest: the survivors are exactly the newest `buffer` events,
+	// in order.
+	for i, e := range got[1:] {
+		if want := writes - buffer + i; e.Node != want {
+			t.Errorf("survivor[%d].Node = %d, want %d", i, e.Node, want)
+		}
+	}
+}
+
+func TestBroadcastGapMarkerPrecedesSurvivors(t *testing.T) {
+	b := NewBroadcastSink()
+	sub := b.Subscribe(SubscribeOptions{Buffer: 2, Req: "r"})
+	for i := 1; i <= 5; i++ {
+		b.Write(Event{Kind: BBNode, Req: "r", Node: i})
+	}
+	ctx := context.Background()
+	e, err := sub.Next(ctx)
+	if err != nil || e.Kind != StreamGap || e.Node != 3 || e.Req != "r" {
+		t.Fatalf("first read = %+v, %v; want StreamGap Node=3 Req=r", e, err)
+	}
+	for want := 4; want <= 5; want++ {
+		e, err = sub.Next(ctx)
+		if err != nil || e.Node != want {
+			t.Fatalf("read = %+v, %v; want Node=%d", e, err, want)
+		}
+	}
+	sub.Close()
+	if _, err := sub.Next(ctx); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next after Close = %v, want io.EOF", err)
+	}
+}
+
+func TestBroadcastSubscriptionClose(t *testing.T) {
+	b := NewBroadcastSink()
+	sub := b.Subscribe(SubscribeOptions{})
+	b.Write(Event{Kind: BBNode, Node: 1})
+	sub.Close()
+	sub.Close() // idempotent
+	if got := b.Subscribers(); got != 0 {
+		t.Fatalf("Subscribers() after sub.Close = %d, want 0", got)
+	}
+	// Buffered remainder still drains before EOF.
+	if got := collect(t, sub); len(got) != 1 || got[0].Node != 1 {
+		t.Fatalf("drained %+v, want the one buffered event", got)
+	}
+	// Writes after detach are discarded, not delivered and not counted.
+	b.Write(Event{Kind: BBNode, Node: 2})
+	if got := b.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0", got)
+	}
+}
+
+func TestBroadcastSubscribeAfterClose(t *testing.T) {
+	b := NewBroadcastSink()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	sub := b.Subscribe(SubscribeOptions{})
+	if _, err := sub.Next(context.Background()); !errors.Is(err, io.EOF) {
+		t.Fatalf("Next on post-close subscription = %v, want io.EOF", err)
+	}
+}
+
+func TestBroadcastNextContextCancel(t *testing.T) {
+	b := NewBroadcastSink()
+	sub := b.Subscribe(SubscribeOptions{})
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := sub.Next(ctx)
+		errc <- err
+	}()
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Next = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Next did not observe cancellation")
+	}
+}
+
+// TestBroadcastConcurrentChurn exercises attach/detach/read racing a
+// writer and a late sink Close — primarily a race-detector target.
+func TestBroadcastConcurrentChurn(t *testing.T) {
+	b := NewBroadcastSink()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+				b.Write(Event{Kind: BBNode, Node: i})
+			}
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				sub := b.Subscribe(SubscribeOptions{Buffer: 4})
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+				for {
+					if _, err := sub.Next(ctx); err != nil {
+						break
+					}
+				}
+				cancel()
+				sub.Close()
+			}
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}

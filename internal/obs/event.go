@@ -26,6 +26,14 @@ const (
 	// BBPrune: a subproblem was discarded against the incumbent before or
 	// after its LP solve. Depth/Bound describe the pruned node.
 	BBPrune Kind = "bb.prune"
+	// BBGap: the convergence state changed — a new incumbent was accepted
+	// or the global dual bound tightened while an incumbent exists. Obj is
+	// the incumbent objective, Bound the best proven bound (both model
+	// scale) and Gap the relative optimality gap, all at the same instant,
+	// so the event stream carries the convergence trajectory as a
+	// first-class series (the substrate of live solve streaming: a client
+	// can decide "good enough" from any single bb.gap event).
+	BBGap Kind = "bb.gap"
 
 	// LPSolve: one simplex solve finished. Iters is the total iteration
 	// count, ItersP1 the phase-1 share, Phase the lp.Status string.
@@ -74,6 +82,14 @@ const (
 	// "coalesced", "cancelled", "rejected", "error"), Dur the end-to-end
 	// service time in seconds.
 	ReqDone Kind = "req.done"
+
+	// StreamGap: an in-band drop marker synthesized by a BroadcastSink
+	// subscription, never emitted through a Trace. A slow subscriber whose
+	// bounded buffer overflowed sees exactly one StreamGap in place of the
+	// evicted events; Node is how many events were dropped since the
+	// previous marker. Seq is zero — the marker is not part of the trace's
+	// total order, it documents a hole in this subscriber's view of it.
+	StreamGap Kind = "stream.gap"
 )
 
 // Event is one observation. The zero value of every optional field is
@@ -92,6 +108,7 @@ type Event struct {
 	Depth   int     `json:"depth,omitempty"`
 	Obj     float64 `json:"obj,omitempty"`
 	Bound   float64 `json:"bound,omitempty"`
+	Gap     float64 `json:"gap,omitempty"` // relative optimality gap (bb.gap)
 	Iters   int     `json:"iters,omitempty"`
 	ItersP1 int     `json:"itersP1,omitempty"`
 	Dur     float64 `json:"dur,omitempty"` // seconds

@@ -1,0 +1,88 @@
+package obs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+// TestRingSinkOccupancyExact pins the occupancy accounting the service's
+// trace.ring_events gauge copies out: exact at empty, partial, full, and
+// steady-state overflow.
+func TestRingSinkOccupancyExact(t *testing.T) {
+	const capacity = 4
+	ring := obs.NewRingSink(capacity)
+	if got := ring.Len(); got != 0 {
+		t.Fatalf("empty ring Len = %d, want 0", got)
+	}
+	if got := ring.Dropped(); got != 0 {
+		t.Fatalf("empty ring Dropped = %d, want 0", got)
+	}
+	for i := 1; i <= capacity-1; i++ {
+		ring.Write(obs.Event{Kind: obs.BBNode, Seq: int64(i)})
+		if got := ring.Len(); got != i {
+			t.Fatalf("after %d writes Len = %d, want %d", i, got, i)
+		}
+	}
+	ring.Write(obs.Event{Kind: obs.BBNode, Seq: capacity})
+	if got := ring.Len(); got != capacity {
+		t.Fatalf("full ring Len = %d, want %d", got, capacity)
+	}
+	// Overflow: occupancy pins at capacity, drops count the rest exactly.
+	for i := capacity + 1; i <= 3*capacity; i++ {
+		ring.Write(obs.Event{Kind: obs.BBNode, Seq: int64(i)})
+		if got := ring.Len(); got != capacity {
+			t.Fatalf("after overflow write %d Len = %d, want %d", i, got, capacity)
+		}
+	}
+	if got := ring.Dropped(); got != 2*capacity {
+		t.Fatalf("Dropped = %d, want %d", got, 2*capacity)
+	}
+}
+
+// TestRingSinkForRequestAcrossWraparound interleaves two requests through
+// several full wraps of the ring and checks ForRequest returns exactly
+// the retained slice of one request — oldest first, eviction respected,
+// no leakage from the other request.
+func TestRingSinkForRequestAcrossWraparound(t *testing.T) {
+	const capacity, writes = 5, 23
+	ring := obs.NewRingSink(capacity)
+	req := func(i int) string { return fmt.Sprintf("r%d", i%2) }
+	for i := 1; i <= writes; i++ {
+		ring.Write(obs.Event{Kind: obs.BBNode, Seq: int64(i), Node: i, Req: req(i)})
+	}
+	// Retained window is the last `capacity` writes.
+	first := writes - capacity + 1
+	for _, id := range []string{"r0", "r1"} {
+		var want []int
+		for i := first; i <= writes; i++ {
+			if req(i) == id {
+				want = append(want, i)
+			}
+		}
+		got := ring.ForRequest(id)
+		if len(got) != len(want) {
+			t.Fatalf("ForRequest(%s) returned %d events, want %d", id, len(got), len(want))
+		}
+		for j, e := range got {
+			if e.Node != want[j] || e.Req != id {
+				t.Errorf("ForRequest(%s)[%d] = Node %d Req %s, want Node %d", id, j, e.Node, e.Req, want[j])
+			}
+			if j > 0 && e.Seq <= got[j-1].Seq {
+				t.Errorf("ForRequest(%s) not oldest-first at %d", id, j)
+			}
+		}
+	}
+	if got := ring.ForRequest("r9"); len(got) != 0 {
+		t.Fatalf("unknown request returned %d events", len(got))
+	}
+	// A request whose events all predate the retained window slices empty.
+	ring2 := obs.NewRingSink(2)
+	ring2.Write(obs.Event{Seq: 1, Req: "old"})
+	ring2.Write(obs.Event{Seq: 2, Req: "new"})
+	ring2.Write(obs.Event{Seq: 3, Req: "new"})
+	if got := ring2.ForRequest("old"); len(got) != 0 {
+		t.Fatalf("evicted request still returned %d events", len(got))
+	}
+}

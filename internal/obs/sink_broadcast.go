@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// BroadcastSink fans the event stream out to dynamically attached
+// subscribers — the live half of the deployment service's streaming
+// endpoints (the RingSink is the replay half). Its contract is shaped by
+// the no-perturbation rule: Write is called under the owning Trace's
+// mutex, on the solver's critical path, so it must never block no matter
+// how slow a subscriber drains. Each subscription therefore owns a
+// bounded ring; when a subscriber falls behind, the oldest undelivered
+// events are dropped (never the writer delayed), the drop is counted, and
+// the subscriber's next read is an in-band StreamGap marker carrying the
+// count — a consumer always knows its view has a hole, and exactly how
+// big.
+//
+// Subscriptions can filter by request ID and event kind, so an SSE
+// handler streaming one request's solve does not pay for every other
+// solve on the daemon.
+type BroadcastSink struct {
+	mu      sync.Mutex
+	subs    []*Subscription // copy-on-write: Write iterates a snapshot
+	closed  bool
+	dropped atomic.Int64 // total events dropped across all subscribers
+}
+
+// NewBroadcastSink returns an empty fan-out; it is a valid Sink
+// immediately (events with no subscribers are discarded).
+func NewBroadcastSink() *BroadcastSink {
+	return &BroadcastSink{}
+}
+
+// SubscribeOptions filter and size one subscription.
+type SubscribeOptions struct {
+	// Req, when non-empty, delivers only events carrying this request ID.
+	Req string
+	// Kinds, when non-empty, delivers only these event kinds.
+	Kinds []Kind
+	// Buffer is the subscription's ring capacity — the maximum number of
+	// undelivered events held before drop-oldest kicks in. ≤0 means 256.
+	Buffer int
+}
+
+// Subscribe attaches a new subscriber. On a closed sink the returned
+// subscription is already closed (Next returns io.EOF).
+func (b *BroadcastSink) Subscribe(opts SubscribeOptions) *Subscription {
+	capacity := opts.Buffer
+	if capacity <= 0 {
+		capacity = 256
+	}
+	sub := &Subscription{
+		b:      b,
+		req:    opts.Req,
+		buf:    make([]Event, capacity),
+		notify: make(chan struct{}, 1),
+	}
+	if len(opts.Kinds) > 0 {
+		sub.kinds = make(map[Kind]bool, len(opts.Kinds))
+		for _, k := range opts.Kinds {
+			sub.kinds[k] = true
+		}
+	}
+	b.mu.Lock()
+	if b.closed {
+		sub.closed = true
+	} else {
+		subs := make([]*Subscription, len(b.subs)+1)
+		copy(subs, b.subs)
+		subs[len(b.subs)] = sub
+		b.subs = subs
+	}
+	b.mu.Unlock()
+	return sub
+}
+
+// remove detaches sub, rebuilding the subscriber slice so a concurrent
+// Write iterating the old snapshot stays valid.
+func (b *BroadcastSink) remove(sub *Subscription) {
+	b.mu.Lock()
+	for i, s := range b.subs {
+		if s == sub {
+			subs := make([]*Subscription, 0, len(b.subs)-1)
+			subs = append(subs, b.subs[:i]...)
+			subs = append(subs, b.subs[i+1:]...)
+			b.subs = subs
+			break
+		}
+	}
+	b.mu.Unlock()
+}
+
+// Write offers e to every matching subscriber. Never blocks: a full
+// subscription drops its oldest buffered event instead.
+func (b *BroadcastSink) Write(e Event) {
+	b.mu.Lock()
+	subs := b.subs
+	b.mu.Unlock()
+	for _, sub := range subs {
+		sub.offer(e)
+	}
+}
+
+// Close detaches and closes every subscription (their Next drains the
+// buffered remainder, then returns io.EOF). Idempotent and safe
+// concurrent with Write.
+func (b *BroadcastSink) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	subs := b.subs
+	b.subs = nil
+	b.mu.Unlock()
+	for _, sub := range subs {
+		sub.markClosed()
+	}
+	return nil
+}
+
+// Dropped reports the total events dropped across all subscriptions since
+// construction, including already-closed ones — the stream.dropped
+// metric.
+func (b *BroadcastSink) Dropped() int64 { return b.dropped.Load() }
+
+// Subscribers reports the currently attached subscription count.
+func (b *BroadcastSink) Subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Subscription is one subscriber's bounded, drop-oldest view of the
+// stream. Produced by BroadcastSink.Write (under the trace mutex),
+// consumed by exactly one reader via Next.
+type Subscription struct {
+	b     *BroadcastSink
+	req   string
+	kinds map[Kind]bool
+
+	mu      sync.Mutex
+	buf     []Event // ring
+	start   int
+	n       int
+	dropped int64 // lifetime drops, for accounting
+	pending int64 // drops not yet surfaced as a StreamGap marker
+	closed  bool
+
+	notify chan struct{} // capacity 1: "buffer may be non-empty"
+}
+
+// offer appends e if it passes the filters, dropping the oldest buffered
+// event when full. Never blocks.
+func (sub *Subscription) offer(e Event) {
+	if sub.req != "" && e.Req != sub.req {
+		return
+	}
+	if sub.kinds != nil && !sub.kinds[e.Kind] {
+		return
+	}
+	sub.mu.Lock()
+	if sub.closed {
+		sub.mu.Unlock()
+		return
+	}
+	if sub.n == len(sub.buf) {
+		sub.start = (sub.start + 1) % len(sub.buf)
+		sub.n--
+		sub.dropped++
+		sub.pending++
+		sub.b.dropped.Add(1)
+	}
+	sub.buf[(sub.start+sub.n)%len(sub.buf)] = e
+	sub.n++
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}
+
+// Next blocks until an event is available and returns it. When events
+// were dropped since the last read, the first return is a synthesized
+// StreamGap marker (Node = drop count) so the hole is visible in-band,
+// before the events that survived it. Returns io.EOF once the
+// subscription is closed and drained, or ctx.Err() on cancellation.
+func (sub *Subscription) Next(ctx context.Context) (Event, error) {
+	for {
+		sub.mu.Lock()
+		if sub.pending > 0 {
+			gap := Event{Kind: StreamGap, Req: sub.req, Node: int(sub.pending)}
+			sub.pending = 0
+			sub.mu.Unlock()
+			return gap, nil
+		}
+		if sub.n > 0 {
+			e := sub.buf[sub.start]
+			sub.start = (sub.start + 1) % len(sub.buf)
+			sub.n--
+			sub.mu.Unlock()
+			return e, nil
+		}
+		closed := sub.closed
+		sub.mu.Unlock()
+		if closed {
+			return Event{}, io.EOF
+		}
+		select {
+		case <-ctx.Done():
+			return Event{}, ctx.Err()
+		case <-sub.notify:
+		}
+	}
+}
+
+// Dropped reports how many events this subscription has dropped.
+func (sub *Subscription) Dropped() int64 {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.dropped
+}
+
+// Close detaches the subscription from the sink and wakes a blocked Next
+// (which drains the buffered remainder before reporting io.EOF).
+// Idempotent.
+func (sub *Subscription) Close() {
+	sub.b.remove(sub)
+	sub.markClosed()
+}
+
+func (sub *Subscription) markClosed() {
+	sub.mu.Lock()
+	sub.closed = true
+	sub.mu.Unlock()
+	select {
+	case sub.notify <- struct{}{}:
+	default:
+	}
+}

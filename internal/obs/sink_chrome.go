@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // Chrome trace_event pids: solver events (branch & bound, heuristic
@@ -34,12 +35,16 @@ type chromeEvent struct {
 // worker's track; incumbent and bound updates become counter tracks;
 // branch & bound nodes become thread-scoped instants, so a parallel solve
 // reads as a flame view with one row per worker. Close terminates the
-// array, making the file a complete, valid JSON document.
+// array, making the file a complete, valid JSON document; it is
+// idempotent (the array is only ever terminated once) and safe
+// concurrent with Write.
 type ChromeSink struct {
-	w     io.Writer
-	buf   *bufio.Writer
-	wrote bool
-	err   error
+	mu     sync.Mutex
+	w      io.Writer
+	buf    *bufio.Writer
+	wrote  bool
+	closed bool
+	err    error
 }
 
 // NewChromeSink wraps w and emits process-name metadata immediately. The
@@ -74,8 +79,14 @@ func (s *ChromeSink) entry(ce chromeEvent) {
 	_, s.err = s.buf.Write(data)
 }
 
-// Write translates one solver event into zero or more trace_event entries.
+// Write translates one solver event into zero or more trace_event
+// entries. Writes after Close are discarded.
 func (s *ChromeSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	ts := e.T * 1e6
 	switch e.Kind {
 	case SolveStart:
@@ -113,8 +124,14 @@ func (s *ChromeSink) Write(e Event) {
 }
 
 // Close terminates the JSON array, flushes, and closes a closable
-// destination.
+// destination. Subsequent calls return the first call's result.
 func (s *ChromeSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	if s.err == nil {
 		_, s.err = s.buf.WriteString("]\n")
 	}

@@ -6,17 +6,22 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // JSONLSink writes one JSON object per event, newline-delimited — the
 // archival trace format. Every line round-trips through encoding/json back
 // into an Event. Output is buffered; Close flushes and, when the
-// destination is an io.Closer, closes it.
+// destination is an io.Closer, closes it. Close is idempotent (it
+// remembers its first result) and safe concurrent with Write: a write
+// racing the close is either flushed or cleanly discarded, never torn.
 type JSONLSink struct {
-	w   io.Writer
-	buf *bufio.Writer
-	enc *json.Encoder
-	err error // first write error, surfaced by Close
+	mu     sync.Mutex
+	w      io.Writer
+	buf    *bufio.Writer
+	enc    *json.Encoder
+	err    error // first write error, surfaced by Close
+	closed bool
 }
 
 // NewJSONLSink wraps w. The caller keeps ownership of w unless it
@@ -27,16 +32,26 @@ func NewJSONLSink(w io.Writer) *JSONLSink {
 }
 
 // Write encodes e as one line. Errors are sticky and reported by Close so
-// emission sites stay error-free.
+// emission sites stay error-free. Writes after Close are discarded.
 func (s *JSONLSink) Write(e Event) {
-	if s.err != nil {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil || s.closed {
 		return
 	}
 	s.err = s.enc.Encode(e)
 }
 
 // Close flushes the buffer and closes the destination if it is closable.
+// Subsequent calls return the first call's result without re-closing the
+// destination.
 func (s *JSONLSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	flushErr := s.buf.Flush()
 	if s.err == nil {
 		s.err = flushErr

@@ -1,7 +1,5 @@
 package obs
 
-import "math"
-
 // MetricsSink aggregates the event stream into a Metrics registry — the
 // canonical solver metrics: node throughput, incumbent trajectory, bound
 // gap over time, simplex work, pool occupancy. It needs no locking of its
@@ -10,17 +8,13 @@ import "math"
 type MetricsSink struct {
 	m *Metrics
 
-	active    int // running pool tasks
-	incumbent float64
-	bound     float64
-	haveInc   bool
-	haveBound bool
+	active int // running pool tasks
 }
 
 // NewMetricsSink aggregates into m (which the caller typically snapshots
 // after the run, or periodically during it).
 func NewMetricsSink(m *Metrics) *MetricsSink {
-	return &MetricsSink{m: m, incumbent: math.Inf(1), bound: math.Inf(-1)}
+	return &MetricsSink{m: m}
 }
 
 // Metrics returns the backing registry.
@@ -37,13 +31,15 @@ func (s *MetricsSink) Write(e Event) {
 		s.m.Add("bb.incumbents", 1)
 		s.m.Set("bb.incumbent", e.Obj)
 		s.m.Append("bb.incumbent", e.T, e.Obj)
-		s.incumbent, s.haveInc = e.Obj, true
-		s.gapPoint(e.T)
 	case BBBound:
 		s.m.Set("bb.bound", e.Bound)
 		s.m.Append("bb.bound", e.T, e.Bound)
-		s.bound, s.haveBound = e.Bound, true
-		s.gapPoint(e.T)
+	case BBGap:
+		// The solver emits the gap as a first-class event whenever
+		// incumbent and bound are simultaneously known, so the sink no
+		// longer reconstructs it from the two half-series.
+		s.m.Set("bb.gap", e.Gap)
+		s.m.Append("bb.gap", e.T, e.Gap)
 	case BBPrune:
 		s.m.Add("bb.pruned", 1)
 	case LPSolve:
@@ -80,24 +76,6 @@ func (s *MetricsSink) Write(e Event) {
 			s.m.Add("pool.errors", 1)
 		}
 	}
-}
-
-// gapPoint appends the relative optimality gap whenever both sides are
-// known (matching milp.Result.Gap's definition).
-func (s *MetricsSink) gapPoint(t float64) {
-	if !s.haveInc || !s.haveBound {
-		return
-	}
-	denom := math.Abs(s.incumbent)
-	if denom < 1e-12 {
-		denom = 1e-12
-	}
-	gap := (s.incumbent - s.bound) / denom
-	if gap < 0 {
-		gap = 0
-	}
-	s.m.Set("bb.gap", gap)
-	s.m.Append("bb.gap", t, gap)
 }
 
 // Close is a no-op; the registry outlives the trace.

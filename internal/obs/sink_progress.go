@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -13,6 +14,7 @@ import (
 // starts, solve begin/end) and at most once per interval otherwise,
 // throttled by event time so a fake-clock trace renders deterministically.
 type ProgressSink struct {
+	mu       sync.Mutex
 	w        io.Writer
 	interval float64 // seconds of event time between periodic lines
 
@@ -20,6 +22,7 @@ type ProgressSink struct {
 	incumbent float64
 	bound     float64
 	lastPrint float64
+	closed    bool
 	err       error
 }
 
@@ -60,7 +63,13 @@ func (s *ProgressSink) line(t float64) {
 }
 
 // Write updates the tracked state and decides whether a line is due.
+// Writes after Close are discarded.
 func (s *ProgressSink) Write(e Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
 	switch e.Kind {
 	case SolveStart:
 		s.printf("progress: %s started\n", e.Label)
@@ -90,8 +99,15 @@ func (s *ProgressSink) Write(e Event) {
 	}
 }
 
-// Close prints a final summary line.
+// Close prints a final summary line. Idempotent: the summary is printed
+// at most once, and subsequent calls return the first call's result.
 func (s *ProgressSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return s.err
+	}
+	s.closed = true
 	if s.nodes > 0 {
 		s.line(math.Max(s.lastPrint, 0))
 	}

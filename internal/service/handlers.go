@@ -16,11 +16,13 @@ import (
 
 // Handler returns the service's HTTP API:
 //
-//	POST /v1/solve                solve an instance (body: spec.Instance JSON)
-//	GET  /v1/jobs/{id}            poll an async job
-//	GET  /v1/jobs/{id}/trace      the job's per-request trace slice (JSONL)
-//	GET  /v1/requests/{id}/trace  a request's trace slice by request ID (JSONL)
-//	GET  /healthz                 liveness
+//	POST /v1/solve                 solve an instance (body: spec.Instance JSON)
+//	GET  /v1/jobs/{id}             poll an async job
+//	GET  /v1/jobs/{id}/trace       the job's per-request trace slice (JSONL)
+//	GET  /v1/jobs/{id}/events      live SSE stream of the job's solve (see stream.go)
+//	GET  /v1/requests/{id}/trace   a request's trace slice by request ID (JSONL)
+//	GET  /v1/requests/{id}/events  live SSE stream by request ID (?kinds= filter)
+//	GET  /healthz                  liveness
 //	GET  /metrics                 metrics: obs.Metrics JSON snapshot by
 //	                              default; Prometheus text exposition
 //	                              (v0.0.4) with Accept: text/plain or
@@ -43,7 +45,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/requests/{id}/trace", s.handleRequestTrace)
+	mux.HandleFunc("GET /v1/requests/{id}/events", s.handleRequestEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.observeRequests(mux)
@@ -67,6 +71,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.ResponseController reach the underlying writer's
+// Flusher through this middleware — the SSE endpoints flush per event,
+// and a wrapper that swallowed Flush would buffer the whole stream.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 // observeRequests is the request-observability middleware: it mints the
 // request ID, exposes it in X-Request-ID, threads a reqInfo through the
@@ -261,10 +270,22 @@ func (s *Service) startAsync(w http.ResponseWriter, ri *reqInfo, req SolveReques
 		if tr := s.trace.WithRequest(req.RequestID); tr.Enabled() {
 			tr.Emit(obs.Event{Kind: obs.ReqDone, Phase: classifyOutcome(outcome, res, err), Dur: elapsed.Seconds()})
 		}
+		// Flight recorder: a job that failed or got cancelled keeps its
+		// trailing trace events on the record, so the failure can be
+		// diagnosed after the ring has moved on.
+		var flight []obs.Event
+		if n := s.cfg.FlightRecorder; n > 0 && s.ring != nil &&
+			(err != nil || (res != nil && res.Cancelled)) {
+			flight = s.ring.ForRequest(req.RequestID)
+			if len(flight) > n {
+				flight = flight[len(flight)-n:]
+			}
+		}
 		now := time.Now()
 		s.jobs.update(job.ID, func(j *Job) {
 			j.Finished = &now
 			j.Cache = outcome.String()
+			j.Trace = flight
 			if err != nil {
 				j.Status = JobFailed
 				j.Error = err.Error()

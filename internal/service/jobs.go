@@ -4,6 +4,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"nocdeploy/internal/obs"
 )
 
 // Job states.
@@ -28,6 +30,10 @@ type Job struct {
 	Cache    string       `json:"cache,omitempty"`
 	Error    string       `json:"error,omitempty"`
 	Result   *SolveResult `json:"result,omitempty"`
+	// Trace is the flight recorder: the last Config.FlightRecorder trace
+	// events of the solve, attached only when the job failed or was
+	// cancelled — enough context to diagnose without re-running.
+	Trace []obs.Event `json:"trace,omitempty"`
 }
 
 func (j *Job) terminal() bool {

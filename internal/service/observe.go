@@ -14,6 +14,7 @@ package service
 import (
 	"context"
 	"errors"
+	"runtime"
 	"time"
 
 	"nocdeploy/internal/cache"
@@ -165,4 +166,20 @@ func (s *Service) refreshGauges() {
 		s.met.Set("trace.ring_events", float64(s.ring.Len()))
 		s.met.Set("trace.ring_dropped", float64(s.ring.Dropped()))
 	}
+	if s.bcast != nil {
+		s.met.Set("stream.subscribers", float64(s.bcast.Subscribers()))
+		s.met.Set("stream.dropped", float64(s.bcast.Dropped()))
+	}
+
+	// Go runtime health, so a scrape sees goroutine leaks and heap/GC
+	// pressure next to the service's own gauges. ReadMemStats is a brief
+	// stop-the-world; once per scrape is far below any rate that matters.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.met.Set("go.goroutines", float64(runtime.NumGoroutine()))
+	s.met.Set("go.gomaxprocs", float64(runtime.GOMAXPROCS(0)))
+	s.met.Set("go.heap_alloc_bytes", float64(ms.HeapAlloc))
+	s.met.Set("go.heap_sys_bytes", float64(ms.HeapSys))
+	s.met.Set("go.gc_pause_total_seconds", float64(ms.PauseTotalNs)/1e9)
+	s.met.Set("go.gc_cycles", float64(ms.NumGC))
 }

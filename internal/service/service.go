@@ -74,8 +74,18 @@ type Config struct {
 
 	// TraceBuffer sizes the in-memory event ring that backs
 	// GET /v1/requests/{id}/trace: 0 means the 4096-event default,
-	// negative disables request tracing entirely.
+	// negative disables request tracing entirely (which also disables the
+	// streaming endpoints and flight recorder — both ride the same trace).
 	TraceBuffer int
+	// StreamBuffer sizes each SSE subscriber's drop-oldest event buffer
+	// (see obs.BroadcastSink); 0 means 256.
+	StreamBuffer int
+	// Heartbeat is the idle interval between SSE comment heartbeats that
+	// keep intermediaries from timing out a quiet stream; 0 means 15s.
+	Heartbeat time.Duration
+	// FlightRecorder is how many trailing trace events are attached to a
+	// failed or cancelled async job record; 0 means 64, negative disables.
+	FlightRecorder int
 	// TraceSinks are additional sinks (JSONL files, …) fanned the same
 	// request-tagged event stream; closed by Service.Close.
 	TraceSinks []obs.Sink
@@ -99,6 +109,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.NewMetrics()
+	}
+	if c.StreamBuffer <= 0 {
+		c.StreamBuffer = 256
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = 15 * time.Second
+	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = 64
 	}
 	return c
 }
@@ -183,9 +202,10 @@ type Service struct {
 	pool   *runner.Pool
 	cache  *cache.Cache[*SolveResult]
 	jobs   *jobTable
-	trace  *obs.Trace    // root of every request-scoped child trace; may be nil
-	ring   *obs.RingSink // recent-event retention for trace endpoints; may be nil
-	alog   *accessLogger // may be nil
+	trace  *obs.Trace         // root of every request-scoped child trace; may be nil
+	ring   *obs.RingSink      // recent-event retention for trace endpoints; may be nil
+	bcast  *obs.BroadcastSink // live fan-out behind the SSE endpoints; may be nil
+	alog   *accessLogger      // may be nil
 	reqSeq atomic.Int64
 	solves atomic.Int64 // underlying solver invocations (cache misses that ran)
 	closed atomic.Bool
@@ -214,7 +234,8 @@ func New(cfg Config) *Service {
 			capacity = 4096
 		}
 		s.ring = obs.NewRingSink(capacity)
-		sinks = append(sinks, s.ring)
+		s.bcast = obs.NewBroadcastSink()
+		sinks = append(sinks, s.ring, s.bcast)
 	}
 	sinks = append(sinks, cfg.TraceSinks...)
 	if len(sinks) > 0 {

@@ -1,0 +1,229 @@
+// Live solve streaming: Server-Sent Events over the request-tagged trace
+// stream.
+//
+// GET /v1/requests/{id}/events and GET /v1/jobs/{id}/events attach an SSE
+// client to one request's solve as it runs. The handler subscribes to the
+// service's obs.BroadcastSink *first*, then replays the RingSink's
+// retained prefix (so a late joiner sees the incumbents it missed), then
+// forwards live events, deduplicating the overlap by the trace's global
+// sequence number. The subscription buffer is bounded with drop-oldest
+// semantics — a stalled client can never block the solver — and a drop
+// surfaces in-band as a stream.gap event before the events that survived
+// it. Idle streams carry comment heartbeats so intermediaries keep the
+// connection open. The stream ends with a solve.done terminal event
+// (Label "request") carrying the request's outcome.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"nocdeploy/internal/obs"
+)
+
+// handleRequestEvents streams one request's events by request ID (the
+// X-Request-ID of any earlier response). An unknown or long-evicted ID
+// yields an open stream of heartbeats — SSE clients may legitimately
+// attach before the request arrives.
+func (s *Service) handleRequestEvents(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	s.streamEvents(w, r, r.PathValue("id"), nil)
+}
+
+// handleJobEvents streams the solve behind an async job. Unlike the
+// request route, an unknown job is a hard 404, and a job that already
+// finished gets its replay prefix plus an immediate terminal event
+// synthesized from the job record.
+func (s *Service) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	s.met.Add("http.requests", 1)
+	job, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	s.streamEvents(w, r, job.Request, &job)
+}
+
+// parseKinds reads the ?kinds= filter (comma-separated event kinds).
+// req.done is always included when a filter is present: without it the
+// stream could never observe its own termination.
+func parseKinds(r *http.Request) []obs.Kind {
+	raw := r.URL.Query().Get("kinds")
+	if raw == "" {
+		return nil
+	}
+	var kinds []obs.Kind
+	sawDone := false
+	for _, k := range strings.Split(raw, ",") {
+		k = strings.TrimSpace(k)
+		if k == "" {
+			continue
+		}
+		kinds = append(kinds, obs.Kind(k))
+		if obs.Kind(k) == obs.ReqDone {
+			sawDone = true
+		}
+	}
+	if len(kinds) > 0 && !sawDone {
+		kinds = append(kinds, obs.ReqDone)
+	}
+	return kinds
+}
+
+// writeSSE emits one event as an SSE message: the trace sequence number
+// as the message id (when the event has one — synthesized stream.gap and
+// terminal events do not), the event kind as the message type, the JSON
+// encoding as the data line.
+func writeSSE(w io.Writer, e obs.Event) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if e.Seq > 0 {
+		if _, err := fmt.Fprintf(w, "id: %d\n", e.Seq); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", e.Kind, data)
+	return err
+}
+
+// jobOutcome folds a terminal job record into the outcome label of its
+// synthesized terminal event.
+func jobOutcome(j *Job) string {
+	switch {
+	case j.Status == JobFailed:
+		return OutcomeError
+	case j.Result != nil && j.Result.Cancelled:
+		return OutcomeCancelled
+	default:
+		return OutcomeOK
+	}
+}
+
+// streamEvents is the shared SSE loop. job, when non-nil, is a snapshot
+// of the async job record taken by the caller — used only to synthesize a
+// terminal event for streams that join after the solve finished and its
+// req.done event was evicted from the ring.
+func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, reqID string, job *Job) {
+	if s.bcast == nil || s.ring == nil {
+		s.writeError(w, http.StatusNotFound, errors.New("event streaming disabled (trace buffer < 0)"))
+		return
+	}
+	rc := http.NewResponseController(w)
+
+	kinds := parseKinds(r)
+	wantKind := func(k obs.Kind) bool {
+		if len(kinds) == 0 {
+			return true
+		}
+		for _, want := range kinds {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Subscribe before snapshotting the ring: every event is then either
+	// in the replay prefix or in the subscription buffer (or both — the
+	// overlap is deduplicated by sequence number below). Subscribing after
+	// would open a window where events fall between replay and live.
+	sub := s.bcast.Subscribe(obs.SubscribeOptions{
+		Req:    reqID,
+		Kinds:  kinds,
+		Buffer: s.cfg.StreamBuffer,
+	})
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+	s.met.Add(obs.Key("http.status", "code", "200"), 1)
+	w.WriteHeader(http.StatusOK)
+
+	terminal := func(outcome string, dur, t float64) {
+		_ = writeSSE(w, obs.Event{
+			Kind:  obs.SolveDone,
+			Label: "request",
+			Phase: outcome,
+			Req:   reqID,
+			T:     t,
+			Dur:   dur,
+		})
+		_ = rc.Flush()
+	}
+
+	// Replay the retained prefix for late joiners, under the same kind
+	// filter the live subscription applies.
+	var maxSeq int64
+	for _, e := range s.ring.ForRequest(reqID) {
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		if !wantKind(e.Kind) {
+			continue
+		}
+		if err := writeSSE(w, e); err != nil {
+			return
+		}
+		if e.Kind == obs.ReqDone {
+			terminal(e.Phase, e.Dur, e.T)
+			return
+		}
+	}
+	_ = rc.Flush()
+
+	// The request finished long enough ago that its req.done was evicted:
+	// the job record (snapshotted after Subscribe, and jobs turn terminal
+	// only after req.done is emitted) is the fallback terminal source.
+	if job != nil && job.terminal() {
+		terminal(jobOutcome(job), 0, 0)
+		return
+	}
+
+	// Live loop: forward events as the solve emits them, heartbeat when
+	// idle, finish on the request's req.done.
+	for {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Heartbeat)
+		e, err := sub.Next(ctx)
+		cancel()
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+				// Service shutting down; the stream ends without a terminal
+				// event — the client sees a clean close and may reconnect.
+				return
+			case r.Context().Err() != nil:
+				return // client went away
+			case errors.Is(err, context.DeadlineExceeded):
+				if _, werr := io.WriteString(w, ": hb\n\n"); werr != nil {
+					return
+				}
+				_ = rc.Flush()
+				continue
+			default:
+				return
+			}
+		}
+		if e.Seq > 0 && e.Seq <= maxSeq {
+			continue // already delivered in the replay prefix
+		}
+		if e.Seq > maxSeq {
+			maxSeq = e.Seq
+		}
+		if err := writeSSE(w, e); err != nil {
+			return
+		}
+		_ = rc.Flush()
+		if e.Kind == obs.ReqDone {
+			terminal(e.Phase, e.Dur, e.T)
+			return
+		}
+	}
+}

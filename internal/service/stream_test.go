@@ -1,0 +1,378 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"nocdeploy/internal/obs"
+)
+
+// sseMessage is one parsed SSE message.
+type sseMessage struct {
+	name  string
+	event obs.Event
+}
+
+// readSSE consumes an SSE body until it closes, returning the parsed
+// messages (heartbeat comments are skipped).
+func readSSE(t *testing.T, resp *http.Response) []sseMessage {
+	t.Helper()
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type %q, want text/event-stream", ct)
+	}
+	var msgs []sseMessage
+	var cur sseMessage
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"): // heartbeat comment
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &cur.event); err != nil {
+				t.Fatalf("bad SSE data line %q: %v", line, err)
+			}
+		case line == "":
+			if cur.name != "" {
+				msgs = append(msgs, cur)
+				cur = sseMessage{}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream read: %v", err)
+	}
+	return msgs
+}
+
+// isTerminal reports whether m is the synthesized stream terminal.
+func isTerminal(m sseMessage) bool {
+	return m.name == string(obs.SolveDone) && m.event.Label == "request"
+}
+
+// TestStreamJobEventsMidFlight is the headline acceptance path: attach to
+// a deadline-limited optimal solve while it runs and require at least one
+// bb.incumbent and one bb.gap before the terminal solve.done.
+func TestStreamJobEventsMidFlight(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(6, 9.2))
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=optimal&timeout=400ms&mode=async", body)
+	got := readBody(t, resp)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async solve status %d: %s", resp.StatusCode, got)
+	}
+	var job Job
+	if err := json.Unmarshal(got, &job); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := http.Get(srv.URL + "/v1/jobs/" + job.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := readSSE(t, stream)
+	if len(msgs) == 0 {
+		t.Fatal("empty event stream")
+	}
+	last := msgs[len(msgs)-1]
+	if !isTerminal(last) {
+		t.Fatalf("stream did not end with a terminal solve.done: last = %+v", last)
+	}
+	if last.event.Phase != OutcomeCancelled {
+		t.Errorf("terminal outcome %q, want %q", last.event.Phase, OutcomeCancelled)
+	}
+	var incumbents, gaps int
+	for _, m := range msgs[:len(msgs)-1] {
+		switch m.name {
+		case string(obs.BBIncumbent):
+			incumbents++
+		case string(obs.BBGap):
+			gaps++
+			if m.event.Gap < 0 {
+				t.Errorf("negative relative gap %g", m.event.Gap)
+			}
+			if m.event.Bound > m.event.Obj+1e-9 {
+				t.Errorf("bb.gap bound %g above incumbent %g", m.event.Bound, m.event.Obj)
+			}
+		}
+	}
+	if incumbents == 0 {
+		t.Error("no bb.incumbent event before the terminal")
+	}
+	if gaps == 0 {
+		t.Error("no bb.gap event before the terminal")
+	}
+	for i, m := range msgs {
+		if isTerminal(m) && i != len(msgs)-1 {
+			t.Errorf("terminal event at position %d of %d", i, len(msgs))
+		}
+	}
+}
+
+// TestStreamRequestEventsLateJoin: a stream opened after a sync solve
+// finished replays the retained prefix and terminates immediately from
+// the replayed req.done.
+func TestStreamRequestEventsLateJoin(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve", body)
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+
+	stream, err := http.Get(srv.URL + "/v1/requests/" + reqID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := readSSE(t, stream)
+	if len(msgs) < 2 {
+		t.Fatalf("late join replayed %d messages, want admit…done at least", len(msgs))
+	}
+	if msgs[0].name != string(obs.ReqAdmit) {
+		t.Errorf("first replayed event %q, want req.admit", msgs[0].name)
+	}
+	if !isTerminal(msgs[len(msgs)-1]) {
+		t.Fatalf("late join did not terminate: last = %+v", msgs[len(msgs)-1])
+	}
+	if oc := msgs[len(msgs)-1].event.Phase; oc != OutcomeOK {
+		t.Errorf("terminal outcome %q, want ok", oc)
+	}
+	for _, m := range msgs {
+		if m.event.Req != reqID && m.name != string(obs.SolveDone) {
+			t.Errorf("event for foreign request leaked: %+v", m)
+		}
+	}
+}
+
+// TestStreamKindsFilter: ?kinds= narrows both the replay prefix and the
+// live tail, while req.done stays implicitly included so the stream can
+// still terminate.
+func TestStreamKindsFilter(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=optimal", body)
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-ID")
+
+	stream, err := http.Get(srv.URL + "/v1/requests/" + reqID + "/events?kinds=bb.incumbent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := readSSE(t, stream)
+	if len(msgs) < 2 {
+		t.Fatalf("filtered stream has %d messages, want incumbents + terminal", len(msgs))
+	}
+	for _, m := range msgs[:len(msgs)-2] {
+		if m.name != string(obs.BBIncumbent) {
+			t.Errorf("kind filter leaked %q", m.name)
+		}
+	}
+	if msgs[len(msgs)-2].name != string(obs.ReqDone) {
+		t.Errorf("penultimate message %q, want req.done (implicitly included)", msgs[len(msgs)-2].name)
+	}
+	if !isTerminal(msgs[len(msgs)-1]) {
+		t.Fatalf("filtered stream did not terminate: %+v", msgs[len(msgs)-1])
+	}
+}
+
+// TestStreamUnknownJob404s while an unknown request ID is a legal open
+// stream (clients may attach early) — exercised via its heartbeat.
+func TestStreamUnknownJob404(t *testing.T) {
+	svc := New(Config{Heartbeat: 30 * time.Millisecond})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/v1/jobs/job-999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job stream status %d, want 404", resp.StatusCode)
+	}
+
+	// Unknown request: the stream stays open sending heartbeats until the
+	// client hangs up.
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/requests/r999/events", nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	buf := make([]byte, 64)
+	n, _ := resp2.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), ": hb") {
+		t.Fatalf("idle stream sent %q, want a heartbeat comment", buf[:n])
+	}
+}
+
+// TestStreamStalledSubscriberNeverBlocksSolve is the service-level
+// backpressure guarantee: a subscriber that never drains cannot delay a
+// solve; its overflow surfaces in the drop counter and the stream gauges.
+func TestStreamStalledSubscriberNeverBlocksSolve(t *testing.T) {
+	m := obs.NewMetrics()
+	svc := New(Config{Metrics: m})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	// Attach a subscriber with a one-event buffer and never read it.
+	sub := svc.bcast.Subscribe(obs.SubscribeOptions{Buffer: 1})
+	defer sub.Close()
+
+	body := instanceBody(t, chainInstance(4, 6.0))
+	start := time.Now()
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=optimal", body)
+	_ = readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("solve status %d", resp.StatusCode)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("solve with stalled subscriber took %v", elapsed)
+	}
+	if svc.bcast.Dropped() == 0 {
+		t.Fatal("stalled one-event subscriber recorded no drops")
+	}
+	svc.refreshGauges()
+	snap := m.Snapshot()
+	if snap.Gauges["stream.dropped"] == 0 {
+		t.Error("stream.dropped gauge is zero after drops")
+	}
+	if snap.Gauges["stream.subscribers"] != 1 {
+		t.Errorf("stream.subscribers = %g, want 1", snap.Gauges["stream.subscribers"])
+	}
+
+	// The stalled subscriber's next read surfaces the hole in-band.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	e, err := sub.Next(ctx)
+	if err != nil || e.Kind != obs.StreamGap || e.Node == 0 {
+		t.Fatalf("first read after stall = %+v, %v; want stream.gap with count", e, err)
+	}
+}
+
+// TestRingOccupancyGauge pins trace.ring_events to the exact ring
+// occupancy at empty, partial and full.
+func TestRingOccupancyGauge(t *testing.T) {
+	m := obs.NewMetrics()
+	svc := New(Config{Metrics: m, TraceBuffer: 8})
+	defer svc.Close()
+	svc.solveHook = func(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+		return &SolveResult{Solver: req.Solver, Feasible: true}, nil
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	gauge := func() float64 {
+		svc.refreshGauges()
+		return m.Snapshot().Gauges["trace.ring_events"]
+	}
+	if g := gauge(); g != 0 {
+		t.Fatalf("empty ring gauge %g, want 0", g)
+	}
+	body := instanceBody(t, chainInstance(2, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?seed=1", body)
+	_ = readBody(t, resp)
+	n := svc.ring.Len()
+	if n == 0 || n >= 8 {
+		t.Fatalf("one request retained %d events, want partial fill of 8", n)
+	}
+	if g := gauge(); g != float64(n) {
+		t.Fatalf("partial gauge %g, want %d", gauge(), n)
+	}
+	for i := 2; i <= 5; i++ {
+		resp := postSolve(t, srv.URL+"/v1/solve?seed="+string(rune('0'+i)), body)
+		_ = readBody(t, resp)
+	}
+	if g := gauge(); g != 8 {
+		t.Fatalf("full gauge %g, want 8 (ring capacity)", g)
+	}
+}
+
+// TestFlightRecorder: failed and cancelled async jobs carry their
+// trailing trace events; successful jobs stay lean.
+func TestFlightRecorder(t *testing.T) {
+	svc := New(Config{FlightRecorder: 3})
+	defer svc.Close()
+	fail := errors.New("solver exploded")
+	svc.solveHook = func(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+		if req.Seed == 13 {
+			return nil, fail
+		}
+		return &SolveResult{Solver: req.Solver, Feasible: true}, nil
+	}
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+	body := instanceBody(t, chainInstance(2, 5.0))
+
+	launch := func(seed string) Job {
+		resp := postSolve(t, srv.URL+"/v1/solve?mode=async&seed="+seed, body)
+		got := readBody(t, resp)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async status %d: %s", resp.StatusCode, got)
+		}
+		var job Job
+		if err := json.Unmarshal(got, &job); err != nil {
+			t.Fatal(err)
+		}
+		var final Job
+		waitFor(t, func() bool {
+			j, ok := svc.jobs.get(job.ID)
+			final = j
+			return ok && j.terminal()
+		})
+		return final
+	}
+
+	failed := launch("13")
+	if failed.Status != JobFailed {
+		t.Fatalf("job status %q, want failed", failed.Status)
+	}
+	if len(failed.Trace) == 0 {
+		t.Fatal("failed job carries no flight-recorder trace")
+	}
+	if len(failed.Trace) > 3 {
+		t.Fatalf("flight recorder kept %d events, configured max 3", len(failed.Trace))
+	}
+	if last := failed.Trace[len(failed.Trace)-1]; last.Kind != obs.ReqDone {
+		t.Errorf("flight recorder tail %q, want req.done", last.Kind)
+	}
+
+	okJob := launch("1")
+	if okJob.Status != JobDone {
+		t.Fatalf("job status %q, want done", okJob.Status)
+	}
+	if len(okJob.Trace) != 0 {
+		t.Errorf("successful job carries %d flight-recorder events, want none", len(okJob.Trace))
+	}
+}
