@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -27,10 +28,12 @@ import (
 	"log"
 	"os"
 	"runtime/pprof"
+	"strings"
 	"time"
 
 	"nocdeploy/internal/cache"
 	"nocdeploy/internal/core"
+	"nocdeploy/internal/engine"
 	"nocdeploy/internal/obs"
 	"nocdeploy/internal/render"
 	"nocdeploy/internal/sim"
@@ -43,12 +46,15 @@ func main() {
 	var (
 		in         = flag.String("in", "-", "instance JSON file (- for stdin)")
 		out        = flag.String("out", "-", "deployment JSON output (- for stdout)")
-		method     = flag.String("method", "heuristic", "solver: heuristic, repair, anneal or optimal")
+		method     = flag.String("method", "heuristic", "solver: heuristic, repair, anneal, optimal or portfolio")
 		objective  = flag.String("objective", "be", "objective: be (balance) or me (minimize total)")
 		single     = flag.Bool("single", false, "single-path routing baseline")
 		timeout    = flag.Duration("timeout", 60*time.Second, "time limit for the optimal solver")
 		workers    = flag.Int("workers", 1, "parallel branch & bound workers for -method optimal (0/1 = serial, -1 = all cores)")
 		seed       = flag.Int64("seed", 1, "heuristic tie-break seed")
+		engOps     = flag.String("ops", "", "portfolio operators, comma-separated (-method portfolio; empty = all)")
+		engRounds  = flag.Int("rounds", 0, "portfolio improvement rounds (-method portfolio; 0 = default)")
+		engBudget  = flag.Int("budget", 0, "portfolio exact-repair node budget (-method portfolio; 0 = default)")
 		cacheDir   = flag.String("cache-dir", "", "cache solved deployments in this directory (repeat runs are near-instant)")
 		quiet      = flag.Bool("q", false, "suppress the metrics summary (and -progress) on stderr")
 		gantt      = flag.Bool("gantt", false, "render an ASCII schedule and energy chart on stderr")
@@ -124,6 +130,11 @@ func main() {
 		if *method == "optimal" {
 			key += fmt.Sprintf("|timeout=%s|workers=%d", *timeout, *workers)
 		}
+		if *method == "portfolio" {
+			// Engine options steer the search, so they address distinct
+			// cached answers — mirroring the service's cache-key rule.
+			key += fmt.Sprintf("|ops=%s|rounds=%d|budget=%d", *engOps, *engRounds, *engBudget)
+		}
 	}
 
 	var d *core.Deployment
@@ -158,6 +169,28 @@ func main() {
 			d, info, err = core.HeuristicWithRepair(sys, opts, *seed, 0)
 		case "anneal":
 			d, info, err = core.Anneal(sys, opts, core.AnnealOptions{Seed: *seed})
+		case "portfolio":
+			eo := engine.Options{
+				Seed:       *seed,
+				Rounds:     *engRounds,
+				NodeBudget: *engBudget,
+				Workers:    *workers,
+			}
+			var names []string
+			if *engOps != "" {
+				names = strings.Split(*engOps, ",")
+			}
+			eo.Operators, err = engine.BuildOperators(names, eo)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ctx := context.Background()
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
+			d, info, err = engine.SolveCtx(ctx, sys, opts, eo)
 		case "optimal":
 			// Warm-start branch & bound from the heuristic when it is feasible.
 			var hd *core.Deployment
@@ -185,9 +218,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if store != nil && cacheState == "miss" && info.Feasible {
+	if store != nil && cacheState == "miss" && info.Feasible && !info.Cancelled {
 		// Only feasible deployments are worth replaying; infeasible runs are
-		// cheap to repeat and their exit code must come from a live solve.
+		// cheap to repeat, their exit code must come from a live solve, and
+		// a deadline-truncated portfolio result is partial by definition.
 		data, merr := json.Marshal(spec.FromDeployment(d, m, info))
 		if merr == nil {
 			merr = store.Put(key, data)

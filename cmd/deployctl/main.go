@@ -3,8 +3,9 @@
 // Usage:
 //
 //	deployctl [-server URL] solve   [-in FILE] [-solver S] [-objective O]
-//	                                [-seed N] [-timeout D] [-async] [-check]
-//	                                [-out FILE]
+//	                                [-seed N] [-timeout D] [-ops A,B,...]
+//	                                [-rounds N] [-budget N] [-async]
+//	                                [-check] [-out FILE]
 //	deployctl [-server URL] job     [-trace] ID
 //	deployctl [-server URL] watch   [-request] [-plain] ID
 //	deployctl [-server URL] health
@@ -174,14 +175,31 @@ func solveQuery(solver, objective string, seed int64, timeout time.Duration) url
 	return q
 }
 
+// engineQuery appends the portfolio engine options (solver=portfolio only).
+func engineQuery(q url.Values, ops string, rounds, budget int) url.Values {
+	if ops != "" {
+		q.Set("ops", ops)
+	}
+	if rounds > 0 {
+		q.Set("rounds", strconv.Itoa(rounds))
+	}
+	if budget > 0 {
+		q.Set("budget", strconv.Itoa(budget))
+	}
+	return q
+}
+
 func cmdSolve(c *client, args []string) error {
 	fs := flag.NewFlagSet("solve", flag.ExitOnError)
 	in := fs.String("in", "-", "instance JSON file (- for stdin)")
 	out := fs.String("out", "-", "deployment JSON output (- for stdout)")
-	solver := fs.String("solver", "heuristic", "solver: heuristic, repair, anneal or optimal")
+	solver := fs.String("solver", "heuristic", "solver: heuristic, repair, anneal, optimal or portfolio")
 	objective := fs.String("objective", "", "objective: be (default) or me")
 	seed := fs.Int64("seed", 0, "solver tie-break seed")
 	timeout := fs.Duration("timeout", 0, "per-request solve budget")
+	ops := fs.String("ops", "", "portfolio operators, comma-separated (solver=portfolio)")
+	rounds := fs.Int("rounds", 0, "portfolio improvement rounds (solver=portfolio; 0 = server default)")
+	budget := fs.Int("budget", 0, "portfolio exact-repair node budget (solver=portfolio; 0 = server default)")
 	async := fs.Bool("async", false, "submit as an async job and print the job id")
 	check := fs.Bool("check", false, "rebuild the instance locally and validate the deployment")
 	if err := fs.Parse(args); err != nil {
@@ -195,7 +213,7 @@ func cmdSolve(c *client, args []string) error {
 	if err != nil {
 		return err
 	}
-	q := solveQuery(*solver, *objective, *seed, *timeout)
+	q := engineQuery(solveQuery(*solver, *objective, *seed, *timeout), *ops, *rounds, *budget)
 	if *async {
 		q.Set("mode", "async")
 	}

@@ -56,6 +56,7 @@ type watchState struct {
 	gap       float64
 	haveInc   bool
 	haveGap   bool
+	lastOp    string // last improving portfolio operator (engine.op.apply)
 	events    int
 	drops     int
 	start     time.Time
@@ -72,6 +73,14 @@ func (st *watchState) fold(e obs.Event) {
 		st.bound = e.Bound
 		st.gap = e.Gap
 		st.haveInc, st.haveGap = true, true
+	case obs.EngineOpApply:
+		// Operator attribution for portfolio solves: only improving
+		// applications move the incumbent (and the credit).
+		if e.Phase == "improved" {
+			st.incumbent = e.Obj
+			st.haveInc = true
+			st.lastOp = e.Label
+		}
 	case obs.StreamGap:
 		st.drops += e.Node
 	}
@@ -91,6 +100,9 @@ func (st *watchState) line(id string) string {
 	rate := float64(st.events) / elapsed.Seconds()
 	s := fmt.Sprintf("watch %s: inc=%s bound=%s gap=%s events=%d (%.0f/s) elapsed=%s",
 		id, inc, bound, gap, st.events, rate, elapsed.Round(100*time.Millisecond))
+	if st.lastOp != "" {
+		s += " op=" + st.lastOp
+	}
 	if st.drops > 0 {
 		s += fmt.Sprintf(" drops=%d", st.drops)
 	}
@@ -137,7 +149,8 @@ func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
 		}
 		st.fold(e)
 		progress := e.Kind == obs.BBIncumbent || e.Kind == obs.BBGap ||
-			e.Kind == obs.BBBound || e.Kind == obs.StreamGap
+			e.Kind == obs.BBBound || e.Kind == obs.StreamGap ||
+			(e.Kind == obs.EngineOpApply && e.Phase == "improved")
 		if plain {
 			if progress {
 				fmt.Fprintf(c.out, "%s (%s)\n", st.line(id), e.Kind)

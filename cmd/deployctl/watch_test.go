@@ -59,6 +59,56 @@ func TestWatchStreamParsing(t *testing.T) {
 	}
 }
 
+// TestWatchStreamEngineOperatorColumn: portfolio engine.op.apply events
+// fold into the "last improving operator" column — improving applications
+// move the incumbent and take the op= credit, non-improving ones are
+// ignored — and -plain prints one update line per improvement.
+func TestWatchStreamEngineOperatorColumn(t *testing.T) {
+	stream := strings.Join([]string{
+		"event: engine.op.apply",
+		`data: {"seq":2,"t":0.01,"kind":"engine.op.apply","label":"repair","node":1,"obj":14.0,"bound":0.9,"phase":"improved"}`,
+		"",
+		"event: engine.op.apply",
+		`data: {"seq":3,"t":0.02,"kind":"engine.op.apply","label":"anneal","node":2,"obj":14.5,"bound":0.6,"phase":"feasible"}`,
+		"",
+		"event: engine.op.apply",
+		`data: {"seq":4,"t":0.03,"kind":"engine.op.apply","label":"subtree","node":3,"obj":12.25,"bound":0.8,"phase":"improved"}`,
+		"",
+		"event: engine.iter",
+		`data: {"seq":5,"t":0.03,"kind":"engine.iter","node":1,"obj":12.25,"iters":3}`,
+		"",
+		"event: solve.done",
+		`data: {"kind":"solve.done","label":"request","phase":"ok","dur":0.2}`,
+		"",
+	}, "\n") + "\n"
+
+	var out bytes.Buffer
+	c := &client{base: "http://unused", out: &out}
+	err := watchStream(c, "job-2", bufio.NewScanner(strings.NewReader(stream)), true)
+	if err != nil {
+		t.Fatalf("watchStream: %v", err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	// Two improving applications print; the feasible-not-better one and
+	// the round marker do not.
+	if len(lines) != 3 {
+		t.Fatalf("plain watch printed %d lines, want 2 updates + done:\n%s", len(lines), got)
+	}
+	if !strings.Contains(lines[0], "inc=14") || !strings.Contains(lines[0], "op=repair") {
+		t.Errorf("first improvement line = %q, want inc=14 op=repair", lines[0])
+	}
+	if !strings.Contains(lines[1], "inc=12.25") || !strings.Contains(lines[1], "op=subtree") {
+		t.Errorf("second improvement line = %q, want inc=12.25 op=subtree", lines[1])
+	}
+	if strings.Contains(got, "op=anneal") {
+		t.Errorf("non-improving operator took credit:\n%s", got)
+	}
+	if !strings.HasPrefix(lines[2], "done: outcome=ok") {
+		t.Errorf("terminal line = %q", lines[2])
+	}
+}
+
 // TestWatchStreamWithoutTerminal: a stream that just stops (server went
 // away) is an error, not a silent success.
 func TestWatchStreamWithoutTerminal(t *testing.T) {

@@ -1,0 +1,46 @@
+package core
+
+// This file is the support surface for the portfolio engine
+// (internal/engine): the engine composes solves out of existing deployments
+// — cloning an incumbent, rescheduling after a move, scoring a candidate —
+// so the primitives the in-package solvers share are exported here under
+// stable names. Everything is a thin wrapper; the engine never reaches into
+// solver internals.
+
+// CloneDeployment deep-copies a deployment, including the path-selection
+// matrix. Engine operators mutate clones so the shared incumbent is never
+// written concurrently.
+func CloneDeployment(d *Deployment) *Deployment {
+	return cloneDeploymentCore(d)
+}
+
+// Reschedule recomputes the start times of every existing slot by list
+// scheduling in topological order with the deployment's real (path-selected)
+// communication times, and returns the makespan. It is the move-replay
+// primitive: after an operator changes Proc/Level/PathSel, Reschedule
+// restores a consistent schedule. The error reports a structurally broken
+// existing subgraph (e.g. a dependency cycle), which no move can introduce
+// on a valid deployment.
+func Reschedule(s *System, d *Deployment) (float64, error) {
+	order, err := scheduleOrder(s, d)
+	if err != nil {
+		return 0, err
+	}
+	mk := scheduleExisting(s, d, order, func(i int) float64 { return d.CommTime(s, i) })
+	return mk, nil
+}
+
+// DeploymentObjective evaluates the configured objective (BE: max_k E_k,
+// ME: Σ_k E_k) for a deployment. The error reports a structurally invalid
+// deployment; feasibility of timing/reliability constraints is judged
+// separately by CheckConstraints.
+func DeploymentObjective(s *System, d *Deployment, opts Options) (float64, error) {
+	m, err := ComputeMetrics(s, d)
+	if err != nil {
+		return 0, err
+	}
+	if opts.Objective == MinimizeEnergy {
+		return m.SumEnergy, nil
+	}
+	return m.MaxEnergy, nil
+}

@@ -1,0 +1,420 @@
+// Package engine is the anytime ALNS portfolio engine: it races pluggable
+// solve operators — adapters over the core heuristic / repair / anneal /
+// budgeted-exact solvers plus large-neighborhood destroy & repair moves —
+// against one shared incumbent, adapting operator selection to observed
+// improvement, and returns the validated best-so-far whenever the deadline
+// or context says stop.
+//
+// Determinism contract: a portfolio solve is a pure function of (system,
+// options) — byte-identical traces and identical incumbents at any Workers
+// value. The engine earns this with a batch-synchronous loop: a seeded
+// coordinator serially draws a fixed-size batch of (operator, derived seed)
+// applications, the batch executes concurrently on a runner.Pool, and the
+// reduction — validation, acceptance, reward, telemetry — replays serially
+// in submission order. Worker count changes only wall-clock, never the
+// decision sequence, because every operator application is itself a pure
+// function of its state snapshot and derived seed.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/numeric"
+	"nocdeploy/internal/obs"
+	"nocdeploy/internal/runner"
+)
+
+// Defaults for zero-valued Options fields.
+const (
+	defaultRounds      = 12
+	defaultWarmup      = 2
+	defaultAlpha       = 0.3
+	defaultNodeBudget  = 150
+	defaultAnnealIters = 400
+	// scoreFloor keeps every operator selectable under roulette: a move
+	// that has not paid off recently still gets occasional applications,
+	// so the portfolio never collapses onto one operator.
+	scoreFloor = 0.05
+)
+
+// Options configures a portfolio solve. The zero value selects the full
+// built-in operator portfolio with moderate budgets.
+type Options struct {
+	// Operators is the portfolio; nil selects BuildOperators(nil, o) — the
+	// full built-in set in canonical order.
+	Operators []SolveOperator
+	// Seed drives every random decision: operator roulette, application
+	// seeds, operator-internal randomness. Same seed, same run.
+	Seed int64
+	// Rounds bounds the improvement loop (0 → 12). Each round applies
+	// Batch operators; the loop also stops on context cancellation.
+	Rounds int
+	// Batch is the number of operator applications per round (0 → number
+	// of operators). Fixed per run and independent of Workers, so the
+	// application schedule is worker-count-invariant.
+	Batch int
+	// Workers sizes the runner.Pool racing a batch (0 → GOMAXPROCS via
+	// runner.Workers). Changes throughput only, never results.
+	Workers int
+	// Warmup is the number of initial round-robin rounds before selection
+	// turns adaptive (0 → 2).
+	Warmup int
+	// Alpha is the exponential smoothing factor of the per-operator
+	// improvement scores (0 → 0.3).
+	Alpha float64
+	// NodeBudget bounds each warm-started exact solve inside operators
+	// (0 → 150; < 0 disables exact polishing).
+	NodeBudget int
+	// AnnealIters sizes the anneal operator's burst (0 → 400).
+	AnnealIters int
+}
+
+func (o Options) rounds() int {
+	if o.Rounds <= 0 {
+		return defaultRounds
+	}
+	return o.Rounds
+}
+
+func (o Options) batch(nOps int) int {
+	if o.Batch <= 0 {
+		return nOps
+	}
+	return o.Batch
+}
+
+func (o Options) warmup() int {
+	if o.Warmup <= 0 {
+		return defaultWarmup
+	}
+	return o.Warmup
+}
+
+func (o Options) alpha() float64 {
+	if o.Alpha <= 0 || o.Alpha > 1 {
+		return defaultAlpha
+	}
+	return o.Alpha
+}
+
+func (o Options) nodeBudget() int {
+	if o.NodeBudget < 0 {
+		return 0
+	}
+	if o.NodeBudget == 0 {
+		return defaultNodeBudget
+	}
+	return o.NodeBudget
+}
+
+func (o Options) annealIters() int {
+	if o.AnnealIters <= 0 {
+		return defaultAnnealIters
+	}
+	return o.AnnealIters
+}
+
+// Engine holds the shared solve state of one portfolio run. The incumbent
+// lives under a mutex — operators race on pool workers against private
+// clones, and only the serial reduction (plus concurrent Best observers,
+// e.g. a deadline watchdog) touches the shared copy.
+type Engine struct {
+	mu       sync.Mutex
+	best     *core.Deployment
+	bestObj  float64
+	feasible bool
+}
+
+// Best returns a clone of the current incumbent with its objective and
+// feasibility. Safe to call concurrently with a running solve; the clone
+// means callers can never alias engine-owned state.
+func (e *Engine) Best() (*core.Deployment, float64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return core.CloneDeployment(e.best), e.bestObj, e.feasible
+}
+
+func (e *Engine) setBest(d *core.Deployment, obj float64, feasible bool) {
+	e.mu.Lock()
+	e.best, e.bestObj, e.feasible = d, obj, feasible
+	e.mu.Unlock()
+}
+
+func (e *Engine) snapshot() (*core.Deployment, float64, bool) {
+	return e.Best()
+}
+
+// Solve runs a portfolio solve without external cancellation.
+func Solve(s *core.System, copts core.Options, eo Options) (*core.Deployment, *core.SolveInfo, error) {
+	return SolveCtx(context.Background(), s, copts, eo)
+}
+
+// SolveCtx runs the anytime portfolio solve. It constructs an initial
+// incumbent with the repaired heuristic — deliberately ignoring ctx, so a
+// cancelled or deadline-expired solve still returns a validated best-effort
+// deployment rather than an error — then improves it in batch-synchronous
+// rounds until Rounds are exhausted or ctx is done, and returns the
+// re-validated best-so-far. The returned error is non-nil only for
+// malformed inputs or an empty/unknown operator portfolio.
+//
+// copts carries the objective, the trace and the clock, exactly as for the
+// standalone core solvers; engine events (engine.iter, engine.op.apply,
+// engine.weights) are emitted serially by the coordinator, and operator-
+// internal solves run untraced so the event stream stays worker-invariant.
+func SolveCtx(ctx context.Context, s *core.System, copts core.Options, eo Options) (*core.Deployment, *core.SolveInfo, error) {
+	tr := copts.Trace
+	clock := copts.Clock
+	start := clock.Now()
+
+	ops := eo.Operators
+	if len(ops) == 0 {
+		var err error
+		if ops, err = BuildOperators(nil, eo); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	tr.Emit(obs.Event{Kind: obs.SolveStart, Label: "portfolio"})
+
+	// Operator solves share the caller's options minus the trace: inner
+	// events would interleave nondeterministically across pool workers.
+	inner := copts
+	inner.Trace = nil
+
+	// Construct: the repaired heuristic under the engine seed seeds the
+	// incumbent. Background context on purpose — the anytime contract
+	// promises a deployment even when the caller's deadline has already
+	// passed, and the constructive heuristic is the cheap part.
+	d0, info0, err := core.HeuristicWithRepairCtx(context.Background(), s, inner, eo.Seed, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	constructDur := clock.Now().Sub(start)
+
+	eng := &Engine{}
+	eng.setBest(d0, info0.Objective, info0.Feasible)
+
+	var incumbents []core.IncumbentPoint
+	incumbents = append(incumbents, core.IncumbentPoint{T: constructDur, Obj: info0.Objective})
+
+	rng := rand.New(rand.NewSource(eo.Seed))
+	scores := make([]float64, len(ops))
+	for i := range scores {
+		scores[i] = 1
+	}
+	batch := eo.batch(len(ops))
+	warmup := eo.warmup()
+	alpha := eo.alpha()
+	budget := eo.nodeBudget()
+
+	pool := runner.NewPool(eo.Workers, batch, nil)
+	defer pool.Close()
+
+	type application struct {
+		op   int
+		seed int64
+		st   *State
+		out  Delta
+		ok   bool
+		dur  float64
+		done <-chan error
+	}
+
+	apps := 0 // global application counter
+	cancelled := false
+	rounds := eo.rounds()
+	for round := 0; round < rounds; round++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
+		curBest, curObj, curFeas := eng.snapshot()
+
+		// Serial selection: warmup rounds sweep the portfolio round-robin
+		// so every operator earns an observed score before the roulette
+		// starts trusting the scores.
+		batchApps := make([]*application, batch)
+		for b := 0; b < batch; b++ {
+			var op int
+			if round < warmup {
+				op = (round*batch + b) % len(ops)
+			} else {
+				op = roulette(rng, scores)
+			}
+			batchApps[b] = &application{
+				op:   op,
+				seed: deriveSeed(eo.Seed, apps+b),
+			}
+		}
+
+		// Concurrent execution: each application gets a private clone of
+		// the round-start incumbent and runs as a pure function of it.
+		for _, a := range batchApps {
+			a.st = &State{
+				Sys:        s,
+				Opts:       inner,
+				Incumbent:  core.CloneDeployment(curBest),
+				Objective:  curObj,
+				Feasible:   curFeas,
+				Seed:       a.seed,
+				NodeBudget: budget,
+			}
+			a := a
+			run := func() error {
+				t0 := clock.Now()
+				a.out, a.ok = ops[a.op].Apply(ctx, a.st)
+				a.dur = clock.Now().Sub(t0).Seconds()
+				return nil
+			}
+			if done, serr := pool.TrySubmit(run); serr == nil {
+				a.done = done
+			} else {
+				// Bounded queue rejected the task (can only happen if the
+				// queue is shared beyond this batch); run inline — the
+				// reduction below is order-based, not placement-based.
+				_ = run()
+			}
+		}
+		for _, a := range batchApps {
+			if a.done != nil {
+				<-a.done
+			}
+		}
+
+		// Serial reduction in submission order: validation, acceptance,
+		// reward and telemetry replay identically at any worker count.
+		for _, a := range batchApps {
+			apps++
+			name := ops[a.op].Name()
+			phase := "noop"
+			reward := 0.0
+			evObj := curObj
+			if a.ok && a.out.Deployment != nil {
+				m, verr := core.Validate(s, a.out.Deployment)
+				switch {
+				case m == nil:
+					// Structurally invalid candidate — operator bug;
+					// rejected wholesale.
+					phase = "infeasible"
+				case verr != nil:
+					phase = "infeasible"
+					evObj = objectiveOf(m, inner)
+				default:
+					obj := objectiveOf(m, inner)
+					evObj = obj
+					if !curFeas || numeric.LtTol(obj, curObj, objTol) {
+						phase = "improved"
+						reward = 1
+						curBest, curObj, curFeas = a.out.Deployment, obj, true
+						eng.setBest(curBest, curObj, curFeas)
+						incumbents = append(incumbents, core.IncumbentPoint{
+							T:   clock.Now().Sub(start),
+							Obj: obj,
+						})
+					} else {
+						phase = "feasible"
+						reward = 0.1
+					}
+				}
+			}
+			scores[a.op] = (1-alpha)*scores[a.op] + alpha*reward
+			tr.Emit(obs.Event{
+				Kind:  obs.EngineOpApply,
+				Label: name,
+				Node:  apps,
+				Obj:   evObj,
+				Bound: scores[a.op],
+				Dur:   a.dur,
+				Phase: phase,
+			})
+		}
+		tr.Emit(obs.Event{Kind: obs.EngineIter, Node: round + 1, Obj: curObj, Iters: apps})
+		tr.Emit(obs.Event{Kind: obs.EngineWeights, Node: round + 1, Label: weightsLabel(ops, scores)})
+	}
+
+	// Return the re-validated best-so-far: acceptance already validated
+	// every improvement, but the final check is the engine's own proof
+	// that no operator corrupted the shared incumbent.
+	best, bestObj, bestFeas := eng.Best()
+	m, verr := core.Validate(s, best)
+	if m == nil {
+		return nil, nil, fmt.Errorf("engine: incumbent failed validation: %w", verr)
+	}
+	bestObj = objectiveOf(m, inner)
+	bestFeas = verr == nil
+	elapsed := clock.Now().Sub(start)
+	outcome := "feasible"
+	if !bestFeas {
+		outcome = "infeasible"
+	}
+	tr.Emit(obs.Event{Kind: obs.SolveDone, Label: "portfolio", Obj: bestObj, Phase: outcome})
+	info := &core.SolveInfo{
+		Runtime:   elapsed,
+		Feasible:  bestFeas,
+		Objective: bestObj,
+		Cancelled: cancelled || ctx.Err() != nil,
+		Iters:     apps,
+		Phases: []core.PhaseTiming{
+			{Name: "construct", D: constructDur},
+			{Name: "improve", D: elapsed - constructDur},
+		},
+		Incumbents: incumbents,
+	}
+	return best, info, nil
+}
+
+// objectiveOf reads the configured objective off already-computed metrics.
+func objectiveOf(m *core.Metrics, opts core.Options) float64 {
+	if opts.Objective == core.MinimizeEnergy {
+		return m.SumEnergy
+	}
+	return m.MaxEnergy
+}
+
+// roulette draws one operator index proportionally to its floored score —
+// fitness-proportionate selection over the smoothed improvement scores.
+func roulette(rng *rand.Rand, scores []float64) int {
+	total := 0.0
+	for _, s := range scores {
+		total += math.Max(s, scoreFloor)
+	}
+	r := rng.Float64() * total
+	acc := 0.0
+	for i, s := range scores {
+		acc += math.Max(s, scoreFloor)
+		if r < acc {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// weightsLabel renders the score table as "op=score,op=score,…" in
+// portfolio order, the payload of engine.weights events.
+func weightsLabel(ops []SolveOperator, scores []float64) string {
+	var b strings.Builder
+	for i, op := range ops {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%.3f", op.Name(), scores[i])
+	}
+	return b.String()
+}
+
+// deriveSeed mixes the engine seed with a global application index
+// (splitmix64 finalizer), so each operator application draws from its own
+// well-separated stream regardless of scheduling.
+func deriveSeed(seed int64, idx int) int64 {
+	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(idx+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z >> 1)
+}

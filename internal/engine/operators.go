@@ -1,0 +1,414 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/numeric"
+)
+
+// objTol is the absolute tie-break tolerance for objective comparisons,
+// matching the greedy phases of the core heuristic: joule-scale energies
+// separated from accumulated rounding noise.
+const objTol = 1e-15
+
+// State is the read-only snapshot one operator application works from. The
+// engine clones the shared incumbent into Incumbent before Apply, so the
+// operator may mutate it freely; everything else is shared and must not be
+// written.
+type State struct {
+	Sys  *core.System
+	Opts core.Options // objective and variant selection; Trace is always nil here
+	// Incumbent is the operator's private clone of the engine incumbent at
+	// round start, with Objective/Feasible describing it. An infeasible
+	// incumbent (the repaired heuristic missed the horizon) still carries
+	// the best-effort deployment.
+	Incumbent *core.Deployment
+	Objective float64
+	Feasible  bool
+	// Seed is this application's derived RNG seed: a pure function of the
+	// engine seed and the global application index, so a run's operator
+	// randomness is byte-replayable at any worker count.
+	Seed int64
+	// NodeBudget bounds the branch & bound nodes of exact repair solves;
+	// ≤ 0 disables exact polishing inside destroy/repair operators.
+	NodeBudget int
+}
+
+// Delta is one operator application's outcome: a candidate deployment and
+// the operator's own assessment of it. The engine re-validates every
+// candidate centrally before acceptance, so a buggy or optimistic operator
+// can never corrupt the incumbent.
+type Delta struct {
+	Deployment *core.Deployment
+	Objective  float64
+	Feasible   bool
+}
+
+// SolveOperator is one pluggable move of the portfolio engine, the
+// nextroute-style solve-operator contract: Apply transforms a state
+// snapshot into a candidate delta (ok=false when the move was inapplicable
+// or produced nothing), Name/Params are the operator's identity and
+// parameter metadata for telemetry and the adaptive-weight table.
+//
+// Apply must be a pure function of (State, ctx): identical snapshots and
+// seeds must yield identical deltas, because the engine's determinism
+// contract — byte-identical runs at any worker count — reduces to operator
+// purity once selection and reduction are serialized.
+type SolveOperator interface {
+	Name() string
+	Params() string
+	Apply(ctx context.Context, st *State) (Delta, bool)
+}
+
+// heuristicOp re-runs the constructive three-phase heuristic with the
+// application seed: random tie-breaks in phase 2 make each application a
+// cheap diversification restart.
+type heuristicOp struct{ repair bool }
+
+func (o heuristicOp) Name() string {
+	if o.repair {
+		return "repair"
+	}
+	return "heuristic"
+}
+
+func (o heuristicOp) Params() string {
+	if o.repair {
+		return "restart=seeded rounds=auto"
+	}
+	return "restart=seeded"
+}
+
+func (o heuristicOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	var (
+		d    *core.Deployment
+		info *core.SolveInfo
+		err  error
+	)
+	if o.repair {
+		d, info, err = core.HeuristicWithRepairCtx(ctx, st.Sys, st.Opts, st.Seed, 0)
+	} else {
+		d, info, err = core.HeuristicCtx(ctx, st.Sys, st.Opts, st.Seed)
+	}
+	if err != nil || d == nil || info.Cancelled {
+		return Delta{}, false
+	}
+	return Delta{Deployment: d, Objective: info.Objective, Feasible: info.Feasible}, true
+}
+
+// annealOp runs a short simulated-annealing burst from the repaired
+// heuristic under the application seed.
+type annealOp struct{ iters int }
+
+func (o annealOp) Name() string   { return "anneal" }
+func (o annealOp) Params() string { return fmt.Sprintf("iters=%d", o.iters) }
+
+func (o annealOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	d, info, err := core.AnnealCtx(ctx, st.Sys, st.Opts, core.AnnealOptions{Iters: o.iters, Seed: st.Seed})
+	if err != nil || d == nil || info.Cancelled {
+		return Delta{}, false
+	}
+	return Delta{Deployment: d, Objective: info.Objective, Feasible: info.Feasible}, true
+}
+
+// exactOp runs a node-budgeted branch & bound warm-started from the
+// incumbent: the portfolio's intensification move. Workers is pinned to 1
+// so the application stays a pure function of its snapshot.
+type exactOp struct{ nodes int }
+
+func (o exactOp) Name() string   { return "exact" }
+func (o exactOp) Params() string { return fmt.Sprintf("nodes=%d warm=incumbent workers=1", o.nodes) }
+
+func (o exactOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	if o.nodes <= 0 {
+		return Delta{}, false
+	}
+	oo := core.OptimalOptions{MaxNodes: o.nodes, RelGap: 0.01, Workers: 1}
+	if st.Feasible {
+		cutoff := st.Objective
+		oo.WarmDeployment = st.Incumbent
+		oo.WarmStart = &cutoff
+	}
+	d, info, err := core.OptimalCtx(ctx, st.Sys, st.Opts, oo)
+	if err != nil || d == nil {
+		return Delta{}, false
+	}
+	return Delta{Deployment: d, Objective: info.Objective, Feasible: info.Feasible}, true
+}
+
+// improveOp wraps the first-improvement local search (processor moves and
+// path flips) with a small move budget.
+type improveOp struct{ moves int }
+
+func (o improveOp) Name() string   { return "improve" }
+func (o improveOp) Params() string { return fmt.Sprintf("moves=%d", o.moves) }
+
+func (o improveOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	if ctx.Err() != nil {
+		return Delta{}, false
+	}
+	d, obj, accepted := core.Improve(st.Sys, st.Incumbent, st.Opts, o.moves)
+	if accepted == 0 {
+		return Delta{}, false
+	}
+	return Delta{Deployment: d, Objective: obj, Feasible: true}, true
+}
+
+// pathsOp wraps the path-flip-only local search.
+type pathsOp struct{}
+
+func (pathsOp) Name() string   { return "paths" }
+func (pathsOp) Params() string { return "flips=greedy" }
+
+func (pathsOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	if ctx.Err() != nil {
+		return Delta{}, false
+	}
+	d, obj := core.ImprovePaths(st.Sys, st.Incumbent, st.Opts)
+	if !numeric.LtTol(obj, st.Objective, objTol) {
+		return Delta{}, false
+	}
+	return Delta{Deployment: d, Objective: obj, Feasible: true}, true
+}
+
+// regionOp is the mesh-region large-neighborhood move: unassign every slot
+// placed on a random processor and its Manhattan-radius-1 neighbourhood,
+// re-place them greedily by objective increase, then (budget permitting)
+// polish with a warm-started node-budgeted exact solve.
+type regionOp struct{ radius int }
+
+func (o regionOp) Name() string { return "region" }
+func (o regionOp) Params() string {
+	return fmt.Sprintf("radius=%d repair=greedy+exact", o.radius)
+}
+
+func (o regionOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	rng := rand.New(rand.NewSource(st.Seed))
+	mesh := st.Sys.Mesh
+	n := mesh.N()
+	center := rng.Intn(n)
+	inRegion := make([]bool, n)
+	for k := 0; k < n; k++ {
+		if mesh.ManhattanDistance(center, k) <= o.radius {
+			inRegion[k] = true
+		}
+	}
+	d := core.CloneDeployment(st.Incumbent)
+	var destroyed []int
+	total := 0
+	for i := range d.Exists {
+		if !d.Exists[i] {
+			continue
+		}
+		total++
+		if inRegion[d.Proc[i]] {
+			destroyed = append(destroyed, i)
+		}
+	}
+	// A region holding nothing — or everything — is not a neighbourhood
+	// move; shrink to the center processor alone before giving up.
+	if len(destroyed) == 0 || len(destroyed) == total {
+		destroyed = destroyed[:0]
+		for i := range d.Exists {
+			if d.Exists[i] && d.Proc[i] == center {
+				destroyed = append(destroyed, i)
+			}
+		}
+	}
+	if len(destroyed) == 0 || len(destroyed) == total {
+		return Delta{}, false
+	}
+	return repairDestroyed(ctx, st, d, destroyed)
+}
+
+// subtreeOp is the DAG-subtree large-neighborhood move: unassign a random
+// task's descendant closure (originals and their replicas), re-place
+// greedily, then polish with a warm-started node-budgeted exact solve.
+type subtreeOp struct{}
+
+func (subtreeOp) Name() string   { return "subtree" }
+func (subtreeOp) Params() string { return "closure=descendants repair=greedy+exact" }
+
+func (subtreeOp) Apply(ctx context.Context, st *State) (Delta, bool) {
+	rng := rand.New(rand.NewSource(st.Seed))
+	g := st.Sys.Graph
+	M := g.M()
+	root := rng.Intn(M)
+	// Breadth-first descendant closure, capped so the move stays a
+	// neighbourhood and not a full restart.
+	limit := M/3 + 2
+	closure := []int{root}
+	seen := map[int]bool{root: true}
+	for qi := 0; qi < len(closure) && len(closure) < limit; qi++ {
+		for _, s := range g.Succ(closure[qi]) {
+			if !seen[s] && len(closure) < limit {
+				seen[s] = true
+				closure = append(closure, s)
+			}
+		}
+	}
+	d := core.CloneDeployment(st.Incumbent)
+	var destroyed []int
+	total := 0
+	for i := range d.Exists {
+		if d.Exists[i] {
+			total++
+		}
+	}
+	for _, t := range closure {
+		if d.Exists[t] {
+			destroyed = append(destroyed, t)
+		}
+		if dup := t + M; d.Exists[dup] {
+			destroyed = append(destroyed, dup)
+		}
+	}
+	if len(destroyed) == 0 || len(destroyed) == total {
+		return Delta{}, false
+	}
+	return repairDestroyed(ctx, st, d, destroyed)
+}
+
+// repairDestroyed re-places the destroyed slots of d greedily — each slot,
+// in incumbent schedule order, goes to the processor minimizing the
+// objective among horizon-respecting placements — and then polishes the
+// candidate with a warm-started node-budgeted exact solve when the state
+// carries a node budget. The greedy completion alone already yields a
+// structurally valid deployment, so a cancelled or fruitless polish still
+// returns the repaired candidate.
+func repairDestroyed(ctx context.Context, st *State, d *core.Deployment, destroyed []int) (Delta, bool) {
+	// Schedule order of the incumbent: predecessors come no later than
+	// successors in any valid schedule, so placing in (Start, id) order
+	// prices communication against already-placed predecessors.
+	sort.Slice(destroyed, func(a, b int) bool {
+		ia, ib := destroyed[a], destroyed[b]
+		if d.Start[ia] != d.Start[ib] { //lint:allow floateq — deterministic tie-break; tolerance would break transitivity
+			return d.Start[ia] < d.Start[ib]
+		}
+		return ia < ib
+	})
+	n := st.Sys.Mesh.N()
+	for _, slot := range destroyed {
+		bestK, bestObj, bestFits := -1, math.Inf(1), false
+		for k := 0; k < n; k++ {
+			d.Proc[slot] = k
+			mk, err := core.Reschedule(st.Sys, d)
+			if err != nil {
+				return Delta{}, false // broken existing subgraph; no placement can fix it
+			}
+			obj, err := core.DeploymentObjective(st.Sys, d, st.Opts)
+			if err != nil {
+				continue
+			}
+			fits := numeric.LeqTol(mk, st.Sys.H, 1e-9)
+			// Horizon-respecting placements beat overruns; within a class
+			// the smaller objective wins, ties to the lowest processor.
+			switch {
+			case fits && !bestFits,
+				fits == bestFits && numeric.LtTol(obj, bestObj, objTol):
+				bestK, bestObj, bestFits = k, obj, fits
+			}
+		}
+		if bestK < 0 {
+			return Delta{}, false
+		}
+		d.Proc[slot] = bestK
+		if _, err := core.Reschedule(st.Sys, d); err != nil {
+			return Delta{}, false
+		}
+	}
+	obj, err := core.DeploymentObjective(st.Sys, d, st.Opts)
+	if err != nil {
+		return Delta{}, false
+	}
+	feasible := core.CheckConstraints(st.Sys, d) == nil
+	if st.NodeBudget > 0 {
+		d, obj, feasible = exactPolish(ctx, st, d, obj, feasible)
+	}
+	return Delta{Deployment: d, Objective: obj, Feasible: feasible}, true
+}
+
+// exactPolish re-places the repaired candidate optimally within a node
+// budget: a serial branch & bound warm-started from the candidate (when it
+// is feasible — pruning plus a cutoff). The candidate is returned unchanged
+// when the budgeted solve finds nothing better or is cancelled.
+func exactPolish(ctx context.Context, st *State, d *core.Deployment, obj float64, feasible bool) (*core.Deployment, float64, bool) {
+	oo := core.OptimalOptions{MaxNodes: st.NodeBudget, RelGap: 0.01, Workers: 1}
+	if feasible {
+		cutoff := obj
+		oo.WarmDeployment = d
+		oo.WarmStart = &cutoff
+	}
+	pd, pinfo, err := core.OptimalCtx(ctx, st.Sys, st.Opts, oo)
+	if err != nil || pd == nil || !pinfo.Feasible {
+		return d, obj, feasible
+	}
+	if !feasible || numeric.LtTol(pinfo.Objective, obj, objTol) {
+		return pd, pinfo.Objective, true
+	}
+	return d, obj, feasible
+}
+
+// OperatorNames lists the built-in operators in canonical order — the
+// round-robin order of the engine's warmup phase and the vocabulary of the
+// service's ops= selection.
+func OperatorNames() []string {
+	return []string{"heuristic", "repair", "improve", "paths", "anneal", "region", "subtree", "exact"}
+}
+
+// newOperator builds one built-in operator with the options' budgets.
+func newOperator(name string, o Options) (SolveOperator, error) {
+	switch name {
+	case "heuristic":
+		return heuristicOp{}, nil
+	case "repair":
+		return heuristicOp{repair: true}, nil
+	case "improve":
+		return improveOp{moves: 4}, nil
+	case "paths":
+		return pathsOp{}, nil
+	case "anneal":
+		return annealOp{iters: o.annealIters()}, nil
+	case "region":
+		return regionOp{radius: 1}, nil
+	case "subtree":
+		return subtreeOp{}, nil
+	case "exact":
+		return exactOp{nodes: o.nodeBudget()}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown operator %q (known: %v)", name, OperatorNames())
+}
+
+// BuildOperators resolves operator names into operator instances configured
+// with the options' budgets; nil or empty names select the full built-in
+// portfolio in canonical order.
+func BuildOperators(names []string, o Options) ([]SolveOperator, error) {
+	if len(names) == 0 {
+		names = OperatorNames()
+	}
+	ops := make([]SolveOperator, 0, len(names))
+	for _, n := range names {
+		op, err := newOperator(n, o)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	return ops, nil
+}
+
+// ValidOperators reports whether every name resolves to a built-in
+// operator — the service's request-validation hook.
+func ValidOperators(names []string) error {
+	for _, n := range names {
+		if _, err := newOperator(n, Options{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

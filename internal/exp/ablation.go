@@ -264,5 +264,6 @@ func ExtensionRunners() []Runner {
 		{"ext-warmstart", RunAblationWarmStart},
 		{"ext-anneal", RunAblationAnneal},
 		{"ext-opt4x4", RunOptimal4x4},
+		{"ext-portfolio", RunPortfolio},
 	}
 }

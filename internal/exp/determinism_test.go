@@ -153,6 +153,42 @@ func TestDeterminismTracingInvariance(t *testing.T) {
 			t.Errorf("Parallel=%d: trace saw no branch & bound nodes", par)
 		}
 	}
+
+	// Engine path: the portfolio runner folds an entire ALNS solve into
+	// each grid cell, so it is the densest source of engine.* events —
+	// tracing it must be just as invisible, and the metrics fold must see
+	// the engine taxonomy.
+	if raceDetector {
+		t.Skip("race build: engine invariance leg left to the plain build (engine worker-pool race coverage comes from internal/engine's own tests)")
+	}
+	eref := detCfg()
+	eref.Parallel = 1
+	tref2, err := RunPortfolio(eref)
+	if err != nil {
+		t.Fatalf("untraced portfolio reference run: %v", err)
+	}
+	wantEng := canonical(tref2)
+	for _, par := range []int{1, 8} {
+		cfg := detCfg()
+		cfg.Parallel = par
+		m := obs.NewMetrics()
+		tr := obs.New(obs.NewJSONLSink(io.Discard), obs.NewMetricsSink(m))
+		cfg.Trace = tr
+		tt, err := RunPortfolio(cfg)
+		if err != nil {
+			t.Fatalf("traced portfolio run (Parallel=%d): %v", par, err)
+		}
+		if err := tr.Close(); err != nil {
+			t.Fatalf("closing trace (Parallel=%d): %v", par, err)
+		}
+		if got := canonical(tt); got != wantEng {
+			t.Errorf("tracing perturbed the portfolio table at Parallel=%d:\n--- untraced\n%s\n--- traced\n%s", par, wantEng, got)
+		}
+		snap := m.Snapshot()
+		if snap.Counters["engine.iters"] == 0 {
+			t.Errorf("Parallel=%d: trace saw no engine rounds; portfolio instrumentation is disconnected", par)
+		}
+	}
 }
 
 func TestConfigValidate(t *testing.T) {

@@ -1,0 +1,94 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/engine"
+)
+
+// RunPortfolio compares the anytime ALNS portfolio engine against its own
+// starting point, the repaired heuristic, at the exact-sweep scale where
+// the budgeted-exact repair operators can bite. The engine is seeded per
+// cell and runs a fixed round/batch schedule with the exact budget tied to
+// cfg.MaxNodes, so the table is a pure function of the Config — the same
+// determinism contract as every other runner. The portfolio row can never
+// be worse than the repair row: the engine starts from that incumbent and
+// only accepts validated improvements.
+func RunPortfolio(cfg Config) (*Table, error) {
+	ms := []int{6, 8}
+	reps := cfg.reps(3)
+	budget := cfg.MaxNodes
+	if budget <= 0 {
+		budget = 8
+	}
+	t := &Table{
+		Title:  "Portfolio engine vs repaired heuristic (extension)",
+		Note:   "2x2 mesh, L=3; ALNS portfolio, exact repair budget tied to MaxNodes",
+		Header: []string{"M", "E(repair)", "E(portfolio)", "gain", "apps(avg)"},
+	}
+	type result struct {
+		eR, eP float64
+		apps   float64
+		ok     bool
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		var r result
+		s, err := Build(smallOptimal(ms[point], 1.2, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		opts := core.Options{Trace: cfg.Trace}
+		seed := cfg.instanceSeed(point, rep)
+		_, rinfo, err := core.HeuristicWithRepair(s, opts, seed, 0)
+		if err != nil {
+			return r, err
+		}
+		// Fixed rounds/batch (not worker- or budget-derived) keep the
+		// operator schedule identical across Parallel settings; the
+		// engine's inner pool is serial so grid cells stay the only
+		// source of concurrency.
+		eo := engine.Options{
+			Seed:    seed,
+			Rounds:  2,
+			Batch:   4,
+			Workers: 1,
+
+			NodeBudget:  budget,
+			AnnealIters: 120,
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.timeLimit())
+		defer cancel()
+		_, pinfo, err := engine.SolveCtx(ctx, s, opts, eo)
+		if err != nil {
+			return r, err
+		}
+		if !rinfo.Feasible || !pinfo.Feasible {
+			return r, nil
+		}
+		r.eR, r.eP = rinfo.Objective, pinfo.Objective
+		r.apps = float64(pinfo.Iters)
+		r.ok = true
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for point, m := range ms {
+		var eR, eP, apps []float64
+		for _, r := range cells[point] {
+			if r.ok {
+				eR = append(eR, r.eR)
+				eP = append(eP, r.eP)
+				apps = append(apps, r.apps)
+			}
+		}
+		gain := 0.0
+		if len(eR) > 0 && mean(eR) > 0 {
+			gain = (mean(eR) - mean(eP)) / mean(eR)
+		}
+		t.AddRow(fmt.Sprintf("%d", m), f3(mean(eR)), f3(mean(eP)), pct(gain), f3(mean(apps)))
+	}
+	return t, nil
+}

@@ -1,0 +1,63 @@
+// Package engine mirrors the portfolio engine's randomness hot spots for
+// the randsource golden fixture: roulette selection and operator seeds
+// must come from an explicitly seeded source, never the global generator
+// or the wall clock.
+package engine
+
+import (
+	"math/rand"
+	"time"
+)
+
+// badRoulette draws from the shared global generator: two engines in one
+// process would perturb each other's operator schedules.
+func badRoulette(scores []float64) int {
+	pick := rand.Float64() * total(scores)
+	for i, s := range scores {
+		pick -= s
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// badEngineSeed seeds the coordinator from the wall clock: the operator
+// schedule could never replay.
+func badEngineSeed() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano()))
+}
+
+// goodRoulette is the engine's actual shape: the coordinator owns one
+// explicitly seeded source and every selection draw comes from it.
+func goodRoulette(rng *rand.Rand, scores []float64) int {
+	pick := rng.Float64() * total(scores)
+	for i, s := range scores {
+		pick -= s
+		if pick < 0 {
+			return i
+		}
+	}
+	return len(scores) - 1
+}
+
+// goodDerivedSeed mixes a per-application index into the engine seed, so
+// each operator application replays identically at any worker count.
+func goodDerivedSeed(seed int64, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(idx+1)))
+}
+
+var (
+	_ = badRoulette
+	_ = badEngineSeed
+	_ = goodRoulette
+	_ = goodDerivedSeed
+)
+
+func total(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

@@ -9,7 +9,7 @@ import (
 // injected-clock contract: their results (deadline behaviour, phase
 // timings, incumbent trajectories) must be reproducible under a fake
 // clock, so raw wall-clock reads are banned outside an approved seam.
-var wallClockScope = map[string]bool{"lp": true, "milp": true, "core": true, "exp": true}
+var wallClockScope = map[string]bool{"lp": true, "milp": true, "core": true, "exp": true, "engine": true}
 
 // wallClockFuncs are the time-package entry points that read or arm the
 // process clock. Pure constructors (time.Duration arithmetic, time.Unix)
@@ -20,17 +20,17 @@ var wallClockFuncs = map[string]bool{
 }
 
 // WallClock flags raw wall-clock access — time.Now, time.Since and timer
-// constructors — in the solver packages (lp, milp, core, exp). Solver
-// timing must flow through an injected obs.Clock seam so deadline logic is
-// testable with a fake clock and solver output never depends on when it
-// ran. A function annotated //lint:fact clockseam is the per-package
-// approved seam (the single place that falls back to time.Now when no
-// clock is injected); everything else must call it.
+// constructors — in the solver packages (lp, milp, core, exp, engine).
+// Solver timing must flow through an injected obs.Clock seam so deadline
+// logic is testable with a fake clock and solver output never depends on
+// when it ran. A function annotated //lint:fact clockseam is the
+// per-package approved seam (the single place that falls back to time.Now
+// when no clock is injected); everything else must call it.
 var WallClock = &Analyzer{
 	Name: "wallclock",
 	Doc: "flags time.Now/time.Since/timer constructors in solver packages " +
-		"(lp, milp, core, exp) outside a //lint:fact clockseam function; " +
-		"route timing through the options' obs.Clock",
+		"(lp, milp, core, exp, engine) outside a //lint:fact clockseam " +
+		"function; route timing through the options' obs.Clock",
 	Run: runWallClock,
 }
 

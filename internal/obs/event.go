@@ -83,6 +83,26 @@ const (
 	// service time in seconds.
 	ReqDone Kind = "req.done"
 
+	// EngineIter: the portfolio engine finished one round of operator
+	// applications. Node is the round number, Obj the incumbent objective
+	// after the round's reductions, Iters the total operator applications
+	// so far. Emitted serially by the engine coordinator, so the engine
+	// event stream is byte-identical at any worker count.
+	EngineIter Kind = "engine.iter"
+	// EngineOpApply: one solve operator finished one application. Label is
+	// the operator name, Node the global application index, Obj the
+	// candidate objective (the incumbent objective for a no-op), Bound the
+	// operator's adaptive score after the reward update, Dur the
+	// application wall time in seconds, and Phase the outcome:
+	// "improved" (new incumbent), "feasible" (valid but not better),
+	// "infeasible" (candidate failed validation) or "noop" (the operator
+	// produced nothing).
+	EngineOpApply Kind = "engine.op.apply"
+	// EngineWeights: the engine's adaptive operator weights after one
+	// round. Node is the round number; Label renders the weights
+	// compactly as "op=score,op=score,…" in operator order.
+	EngineWeights Kind = "engine.weights"
+
 	// StreamGap: an in-band drop marker synthesized by a BroadcastSink
 	// subscription, never emitted through a Trace. A slow subscriber whose
 	// bounded buffer overflowed sees exactly one StreamGap in place of the

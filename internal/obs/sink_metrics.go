@@ -63,6 +63,17 @@ func (s *MetricsSink) Write(e Event) {
 		s.m.Add("anneal.accepted", 1)
 	case AnnealReject:
 		s.m.Add("anneal.rejected", 1)
+	case EngineIter:
+		s.m.Add("engine.iters", 1)
+		s.m.Set("engine.incumbent", e.Obj)
+		s.m.Append("engine.incumbent", e.T, e.Obj)
+	case EngineOpApply:
+		s.m.Add(Key("engine.op.applies", "op", e.Label), 1)
+		s.m.Observe(Key("engine.op.seconds", "op", e.Label), e.Dur)
+		s.m.Set(Key("engine.op.score", "op", e.Label), e.Bound)
+		if e.Phase == "improved" {
+			s.m.Add(Key("engine.op.improvements", "op", e.Label), 1)
+		}
 	case PoolTaskStart:
 		s.m.Add("pool.tasks", 1)
 		s.active++

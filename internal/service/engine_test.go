@@ -1,0 +1,186 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"nocdeploy/internal/engine"
+	"nocdeploy/internal/obs"
+)
+
+// TestEngineOptionsCacheKeys: identical instances with different engine
+// options (operator set / seed / budget / rounds) must produce distinct
+// cache keys — no cross-engine cache hits — while the "full portfolio"
+// spelling is canonical (empty selection and the explicit full list share
+// one entry).
+func TestEngineOptionsCacheKeys(t *testing.T) {
+	inst := chainInstance(3, 5.0)
+	keyOf := func(mutate func(*SolveRequest)) string {
+		req := SolveRequest{Instance: inst, Solver: SolverPortfolio}
+		mutate(&req)
+		if err := req.normalize(); err != nil {
+			t.Fatalf("normalize: %v", err)
+		}
+		key, err := req.cacheKey()
+		if err != nil {
+			t.Fatalf("cacheKey: %v", err)
+		}
+		return key
+	}
+
+	base := keyOf(func(r *SolveRequest) {})
+	variants := map[string]string{
+		"operator set": keyOf(func(r *SolveRequest) { r.EngineOps = []string{"repair", "region"} }),
+		"seed":         keyOf(func(r *SolveRequest) { r.Seed = 2 }),
+		"budget":       keyOf(func(r *SolveRequest) { r.EngineBudget = 10 }),
+		"rounds":       keyOf(func(r *SolveRequest) { r.EngineRounds = 3 }),
+	}
+	for what, key := range variants {
+		if key == base {
+			t.Errorf("different %s produced identical cache key %q", what, key)
+		}
+	}
+	full := keyOf(func(r *SolveRequest) { r.EngineOps = engine.OperatorNames() })
+	if full != base {
+		t.Errorf("explicit full portfolio and default portfolio keys differ:\n%q\n%q", full, base)
+	}
+
+	// The portfolio key must also never collide with another solver's.
+	plain := SolveRequest{Instance: inst, Solver: SolverRepair}
+	if err := plain.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	plainKey, err := plain.cacheKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plainKey == base {
+		t.Errorf("portfolio and repair share cache key %q", base)
+	}
+}
+
+// TestNoCrossEngineCacheHits drives the full service stack: repeating a
+// portfolio request hits the cache, while changing any engine option runs
+// a fresh solve.
+func TestNoCrossEngineCacheHits(t *testing.T) {
+	svc := New(Config{})
+	var mu sync.Mutex
+	seen := make(map[string]int) // cache key → underlying solve count
+	svc.solveHook = func(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+		key, err := req.cacheKey()
+		if err != nil {
+			return nil, err
+		}
+		mu.Lock()
+		seen[key]++
+		mu.Unlock()
+		return &SolveResult{Solver: req.Solver, Key: key, Feasible: true}, nil
+	}
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	post := func(query string) {
+		t.Helper()
+		resp := postSolve(t, srv.URL+"/v1/solve?solver=portfolio"+query, body)
+		b := readBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("solve%s status %d (%s)", query, resp.StatusCode, b)
+		}
+	}
+
+	post("")                   // leader
+	post("")                   // identical → cache hit
+	post("&ops=repair,region") // different operator set → new solve
+	post("&seed=2")            // different seed → new solve
+	post("&budget=10")         // different exact budget → new solve
+	post("&rounds=3")          // different round budget → new solve
+
+	if got := svc.SolveRuns(); got != 5 {
+		t.Errorf("SolveRuns = %d, want 5 (one cache hit, four distinct engine configs)", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 5 {
+		t.Errorf("distinct cache keys solved = %d, want 5: %v", len(seen), seen)
+	}
+	for key, n := range seen {
+		if n != 1 {
+			t.Errorf("cache key %q solved %d times, want 1", key, n)
+		}
+	}
+}
+
+// TestEngineOptionsRejectedForOtherSolvers: engine options on a
+// non-portfolio solver are a client mistake, not a silent no-op.
+func TestEngineOptionsRejectedForOtherSolvers(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=repair&ops=region", body)
+	b := readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", resp.StatusCode, b)
+	}
+
+	resp = postSolve(t, srv.URL+"/v1/solve?solver=portfolio&ops=warp", body)
+	b = readBody(t, resp)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown operator status %d (%s), want 400", resp.StatusCode, b)
+	}
+}
+
+// TestPortfolioSolveEndToEnd runs a real (un-hooked) portfolio solve
+// through the HTTP API and asserts the per-operator engine counters
+// surface in both /metrics representations.
+func TestPortfolioSolveEndToEnd(t *testing.T) {
+	m := obs.NewMetrics()
+	svc := New(Config{Metrics: m})
+	defer svc.Close()
+	srv := httptest.NewServer(svc.Handler())
+	defer srv.Close()
+
+	body := instanceBody(t, chainInstance(3, 5.0))
+	resp := postSolve(t, srv.URL+"/v1/solve?solver=portfolio&ops=heuristic,repair,improve,region&rounds=2&budget=2", body)
+	b := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("portfolio solve status %d (%s)", resp.StatusCode, b)
+	}
+	var res SolveResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("decode result: %v", err)
+	}
+	if !res.Feasible || res.Cancelled {
+		t.Fatalf("portfolio result feasible=%v cancelled=%v, want feasible", res.Feasible, res.Cancelled)
+	}
+
+	get := func(url string) []byte {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return readBody(t, resp)
+	}
+	jm := get(srv.URL + "/metrics?format=json")
+	// JSON object keys escape the label quotes: engine.op.applies{op=\"repair\"}.
+	if !strings.Contains(string(jm), `engine.op.applies{op=`) {
+		t.Errorf("JSON metrics missing engine.op.applies counters:\n%s", jm)
+	}
+	if !strings.Contains(string(jm), `"engine.iters"`) {
+		t.Errorf("JSON metrics missing engine.iters counter")
+	}
+	pm := get(srv.URL + "/metrics?format=prom")
+	if !strings.Contains(string(pm), `engine_op_applies_total{op="repair"}`) {
+		t.Errorf("Prometheus metrics missing engine_op_applies_total:\n%s", pm)
+	}
+}

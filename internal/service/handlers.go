@@ -164,6 +164,24 @@ func parseSolveRequest(r *http.Request) (SolveRequest, error) {
 		}
 		req.Seed = seed
 	}
+	// Portfolio engine options; normalize() rejects them for other solvers.
+	if v := q.Get("ops"); v != "" {
+		req.EngineOps = strings.Split(v, ",")
+	}
+	if v := q.Get("rounds"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, errors.Join(ErrBadRequest, err)
+		}
+		req.EngineRounds = n
+	}
+	if v := q.Get("budget"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return req, errors.Join(ErrBadRequest, err)
+		}
+		req.EngineBudget = n
+	}
 	if v := q.Get("timeout"); v == "" {
 		v = r.Header.Get("X-Solve-Timeout")
 		if v != "" {

@@ -22,12 +22,14 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nocdeploy/internal/cache"
 	"nocdeploy/internal/core"
+	"nocdeploy/internal/engine"
 	"nocdeploy/internal/obs"
 	"nocdeploy/internal/runner"
 	"nocdeploy/internal/spec"
@@ -39,12 +41,13 @@ const (
 	SolverRepair    = "repair"
 	SolverAnneal    = "anneal"
 	SolverOptimal   = "optimal"
+	SolverPortfolio = "portfolio"
 )
 
 // ValidSolver reports whether name is an accepted solver selection.
 func ValidSolver(name string) bool {
 	switch name {
-	case SolverHeuristic, SolverRepair, SolverAnneal, SolverOptimal:
+	case SolverHeuristic, SolverRepair, SolverAnneal, SolverOptimal, SolverPortfolio:
 		return true
 	}
 	return false
@@ -130,6 +133,15 @@ type SolveRequest struct {
 	Seed      int64         // solver tie-break seed
 	Timeout   time.Duration // 0 means Config.DefaultTimeout
 
+	// Portfolio engine options (SolverPortfolio only; rejected otherwise).
+	// EngineOps selects the operator portfolio by name; empty means the
+	// full built-in set. EngineRounds bounds the improvement loop and
+	// EngineBudget each warm-started exact repair (0 = engine defaults).
+	// All three change the answer, so all three are part of the cache key.
+	EngineOps    []string
+	EngineRounds int
+	EngineBudget int
+
 	// RequestID tags every trace event this request's solve emits. The
 	// HTTP layer mints it at admission; Solve assigns one when empty.
 	// Deliberately excluded from the cache key — identity never changes
@@ -156,6 +168,21 @@ func (r *SolveRequest) normalize() error {
 	if r.Seed == 0 {
 		r.Seed = 1
 	}
+	if r.Solver == SolverPortfolio {
+		if err := engine.ValidOperators(r.EngineOps); err != nil {
+			return fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		// Canonicalize "full portfolio" so an explicit full list and an
+		// empty selection share one cache entry.
+		if len(r.EngineOps) == 0 {
+			r.EngineOps = engine.OperatorNames()
+		}
+		if r.EngineRounds < 0 || r.EngineBudget < 0 {
+			return fmt.Errorf("%w: engine rounds/budget must be non-negative", ErrBadRequest)
+		}
+	} else if len(r.EngineOps) != 0 || r.EngineRounds != 0 || r.EngineBudget != 0 {
+		return fmt.Errorf("%w: engine options require solver=portfolio", ErrBadRequest)
+	}
 	if len(r.Instance.Graph.Tasks) == 0 {
 		return fmt.Errorf("%w: instance has no tasks", ErrBadRequest)
 	}
@@ -180,7 +207,15 @@ func (r *SolveRequest) cacheKey() (string, error) {
 	if err != nil {
 		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	return h + "|solver=" + r.Solver + "|obj=" + r.Objective + "|seed=" + strconv.FormatInt(r.Seed, 10), nil
+	key := h + "|solver=" + r.Solver + "|obj=" + r.Objective + "|seed=" + strconv.FormatInt(r.Seed, 10)
+	if r.Solver == SolverPortfolio {
+		// Engine options select different search trajectories, hence
+		// different (all valid) answers: no cross-engine cache hits.
+		key += "|ops=" + strings.Join(r.EngineOps, ",") +
+			"|rounds=" + strconv.Itoa(r.EngineRounds) +
+			"|budget=" + strconv.Itoa(r.EngineBudget)
+	}
+	return key, nil
 }
 
 // SolveResult is the outcome of one underlying solve, as cached and as
@@ -238,9 +273,10 @@ func New(cfg Config) *Service {
 		sinks = append(sinks, s.ring, s.bcast)
 	}
 	sinks = append(sinks, cfg.TraceSinks...)
-	if len(sinks) > 0 {
-		s.trace = obs.New(sinks...)
-	}
+	// Fold solver events into the metrics registry so per-operator engine
+	// counters (and bb.*/lp.* work counters) surface through /metrics.
+	sinks = append(sinks, obs.NewMetricsSink(cfg.Metrics))
+	s.trace = obs.New(sinks...)
 	return s
 }
 
@@ -372,6 +408,20 @@ func (s *Service) runSolve(ctx context.Context, req SolveRequest, key string, tr
 		d, info, err = core.HeuristicWithRepairCtx(ctx, sys, opts, req.Seed, 0)
 	case SolverAnneal:
 		d, info, err = core.AnnealCtx(ctx, sys, opts, core.AnnealOptions{Seed: req.Seed})
+	case SolverPortfolio:
+		// One pool worker already hosts this solve; the engine races its
+		// batch serially-reduced on one inner worker so service throughput
+		// stays governed by the service pool, not nested parallelism.
+		eo := engine.Options{
+			Seed:       req.Seed,
+			Rounds:     req.EngineRounds,
+			NodeBudget: req.EngineBudget,
+			Workers:    1,
+		}
+		eo.Operators, err = engine.BuildOperators(req.EngineOps, eo)
+		if err == nil {
+			d, info, err = engine.SolveCtx(ctx, sys, opts, eo)
+		}
 	case SolverOptimal:
 		// Warm-start branch & bound from the repaired heuristic, like
 		// cmd/deploy: a seeded incumbent both prunes the tree and guarantees
