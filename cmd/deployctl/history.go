@@ -1,0 +1,200 @@
+// Archive subcommands: history (list archived solves), report (markdown
+// regression report over two cohorts) and advise (ask the advisor which
+// solver it would pick). All three are thin clients of /v1/archive —
+// the report is rendered locally by archive.BuildReport so the exact
+// same renderer is testable offline against canned summaries.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"nocdeploy/internal/archive"
+	"nocdeploy/internal/spec"
+)
+
+// fetchSummaries lists archive record summaries matching the query.
+func (c *client) fetchSummaries(q url.Values) ([]archive.Summary, error) {
+	path := "/v1/archive"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	resp, err := c.get(path)
+	if err != nil {
+		return nil, err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	var recs []archive.Summary
+	if err := json.Unmarshal(got, &recs); err != nil {
+		return nil, fmt.Errorf("decoding archive listing: %w", err)
+	}
+	return recs, nil
+}
+
+func cmdHistory(c *client, args []string) error {
+	fs := flag.NewFlagSet("history", flag.ExitOnError)
+	n := fs.Int("n", 20, "most recent records to list (0 = all)")
+	solver := fs.String("solver", "", "filter by solver")
+	instance := fs.String("instance", "", "filter by instance hash (prefix ok)")
+	outcome := fs.String("outcome", "", "filter by outcome: ok, cancelled, error, rejected")
+	since := fs.String("since", "", "only records after this RFC3339 time or look-back duration (\"1h\")")
+	asJSON := fs.Bool("json", false, "print the raw JSON summaries instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: deployctl history [-n N] [-solver S] [-instance H] [-outcome O] [-since T] [-json]")
+	}
+	q := url.Values{}
+	if *n > 0 {
+		q.Set("limit", strconv.Itoa(*n))
+	}
+	if *solver != "" {
+		q.Set("solver", *solver)
+	}
+	if *instance != "" {
+		q.Set("instance", *instance)
+	}
+	if *outcome != "" {
+		q.Set("outcome", *outcome)
+	}
+	if *since != "" {
+		q.Set("since", *since)
+	}
+	recs, err := c.fetchSummaries(q)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(c.out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(recs)
+	}
+	tw := tabwriter.NewWriter(c.out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ID\tTIME\tINSTANCE\tTASKS\tMESH\tSOLVER\tOUTCOME\tOBJECTIVE\tRUNTIME")
+	for _, r := range recs {
+		obj := "-"
+		if r.Outcome == archive.OutcomeOK && r.Feasible {
+			obj = fmt.Sprintf("%.6g", r.FinalObjective)
+		}
+		solver := r.Solver
+		if r.Advised {
+			solver += "*" // picked by solver=auto
+		}
+		hash := r.Hash
+		if len(hash) > 12 {
+			hash = hash[:12]
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%d\t%dx%d\t%s\t%s\t%s\t%.3fs\n",
+			r.ID, r.Time.UTC().Format(time.RFC3339), hash, r.Tasks,
+			r.MeshW, r.MeshH, solver, r.Outcome, obj, r.RuntimeSeconds)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Fprintln(c.out, "(no archived solves match)")
+	}
+	return nil
+}
+
+func cmdReport(c *client, args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	solvers := fs.String("solvers", "", "compare two solvers: A,B")
+	split := fs.String("split", "", "compare before/after this RFC3339 time")
+	window := fs.Duration("window", 0, "compare the last D against everything before it")
+	rows := fs.Int("rows", 0, "per-instance table rows (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: deployctl report [-solvers A,B | -split T | -window D] [-rows N]")
+	}
+	var o archive.ReportOptions
+	o.MaxRows = *rows
+	switch {
+	case *solvers != "":
+		parts := strings.Split(*solvers, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-solvers wants exactly two names: A,B")
+		}
+		o.SolverA, o.SolverB = strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1])
+	case *split != "":
+		t, err := time.Parse(time.RFC3339, *split)
+		if err != nil {
+			return fmt.Errorf("-split: %w", err)
+		}
+		o.Split = t
+	case *window > 0:
+		o.Split = time.Now().Add(-*window)
+	default:
+		return fmt.Errorf("report needs -solvers A,B, -split T or -window D")
+	}
+	recs, err := c.fetchSummaries(url.Values{"limit": {"0"}})
+	if err != nil {
+		return err
+	}
+	md, err := archive.BuildReport(recs, o)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprint(c.out, md)
+	return err
+}
+
+func cmdAdvise(c *client, args []string) error {
+	fs := flag.NewFlagSet("advise", flag.ExitOnError)
+	in := fs.String("in", "-", "instance JSON file (- for stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	inst, err := spec.ReadInstance(*in)
+	if err != nil {
+		return err
+	}
+	body, err := json.Marshal(inst)
+	if err != nil {
+		return err
+	}
+	resp, err := c.post("/v1/archive/advise", nil, body, 0)
+	if err != nil {
+		return err
+	}
+	got, err := drainBody(resp)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("server: %s: %s", resp.Status, got)
+	}
+	var dec archive.Decision
+	if err := json.Unmarshal(got, &dec); err != nil {
+		return fmt.Errorf("decoding decision: %w", err)
+	}
+	fmt.Fprintf(c.out, "solver:     %s\n", dec.Solver)
+	fmt.Fprintf(c.out, "basis:      %s\n", dec.Basis)
+	fmt.Fprintf(c.out, "candidates: %d\n", dec.Candidates)
+	if len(dec.EngineOps) > 0 {
+		fmt.Fprintf(c.out, "ops:        %s\n", strings.Join(dec.EngineOps, ","))
+	}
+	if dec.EngineRounds > 0 {
+		fmt.Fprintf(c.out, "rounds:     %d\n", dec.EngineRounds)
+	}
+	if dec.EngineBudget > 0 {
+		fmt.Fprintf(c.out, "budget:     %d\n", dec.EngineBudget)
+	}
+	return nil
+}

@@ -7,7 +7,11 @@
 //	                                [-rounds N] [-budget N] [-async]
 //	                                [-check] [-out FILE]
 //	deployctl [-server URL] job     [-trace] ID
-//	deployctl [-server URL] watch   [-request] [-plain] ID
+//	deployctl [-server URL] watch   [-request] [-plain] [-retries N] ID
+//	deployctl [-server URL] history [-n N] [-solver S] [-instance H]
+//	                                [-outcome O] [-since T] [-json]
+//	deployctl [-server URL] report  [-solvers A,B | -split T] [-rows N]
+//	deployctl [-server URL] advise  [-in FILE]
 //	deployctl [-server URL] health
 //	deployctl [-server URL] metrics [-format json|prom]
 //	deployctl [-server URL] top     [-interval D] [-n N] [-plain]
@@ -20,8 +24,13 @@
 // trace slice (JSONL) instead of its status. watch attaches to a job's
 // live SSE event stream and renders the solve's convergence — incumbent,
 // bound, gap %, event rate — until the terminal event; -request watches
-// by request ID and -plain appends lines instead of redrawing (for CI
-// and logs). metrics -format prom asks
+// by request ID, -plain appends lines instead of redrawing (for CI and
+// logs), and a dropped stream is reconnected up to -retries times with
+// Last-Event-ID resume. history lists the server's persistent solve
+// archive (GET /v1/archive), report renders a markdown regression report
+// comparing two solvers or two time windows on shared instances, and
+// advise asks the archive-backed advisor which solver it would pick for
+// an instance (the same decision solver=auto applies). metrics -format prom asks
 // the server for the Prometheus text exposition and validates it before
 // printing. top is a live terminal dashboard — request rate, per-stage
 // latency quantiles, queue depth and cache hit rate, recomputed over
@@ -61,7 +70,7 @@ func main() {
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		log.Fatal("missing subcommand: solve, job, watch, health, metrics, top or load")
+		log.Fatal("missing subcommand: solve, job, watch, history, report, advise, health, metrics, top or load")
 	}
 	c := &client{base: *server, out: os.Stdout}
 	var err error
@@ -72,6 +81,12 @@ func main() {
 		err = cmdJob(c, args[1:])
 	case "watch":
 		err = cmdWatch(c, args[1:])
+	case "history":
+		err = cmdHistory(c, args[1:])
+	case "report":
+		err = cmdReport(c, args[1:])
+	case "advise":
+		err = cmdAdvise(c, args[1:])
 	case "health":
 		err = cmdGet(c, "/healthz")
 	case "metrics":
@@ -274,23 +289,29 @@ func cmdJob(c *client, args []string) error {
 	if err != nil {
 		return err
 	}
-	got, err := drainBody(resp)
-	if err != nil {
-		return err
-	}
 	if resp.StatusCode != http.StatusOK {
+		got, _ := drainBody(resp)
 		return fmt.Errorf("server: %s: %s", resp.Status, got)
 	}
-	// Validate before printing so a torn slice fails loudly, not silently.
-	events, err := obs.ReadJSONL(bytes.NewReader(got))
-	if err != nil {
-		return fmt.Errorf("invalid trace slice: %w", err)
+	// Stream-validate: each line is decoded before it is re-emitted, so a
+	// torn slice fails loudly mid-stream instead of printing garbage, and
+	// an arbitrarily large trace never has to fit in memory at once.
+	n := 0
+	enc := json.NewEncoder(c.out)
+	scanErr := obs.ScanJSONL(resp.Body, func(e obs.Event) error {
+		n++
+		return enc.Encode(e)
+	})
+	if cerr := resp.Body.Close(); scanErr == nil {
+		scanErr = cerr
 	}
-	if len(events) == 0 {
+	if scanErr != nil {
+		return fmt.Errorf("invalid trace slice: %w", scanErr)
+	}
+	if n == 0 {
 		return fmt.Errorf("empty trace slice for job %s", fs.Arg(0))
 	}
-	_, err = c.out.Write(got)
-	return err
+	return nil
 }
 
 func cmdGet(c *client, path string) error {

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"net/url"
+	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,37 +22,83 @@ import (
 // arrives. -request watches by request ID instead (any X-Request-ID),
 // -plain appends a line per convergence update instead of redrawing in
 // place — for logs, CI, and non-ANSI terminals.
+//
+// A dropped connection is not fatal: watch reconnects up to -retries
+// times, resuming from the last seen trace sequence number via the
+// standard Last-Event-ID header so the server replays only what was
+// missed. Only after the final retry still ends without a terminal event
+// does watch fail with the terminal-missing error.
 func cmdWatch(c *client, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ExitOnError)
 	byRequest := fs.Bool("request", false, "ID is a request ID, not a job ID")
 	plain := fs.Bool("plain", false, "append update lines instead of redrawing (no ANSI escapes)")
+	retries := fs.Int("retries", 3, "reconnects after a dropped stream (Last-Event-ID resume)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: deployctl watch [-request] [-plain] ID")
+		return fmt.Errorf("usage: deployctl watch [-request] [-plain] [-retries N] ID")
 	}
 	id := fs.Arg(0)
 	path := "/v1/jobs/" + url.PathEscape(id) + "/events"
 	if *byRequest {
 		path = "/v1/requests/" + url.PathEscape(id) + "/events"
 	}
-	resp, err := c.get(path)
-	if err != nil {
-		return err
+	st := &watchState{start: time.Now()}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.getSSE(path, st.lastSeq)
+		if err != nil {
+			lastErr = err
+		} else if resp.StatusCode != 200 {
+			// A refusal (404 unknown job, 500, ...) is an answer, not a
+			// drop: retrying cannot change it.
+			got, _ := drainBody(resp) // drainBody closes the body
+			return fmt.Errorf("server: %s: %s", resp.Status, got)
+		} else {
+			done, serr := watchStream(c, id, bufio.NewScanner(resp.Body), *plain, st)
+			if cerr := resp.Body.Close(); serr == nil {
+				serr = cerr
+			}
+			if done {
+				return serr
+			}
+			lastErr = serr
+		}
+		if attempt >= *retries {
+			if lastErr != nil {
+				return fmt.Errorf("stream dropped and %d reconnects failed: %w", *retries, lastErr)
+			}
+			return errNoTerminal
+		}
+		fmt.Fprintf(os.Stderr, "watch: stream dropped, reconnecting (%d/%d, last-event-id %d)\n",
+			attempt+1, *retries, st.lastSeq)
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
 	}
-	if resp.StatusCode != 200 {
-		got, _ := drainBody(resp) // drainBody closes the body
-		return fmt.Errorf("server: %s: %s", resp.Status, got)
-	}
-	err = watchStream(c, id, bufio.NewScanner(resp.Body), *plain)
-	if cerr := resp.Body.Close(); err == nil {
-		err = cerr
-	}
-	return err
 }
 
-// watchState folds the event stream into the convergence view.
+// errNoTerminal is the stream-ends-without-terminal contract: a stream
+// that just stops (server restart mid-drain) must fail loudly, not look
+// like a finished solve.
+var errNoTerminal = fmt.Errorf("stream ended without a terminal event (server shutdown?)")
+
+// getSSE opens an event-stream GET, resuming after lastSeq when the
+// connection is a reconnect.
+func (c *client) getSSE(path string, lastSeq int64) (*http.Response, error) {
+	req, err := http.NewRequest(http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	if lastSeq > 0 {
+		req.Header.Set("Last-Event-ID", strconv.FormatInt(lastSeq, 10))
+	}
+	return http.DefaultClient.Do(req)
+}
+
+// watchState folds the event stream into the convergence view. One state
+// spans every reconnect of a watch, so counters and the resume cursor
+// (lastSeq) survive drops.
 type watchState struct {
 	incumbent float64
 	bound     float64
@@ -60,6 +109,8 @@ type watchState struct {
 	events    int
 	drops     int
 	start     time.Time
+	lastSeq   int64 // last SSE message id seen — the Last-Event-ID resume cursor
+	redrew    bool
 }
 
 func (st *watchState) fold(e obs.Event) {
@@ -109,17 +160,23 @@ func (st *watchState) line(id string) string {
 	return s
 }
 
-// watchStream consumes the SSE stream until the terminal event. Split out
-// from cmdWatch so tests can drive it against a canned stream.
-func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
+// watchStream consumes one SSE connection. Split out from cmdWatch so
+// tests can drive it against a canned stream. done reports whether the
+// watch is finished (terminal event seen, or an unrecoverable protocol
+// error); a false return means the stream dropped and the caller may
+// reconnect, resuming from st.lastSeq.
+func watchStream(c *client, id string, sc *bufio.Scanner, plain bool, st *watchState) (done bool, err error) {
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	st := &watchState{start: time.Now()}
 	var name, data string
-	redrew := false
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
 		case strings.HasPrefix(line, ":"): // heartbeat comment
+			continue
+		case strings.HasPrefix(line, "id: "):
+			if n, perr := strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64); perr == nil && n > st.lastSeq {
+				st.lastSeq = n
+			}
 			continue
 		case strings.HasPrefix(line, "event: "):
 			name = strings.TrimPrefix(line, "event: ")
@@ -127,7 +184,7 @@ func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
 		case strings.HasPrefix(line, "data: "):
 			data = strings.TrimPrefix(line, "data: ")
 			continue
-		case line != "": // id: or unknown field
+		case line != "": // unknown field
 			continue
 		}
 		// Blank line: dispatch the accumulated message.
@@ -136,16 +193,16 @@ func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
 		}
 		var e obs.Event
 		if err := json.Unmarshal([]byte(data), &e); err != nil {
-			return fmt.Errorf("bad event payload %q: %w", data, err)
+			return true, fmt.Errorf("bad event payload %q: %w", data, err)
 		}
 		if e.Kind == obs.SolveDone && e.Label == "request" {
 			// Terminal: the request is finished; report the outcome.
-			if redrew {
+			if st.redrew {
 				fmt.Fprintln(c.out)
 			}
 			fmt.Fprintf(c.out, "done: outcome=%s events=%d drops=%d elapsed=%s\n",
 				e.Phase, st.events, st.drops, time.Since(st.start).Round(time.Millisecond))
-			return nil
+			return true, nil
 		}
 		st.fold(e)
 		progress := e.Kind == obs.BBIncumbent || e.Kind == obs.BBGap ||
@@ -158,15 +215,16 @@ func watchStream(c *client, id string, sc *bufio.Scanner, plain bool) error {
 		} else {
 			// Redraw in place; \r keeps it to one terminal line.
 			fmt.Fprintf(c.out, "\r\x1b[2K%s", st.line(id))
-			redrew = true
+			st.redrew = true
 		}
 		name, data = "", ""
 	}
 	if err := sc.Err(); err != nil {
-		return fmt.Errorf("stream read: %w", err)
+		return false, fmt.Errorf("stream read: %w", err)
 	}
-	if redrew {
+	if st.redrew {
 		fmt.Fprintln(c.out)
+		st.redrew = false
 	}
-	return fmt.Errorf("stream ended without a terminal event (server shutdown?)")
+	return false, nil
 }

@@ -4,8 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"nocdeploy/internal/service"
 )
@@ -35,9 +40,16 @@ func TestWatchStreamParsing(t *testing.T) {
 
 	var out bytes.Buffer
 	c := &client{base: "http://unused", out: &out}
-	err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true)
+	st := &watchState{start: time.Now()}
+	done, err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true, st)
 	if err != nil {
 		t.Fatalf("watchStream: %v", err)
+	}
+	if !done {
+		t.Fatal("terminal event did not finish the watch")
+	}
+	if st.lastSeq != 9 {
+		t.Errorf("lastSeq = %d, want 9 (resume cursor from id: lines)", st.lastSeq)
 	}
 	got := out.String()
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
@@ -53,9 +65,9 @@ func TestWatchStreamParsing(t *testing.T) {
 	if !strings.Contains(lines[2], "bound=11") || !strings.Contains(lines[2], "gap=12.00%") {
 		t.Errorf("bb.gap update line = %q", lines[2])
 	}
-	done := lines[3]
-	if !strings.HasPrefix(done, "done: outcome=cancelled") || !strings.Contains(done, "drops=7") {
-		t.Errorf("terminal line = %q", done)
+	term := lines[3]
+	if !strings.HasPrefix(term, "done: outcome=cancelled") || !strings.Contains(term, "drops=7") {
+		t.Errorf("terminal line = %q", term)
 	}
 }
 
@@ -84,9 +96,12 @@ func TestWatchStreamEngineOperatorColumn(t *testing.T) {
 
 	var out bytes.Buffer
 	c := &client{base: "http://unused", out: &out}
-	err := watchStream(c, "job-2", bufio.NewScanner(strings.NewReader(stream)), true)
+	done, err := watchStream(c, "job-2", bufio.NewScanner(strings.NewReader(stream)), true, &watchState{start: time.Now()})
 	if err != nil {
 		t.Fatalf("watchStream: %v", err)
+	}
+	if !done {
+		t.Fatal("terminal event did not finish the watch")
 	}
 	got := out.String()
 	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
@@ -110,14 +125,66 @@ func TestWatchStreamEngineOperatorColumn(t *testing.T) {
 }
 
 // TestWatchStreamWithoutTerminal: a stream that just stops (server went
-// away) is an error, not a silent success.
+// away) reports "not done" so cmdWatch reconnects — and once the retries
+// are exhausted, the watch as a whole fails with the terminal-missing
+// error rather than looking like a finished solve.
 func TestWatchStreamWithoutTerminal(t *testing.T) {
 	stream := "event: bb.incumbent\ndata: {\"kind\":\"bb.incumbent\",\"obj\":1}\n\n"
 	var out bytes.Buffer
 	c := &client{base: "http://unused", out: &out}
-	err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true)
+	done, err := watchStream(c, "job-1", bufio.NewScanner(strings.NewReader(stream)), true, &watchState{start: time.Now()})
+	if err != nil {
+		t.Fatalf("watchStream: %v", err)
+	}
+	if done {
+		t.Fatal("stream without a terminal event reported done")
+	}
+
+	// End to end: a server whose streams always end terminal-less must
+	// fail the watch after the retries run out.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, stream)
+	}))
+	defer srv.Close()
+	err = cmdWatch(&client{base: srv.URL, out: &out}, []string{"-plain", "-retries", "1", "job-1"})
 	if err == nil || !strings.Contains(err.Error(), "without a terminal") {
 		t.Fatalf("err = %v, want terminal-missing error", err)
+	}
+}
+
+// TestWatchReconnect: a dropped SSE connection is retried with the
+// Last-Event-ID header set to the last seen sequence number, and the
+// resumed stream completes the watch.
+func TestWatchReconnect(t *testing.T) {
+	var conns atomic.Int64
+	var resumeID atomic.Value // Last-Event-ID header of the second connection
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		if conns.Add(1) == 1 {
+			// First connection: one incumbent, then the server "dies".
+			fmt.Fprint(w, "id: 5\nevent: bb.incumbent\ndata: {\"seq\":5,\"kind\":\"bb.incumbent\",\"obj\":9.5}\n\n")
+			return
+		}
+		resumeID.Store(r.Header.Get("Last-Event-ID"))
+		fmt.Fprint(w, "id: 8\nevent: bb.gap\ndata: {\"seq\":8,\"kind\":\"bb.gap\",\"obj\":9.5,\"bound\":9.0,\"gap\":0.05}\n\n")
+		fmt.Fprint(w, "event: solve.done\ndata: {\"kind\":\"solve.done\",\"label\":\"request\",\"phase\":\"ok\",\"dur\":0.1}\n\n")
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	c := &client{base: srv.URL, out: &out}
+	if err := cmdWatch(c, []string{"-plain", "job-7"}); err != nil {
+		t.Fatalf("watch: %v", err)
+	}
+	if got := conns.Load(); got != 2 {
+		t.Fatalf("server saw %d connections, want 2 (one drop, one resume)", got)
+	}
+	if got, _ := resumeID.Load().(string); got != "5" {
+		t.Fatalf("reconnect Last-Event-ID = %q, want \"5\"", got)
+	}
+	if !strings.Contains(out.String(), "done: outcome=ok") {
+		t.Fatalf("resumed watch has no terminal line:\n%s", out.String())
 	}
 }
 

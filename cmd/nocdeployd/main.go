@@ -9,6 +9,8 @@
 //	           [-max-timeout D] [-drain-grace D] [-trace-buffer N]
 //	           [-stream-buffer N] [-heartbeat D] [-flight-recorder N]
 //	           [-access-log FILE] [-debug-addr HOST:PORT]
+//	           [-archive-dir DIR] [-archive-retention BYTES]
+//	           [-archive-max-age D]
 //
 // The daemon answers POST /v1/solve, GET /v1/jobs/{id}, GET /healthz and
 // GET /metrics (JSON by default, Prometheus text with Accept: text/plain
@@ -23,6 +25,13 @@
 // to failed or cancelled job records. -access-log writes one JSON line per
 // request ("-" for stderr); -debug-addr starts a second listener serving
 // net/http/pprof, kept off the public API surface on purpose.
+//
+// -archive-dir enables the persistent solve archive (internal/archive):
+// every non-cached solve is recorded as segmented JSONL under DIR,
+// queryable at GET /v1/archive (deployctl history/report/advise) and
+// powering solver=auto. -archive-retention bounds total on-disk bytes
+// and -archive-max-age expires old records; the index is recovered from
+// the segments on restart, so history survives daemon restarts.
 //
 // On SIGTERM/SIGINT the daemon stops accepting work, drains in-flight
 // requests and queued solves, and exits 0 — orchestrators can treat a
@@ -44,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"nocdeploy/internal/archive"
 	"nocdeploy/internal/obs"
 	"nocdeploy/internal/service"
 )
@@ -67,6 +77,9 @@ func main() {
 		flightRec   = flag.Int("flight-recorder", 64, "trailing trace events kept on failed/cancelled jobs (0 disables)")
 		accessLog   = flag.String("access-log", "", "structured access log destination (- for stderr, empty disables)")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+		archiveDir  = flag.String("archive-dir", "", "persistent solve archive directory (empty disables)")
+		archiveMax  = flag.Int64("archive-retention", 256<<20, "archive size bound in bytes (oldest segments deleted past it)")
+		archiveAge  = flag.Duration("archive-max-age", 0, "expire archive records older than this (0 = keep forever)")
 	)
 	flag.Parse()
 
@@ -88,6 +101,18 @@ func main() {
 	if fr <= 0 {
 		fr = -1
 	}
+	var arch *archive.Store
+	if *archiveDir != "" {
+		arch, err = archive.Open(archive.Options{
+			Dir:      *archiveDir,
+			MaxBytes: *archiveMax,
+			MaxAge:   *archiveAge,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// service.Close closes the store (it owns it from here).
+	}
 	svc := service.New(service.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -101,6 +126,7 @@ func main() {
 		Heartbeat:      *heartbeat,
 		FlightRecorder: fr,
 		AccessLog:      alog,
+		Archive:        arch,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -1,0 +1,122 @@
+package archive
+
+import "testing"
+
+// memStore builds a memory-mode store preloaded with summaries.
+func memStore(t *testing.T, recs ...*Record) *Store {
+	t.Helper()
+	s, err := Open(Options{Clock: testClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	for _, r := range recs {
+		s.Append(r)
+	}
+	return s
+}
+
+func TestAdviseInstanceTier(t *testing.T) {
+	s := memStore(t,
+		rec("h1", "repair", 10, at(1)),
+		rec("h1", "anneal", 8, at(2)),
+		rec("h1", "anneal", 9, at(3)),
+		rec("h2", "repair", 1, at(4)), // other instance: must not matter
+	)
+	d := s.Advise(Signature{Hash: "h1", Tasks: 8, MeshW: 2, MeshH: 2})
+	if d.Solver != "anneal" || d.Basis != "instance" {
+		t.Fatalf("decision = %+v, want anneal via instance tier", d)
+	}
+	if d.Candidates != 3 {
+		t.Fatalf("candidates = %d, want 3", d.Candidates)
+	}
+}
+
+func TestAdviseFamilyTier(t *testing.T) {
+	// No history for the target hash; family = same mesh, task count
+	// within 2x. Two instances where anneal beats repair head-to-head.
+	s := memStore(t,
+		rec("h1", "repair", 10, at(1)),
+		rec("h1", "anneal", 8, at(2)),
+		rec("h2", "repair", 12, at(3)),
+		rec("h2", "anneal", 11, at(4)),
+	)
+	d := s.Advise(Signature{Hash: "h-unseen", Tasks: 10, MeshW: 2, MeshH: 2})
+	if d.Solver != "anneal" || d.Basis != "family" {
+		t.Fatalf("decision = %+v, want anneal via family tier", d)
+	}
+
+	// A different mesh breaks the family: falls through to global (same
+	// records, so same winner, different basis).
+	d = s.Advise(Signature{Hash: "h-unseen", Tasks: 10, MeshW: 4, MeshH: 4})
+	if d.Solver != "anneal" || d.Basis != "global" {
+		t.Fatalf("decision = %+v, want anneal via global tier", d)
+	}
+}
+
+func TestAdviseDefaultTier(t *testing.T) {
+	// Single-solver history has no head-to-head wins: win-based tiers
+	// refuse to decide and the default solver comes back.
+	s := memStore(t, rec("h1", "anneal", 8, at(1)))
+	d := s.Advise(Signature{Hash: "h-unseen", Tasks: 8, MeshW: 2, MeshH: 2})
+	if d.Solver != DefaultSolver || d.Basis != "default" {
+		t.Fatalf("decision = %+v, want the default solver", d)
+	}
+
+	// Nil store: same degradation, so solver=auto works with the archive
+	// disabled.
+	var nilStore *Store
+	d = nilStore.Advise(Signature{Tasks: 8})
+	if d.Solver != DefaultSolver || d.Basis != "default" {
+		t.Fatalf("nil-store decision = %+v", d)
+	}
+}
+
+func TestAdvisePortfolioCarriesEngineOptions(t *testing.T) {
+	p1 := rec("h1", "portfolio", 7, at(1))
+	p1.EngineOps = []string{"ruin", "exact"}
+	p1.EngineRounds = 3
+	p1.EngineBudget = 16
+	p2 := rec("h1", "portfolio", 9, at(2)) // worse: its options must lose
+	p2.EngineOps = []string{"anneal"}
+	s := memStore(t, p1, rec("h1", "repair", 10, at(3)), p2)
+	d := s.Advise(Signature{Hash: "h1", Tasks: 8, MeshW: 2, MeshH: 2})
+	if d.Solver != "portfolio" {
+		t.Fatalf("decision = %+v", d)
+	}
+	if len(d.EngineOps) != 2 || d.EngineOps[0] != "ruin" || d.EngineRounds != 3 || d.EngineBudget != 16 {
+		t.Fatalf("engine options not copied from the best record: %+v", d)
+	}
+}
+
+func TestAdviseIgnoresInfeasibleAndFailed(t *testing.T) {
+	bad := rec("h1", "anneal", 1, at(1))
+	bad.Outcome = OutcomeError
+	bad.Feasible = false
+	infeasible := rec("h1", "heuristic", 0.5, at(2))
+	infeasible.Feasible = false
+	s := memStore(t, bad, infeasible, rec("h1", "repair", 10, at(3)))
+	d := s.Advise(Signature{Hash: "h1", Tasks: 8, MeshW: 2, MeshH: 2})
+	if d.Solver != "repair" || d.Basis != "instance" {
+		t.Fatalf("decision = %+v: failed/infeasible records leaked into advice", d)
+	}
+}
+
+func TestAdviseDeterministicTieBreak(t *testing.T) {
+	// Identical objectives: the lexically smaller solver must win, every
+	// time, regardless of append order.
+	for range 5 {
+		s := memStore(t,
+			rec("h1", "zeta", 10, at(1)),
+			rec("h1", "alpha", 10, at(2)),
+		)
+		d := s.Advise(Signature{Hash: "h1", Tasks: 8, MeshW: 2, MeshH: 2})
+		if d.Solver != "alpha" {
+			t.Fatalf("tie broke to %q, want alpha", d.Solver)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package archive
+
+import (
+	"fmt"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+func TestCollectorFold(t *testing.T) {
+	c := NewCollector(0, 0)
+	c.Write(obs.Event{Kind: obs.BBIncumbent, Req: "r1", T: 0.1, Obj: 20})
+	c.Write(obs.Event{Kind: obs.EngineIter, Req: "r1", T: 0.2, Obj: 18})
+	c.Write(obs.Event{Kind: obs.BBIncumbent, Req: "r2", T: 0.1, Obj: 7}) // other request
+	c.Write(obs.Event{Kind: obs.BBIncumbent, T: 0.3, Obj: 1})            // no request ID: ignored
+	c.Write(obs.Event{Kind: obs.EngineOpApply, Req: "r1", Label: "repair", Phase: "improved", Dur: 0.05})
+	c.Write(obs.Event{Kind: obs.EngineOpApply, Req: "r1", Label: "repair", Phase: "feasible", Dur: 0.03})
+	c.Write(obs.Event{Kind: obs.EngineOpApply, Req: "r1", Label: "anneal", Phase: "improved", Dur: 0.01})
+
+	traj, ops := c.Take("r1")
+	if len(traj) != 2 || traj[0].Obj != 20 || traj[1].Obj != 18 {
+		t.Fatalf("trajectory = %+v", traj)
+	}
+	if ops["repair"].Applies != 2 || ops["repair"].Improvements != 1 {
+		t.Fatalf("repair op stats = %+v", ops["repair"])
+	}
+	if ops["anneal"].Improvements != 1 {
+		t.Fatalf("anneal op stats = %+v", ops["anneal"])
+	}
+	// Take removes: a second Take is empty.
+	if traj, ops := c.Take("r1"); traj != nil || ops != nil {
+		t.Fatal("Take did not remove the request")
+	}
+	// The other request was untouched.
+	if traj, _ := c.Take("r2"); len(traj) != 1 || traj[0].Obj != 7 {
+		t.Fatalf("r2 trajectory = %+v", traj)
+	}
+}
+
+func TestCollectorDecimation(t *testing.T) {
+	const maxPoints = 16
+	c := NewCollector(0, maxPoints)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		c.Write(obs.Event{Kind: obs.BBIncumbent, Req: "r", T: float64(i), Obj: float64(n - i)})
+	}
+	traj, _ := c.Take("r")
+	if len(traj) == 0 || len(traj) > maxPoints {
+		t.Fatalf("decimated trajectory has %d points, want 1..%d", len(traj), maxPoints)
+	}
+	if traj[0].T != 0 {
+		t.Fatalf("first point = %+v, want the solve's start", traj[0])
+	}
+	for i := 1; i < len(traj); i++ {
+		if traj[i].T <= traj[i-1].T {
+			t.Fatalf("trajectory not monotone at %d: %+v", i, traj[i-1:i+1])
+		}
+	}
+}
+
+func TestCollectorBoundedRequests(t *testing.T) {
+	c := NewCollector(4, 0)
+	for i := 0; i < 10; i++ {
+		c.Write(obs.Event{Kind: obs.BBIncumbent, Req: fmt.Sprintf("r%d", i), Obj: 1})
+	}
+	// Oldest evicted: an evicted request folds to empty, never errors.
+	if traj, _ := c.Take("r0"); traj != nil {
+		t.Fatal("evicted request still tracked")
+	}
+	if traj, _ := c.Take("r9"); len(traj) != 1 {
+		t.Fatal("latest request lost")
+	}
+	// Nil-safety mirrors the rest of the observability plumbing.
+	var nilC *Collector
+	if traj, ops := nilC.Take("r"); traj != nil || ops != nil {
+		t.Fatal("nil collector Take not empty")
+	}
+}

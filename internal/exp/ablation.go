@@ -265,5 +265,6 @@ func ExtensionRunners() []Runner {
 		{"ext-anneal", RunAblationAnneal},
 		{"ext-opt4x4", RunOptimal4x4},
 		{"ext-portfolio", RunPortfolio},
+		{"ext-advisor", RunAdvisor},
 	}
 }

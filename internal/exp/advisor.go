@@ -1,0 +1,170 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"nocdeploy/internal/archive"
+	"nocdeploy/internal/core"
+	"nocdeploy/internal/obs"
+)
+
+// advisorSolvers are the fixed baselines the advisor chooses between —
+// the cheap deterministic trio, so the table is a pure function of the
+// Config at benchmark-friendly cost.
+var advisorSolvers = []string{"heuristic", "repair", "anneal"}
+
+// runAdvisorSolver runs one named baseline on one instance.
+func runAdvisorSolver(name string, s *core.System, opts core.Options, seed int64) (*core.SolveInfo, error) {
+	switch name {
+	case "heuristic":
+		_, info, err := core.Heuristic(s, opts, seed)
+		return info, err
+	case "repair":
+		_, info, err := core.HeuristicWithRepair(s, opts, seed, 0)
+		return info, err
+	case "anneal":
+		_, info, err := core.Anneal(s, opts, core.AnnealOptions{Seed: seed, Iters: 800})
+		return info, err
+	}
+	return nil, fmt.Errorf("exp: unknown advisor baseline %q", name)
+}
+
+// RunAdvisor evaluates the archive's history-driven solver advisor
+// (archive.Advise, the engine behind the service's solver=auto) against
+// fixed-solver baselines. Per sweep point, the trial instances are split
+// into a training prefix and held-out tail: every baseline solves every
+// instance, the training solves are recorded into a memory-only archive
+// under a fake clock (the exp package never reads the wall clock), and
+// the advisor — seeing only the held-out instance's shape signature,
+// never its hash — picks a solver per held-out instance via the family
+// tier. The table compares the advisor's achieved energy against the best
+// and worst fixed solver (chosen per point in hindsight over the held-out
+// set), with the hit count of per-instance optimal picks.
+func RunAdvisor(cfg Config) (*Table, error) {
+	ms := []int{6, 8}
+	reps := cfg.reps(5)
+	train := reps / 2
+	if train < 1 {
+		train = 1
+	}
+	if train >= reps {
+		// One trial: train and test on it (degenerate, Quick-proof).
+		train = reps - 1
+		if train < 1 {
+			train = 0
+		}
+	}
+	t := &Table{
+		Title:  "History-driven solver advice (extension)",
+		Note:   fmt.Sprintf("2x2 mesh, L=3; %d training / %d held-out instances per point; family-tier advice", train, reps-train),
+		Header: []string{"M", "E(best-fixed)", "E(worst-fixed)", "E(advisor)", "hits"},
+	}
+	type result struct {
+		obj map[string]float64 // solver -> objective, feasible solves only
+	}
+	cells, err := evalGrid(cfg, len(ms), reps, func(point, rep int) (result, error) {
+		r := result{obj: map[string]float64{}}
+		s, err := Build(smallOptimal(ms[point], 1.2, cfg.instanceSeed(point, rep)))
+		if err != nil {
+			return r, err
+		}
+		opts := core.Options{Trace: cfg.Trace}
+		seed := cfg.instanceSeed(point, rep)
+		for _, name := range advisorSolvers {
+			info, err := runAdvisorSolver(name, s, opts, seed)
+			if err != nil {
+				return r, err
+			}
+			if info.Feasible {
+				r.obj[name] = info.Objective
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for point, m := range ms {
+		// Fake clock: appends happen serially below, so a simple counter
+		// gives every record a distinct deterministic timestamp.
+		tick := int64(0)
+		store, err := archive.Open(archive.Options{Clock: obs.Clock(func() time.Time {
+			tick++
+			return time.Unix(1_700_000_000+tick, 0)
+		})})
+		if err != nil {
+			return nil, err
+		}
+		for rep := 0; rep < train; rep++ {
+			for _, name := range advisorSolvers {
+				obj, ok := cells[point][rep].obj[name]
+				if !ok {
+					continue
+				}
+				store.Append(&archive.Record{Summary: archive.Summary{
+					Hash:           fmt.Sprintf("exp-advisor-p%d-t%d", point, rep),
+					Tasks:          m,
+					MeshW:          2,
+					MeshH:          2,
+					Solver:         name,
+					Objective:      "be",
+					Outcome:        archive.OutcomeOK,
+					Feasible:       true,
+					FinalObjective: obj,
+				}})
+			}
+		}
+
+		// Hindsight baselines over the held-out tail: the single fixed
+		// solver with the lowest (best) / highest (worst) mean energy.
+		perSolver := map[string][]float64{}
+		var advised []float64
+		hits, tests := 0, 0
+		for rep := train; rep < reps; rep++ {
+			objs := cells[point][rep].obj
+			if len(objs) < len(advisorSolvers) {
+				continue // a solver went infeasible; skip the pair
+			}
+			tests++
+			for name, obj := range objs {
+				perSolver[name] = append(perSolver[name], obj)
+			}
+			dec := store.Advise(archive.Signature{Tasks: m, MeshW: 2, MeshH: 2})
+			advised = append(advised, objs[dec.Solver])
+			best := ""
+			for _, name := range advisorSolvers {
+				if best == "" || objs[name] < objs[best] {
+					best = name
+				}
+			}
+			if dec.Solver == best {
+				hits++
+			}
+		}
+		if err := store.Close(); err != nil {
+			return nil, err
+		}
+
+		names := make([]string, 0, len(perSolver))
+		for name := range perSolver {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		bestE, worstE := 0.0, 0.0
+		for i, name := range names {
+			e := mean(perSolver[name])
+			if i == 0 || e < bestE {
+				bestE = e
+			}
+			if i == 0 || e > worstE {
+				worstE = e
+			}
+		}
+		t.AddRow(fmt.Sprintf("%d", m), f3(bestE), f3(worstE), f3(mean(advised)),
+			fmt.Sprintf("%d/%d", hits, tests))
+	}
+	return t, nil
+}

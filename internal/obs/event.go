@@ -103,6 +103,18 @@ const (
 	// compactly as "op=score,op=score,…" in operator order.
 	EngineWeights Kind = "engine.weights"
 
+	// ArchiveRecord: the solve archive persisted one solve record
+	// (internal/archive). Label names the solver, Phase the recorded
+	// outcome, Node the encoded record size in bytes and Dur the append
+	// wall time in seconds — the write happened on the archive's async
+	// writer, never on the solve path.
+	ArchiveRecord Kind = "archive.record"
+	// ArchiveAdvise: the history-driven advisor resolved a solver=auto
+	// request. Label is the recommended solver, Phase the decision basis
+	// ("instance", "family", "global" or "default") and Node the number of
+	// archived records consulted.
+	ArchiveAdvise Kind = "archive.advise"
+
 	// StreamGap: an in-band drop marker synthesized by a BroadcastSink
 	// subscription, never emitted through a Trace. A slow subscriber whose
 	// bounded buffer overflowed sees exactly one StreamGap in place of the

@@ -1,0 +1,58 @@
+package obs_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+// TestPrometheusLabelEscapingRoundTrip pins the exposition escaping
+// contract for the three characters the format escapes in label values —
+// backslash, newline, double-quote — by driving each through Key →
+// WritePrometheus → ParsePrometheus and requiring the original value
+// back.
+func TestPrometheusLabelEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`back\slash`,
+		"new\nline",
+		`double"quote`,
+		`all\of"them` + "\n" + `at\\once`,
+	}
+	m := obs.NewMetrics()
+	for i, v := range values {
+		m.Add(obs.Key("escape_events", "v", v), int64(i+1))
+		m.Set(obs.Key("escape_level", "v", v), float64(i)+0.5)
+	}
+	var buf bytes.Buffer
+	if err := obs.WritePrometheus(&buf, m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := obs.ParsePrometheus(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not re-parse: %v\n%s", err, buf.String())
+	}
+
+	check := func(famName string, want map[string]bool) {
+		t.Helper()
+		fam := fams[famName]
+		if fam == nil {
+			t.Fatalf("family %s missing:\n%s", famName, buf.String())
+		}
+		got := map[string]bool{}
+		for _, smp := range fam.Samples {
+			got[smp.Labels["v"]] = true
+		}
+		for v := range want {
+			if !got[v] {
+				t.Errorf("%s: label value %q did not round-trip (got %v)", famName, v, got)
+			}
+		}
+	}
+	want := map[string]bool{}
+	for _, v := range values {
+		want[v] = true
+	}
+	check("escape_events_total", want)
+	check("escape_level", want)
+}

@@ -1,0 +1,60 @@
+package obs_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nocdeploy/internal/obs"
+)
+
+func TestScanJSONLStreams(t *testing.T) {
+	in := `{"seq":1,"kind":"solve.start","label":"anneal"}
+{"seq":2,"kind":"solve.done","label":"anneal"}
+`
+	var kinds []obs.Kind
+	err := obs.ScanJSONL(strings.NewReader(in), func(e obs.Event) error {
+		kinds = append(kinds, e.Kind)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ScanJSONL: %v", err)
+	}
+	if len(kinds) != 2 || kinds[0] != obs.SolveStart || kinds[1] != obs.SolveDone {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+func TestScanJSONLFnErrorReturnedVerbatim(t *testing.T) {
+	in := `{"seq":1,"kind":"solve.start"}
+{"seq":2,"kind":"solve.done"}
+`
+	sentinel := errors.New("stop here")
+	calls := 0
+	err := obs.ScanJSONL(strings.NewReader(in), func(obs.Event) error {
+		calls++
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the fn error verbatim", err)
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times after erroring, want 1", calls)
+	}
+}
+
+func TestScanJSONLTornTailDeliversPrefix(t *testing.T) {
+	in := `{"seq":1,"kind":"solve.start"}
+{"seq":2,"kind":"solve.do` // torn mid-line by a crashed writer
+	var seqs []int64
+	err := obs.ScanJSONL(strings.NewReader(in), func(e obs.Event) error {
+		seqs = append(seqs, e.Seq)
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want a line-2 decode error", err)
+	}
+	if len(seqs) != 1 || seqs[0] != 1 {
+		t.Fatalf("intact prefix not delivered before the error: %v", seqs)
+	}
+}

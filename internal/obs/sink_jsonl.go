@@ -64,17 +64,18 @@ func (s *JSONLSink) Close() error {
 	return s.err
 }
 
-// ReadJSONL decodes a JSONL trace back into events — the inverse of
-// JSONLSink, used by tests and analysis tooling. Decoding is
-// line-oriented: blank lines are skipped, and a line that is not a valid
-// event object (corrupt, or a final line truncated by a crashed writer)
-// stops the read with an error naming its 1-based line number. Every
-// event decoded before the bad line is still returned, so a torn trace
-// file yields its intact prefix.
-func ReadJSONL(r io.Reader) ([]Event, error) {
+// ScanJSONL decodes a JSONL trace one event at a time, calling fn for
+// each — the streaming inverse of JSONLSink, for consumers (archive
+// trajectory folding, trace-slice validation) that must not materialize
+// an O(file) slice. Decoding is line-oriented: blank lines are skipped,
+// and a line that is not a valid event object (corrupt, or a final line
+// truncated by a crashed writer) stops the scan with an error naming its
+// 1-based line number; every event before the bad line has already been
+// delivered, so a torn trace yields its intact prefix. A non-nil error
+// from fn stops the scan and is returned verbatim.
+func ScanJSONL(r io.Reader, fn func(Event) error) error {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	var out []Event
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -84,12 +85,26 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(line, &e); err != nil {
-			return out, fmt.Errorf("obs: jsonl line %d: %w", lineNo, err)
+			return fmt.Errorf("obs: jsonl line %d: %w", lineNo, err)
 		}
-		out = append(out, e)
+		if err := fn(e); err != nil {
+			return err
+		}
 	}
 	if err := sc.Err(); err != nil {
-		return out, fmt.Errorf("obs: jsonl line %d: %w", lineNo+1, err)
+		return fmt.Errorf("obs: jsonl line %d: %w", lineNo+1, err)
 	}
-	return out, nil
+	return nil
+}
+
+// ReadJSONL decodes a whole JSONL trace back into events — ScanJSONL
+// materialized, used by tests and analysis tooling that want the slice.
+// A decode error still returns every event before the bad line.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	err := ScanJSONL(r, func(e Event) error {
+		out = append(out, e)
+		return nil
+	})
+	return out, err
 }

@@ -74,6 +74,13 @@ func (s *MetricsSink) Write(e Event) {
 		if e.Phase == "improved" {
 			s.m.Add(Key("engine.op.improvements", "op", e.Label), 1)
 		}
+	case ArchiveRecord:
+		s.m.Add("archive.records", 1)
+		s.m.Add("archive.bytes", int64(e.Node))
+		s.m.Observe("archive.append_seconds", e.Dur)
+	case ArchiveAdvise:
+		s.m.Add(Key("advisor.decisions", "basis", e.Phase), 1)
+		s.m.Add(Key("advisor.solver", "solver", e.Label), 1)
 	case PoolTaskStart:
 		s.m.Add("pool.tasks", 1)
 		s.active++

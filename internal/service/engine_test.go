@@ -26,7 +26,7 @@ func TestEngineOptionsCacheKeys(t *testing.T) {
 		if err := req.normalize(); err != nil {
 			t.Fatalf("normalize: %v", err)
 		}
-		key, err := req.cacheKey()
+		key, _, err := req.cacheKey()
 		if err != nil {
 			t.Fatalf("cacheKey: %v", err)
 		}
@@ -55,7 +55,7 @@ func TestEngineOptionsCacheKeys(t *testing.T) {
 	if err := plain.normalize(); err != nil {
 		t.Fatal(err)
 	}
-	plainKey, err := plain.cacheKey()
+	plainKey, _, err := plain.cacheKey()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +72,7 @@ func TestNoCrossEngineCacheHits(t *testing.T) {
 	var mu sync.Mutex
 	seen := make(map[string]int) // cache key → underlying solve count
 	svc.solveHook = func(ctx context.Context, req SolveRequest) (*SolveResult, error) {
-		key, err := req.cacheKey()
+		key, _, err := req.cacheKey()
 		if err != nil {
 			return nil, err
 		}

@@ -22,6 +22,11 @@ import (
 //	GET  /v1/jobs/{id}/events      live SSE stream of the job's solve (see stream.go)
 //	GET  /v1/requests/{id}/trace   a request's trace slice by request ID (JSONL)
 //	GET  /v1/requests/{id}/events  live SSE stream by request ID (?kinds= filter)
+//	GET  /v1/archive               archived solve summaries (filters: instance,
+//	                               solver, outcome, since, until, limit)
+//	GET  /v1/archive/stats         per-solver aggregates + store accounting
+//	GET  /v1/archive/{id}          one full archived solve record
+//	POST /v1/archive/advise        advisor decision for an instance (no solve)
 //	GET  /healthz                  liveness
 //	GET  /metrics                 metrics: obs.Metrics JSON snapshot by
 //	                              default; Prometheus text exposition
@@ -30,7 +35,9 @@ import (
 //
 // POST /v1/solve query parameters (all optional):
 //
-//	solver     heuristic (default) | repair | anneal | optimal
+//	solver     heuristic (default) | repair | anneal | optimal | portfolio |
+//	           auto (archive advisor picks from this instance's history;
+//	           the response carries X-Advised-Solver and X-Advise-Basis)
 //	objective  be (default) | me
 //	seed       solver tie-break seed (default 1)
 //	timeout    per-request solve budget, e.g. 50ms (or X-Solve-Timeout)
@@ -48,6 +55,10 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleJobEvents)
 	mux.HandleFunc("GET /v1/requests/{id}/trace", s.handleRequestTrace)
 	mux.HandleFunc("GET /v1/requests/{id}/events", s.handleRequestEvents)
+	mux.HandleFunc("GET /v1/archive", s.handleArchiveList)
+	mux.HandleFunc("GET /v1/archive/stats", s.handleArchiveStats)
+	mux.HandleFunc("GET /v1/archive/{id}", s.handleArchiveGet)
+	mux.HandleFunc("POST /v1/archive/advise", s.handleArchiveAdvise)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s.observeRequests(mux)
@@ -213,6 +224,13 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	admit := time.Now()
 	req, err := parseSolveRequest(r)
 	if err == nil {
+		if ri != nil {
+			req.RequestID = ri.id
+		}
+		// Resolve solver=auto before validation: the advisor decision is
+		// part of admission, and the solve below runs a plain explicit
+		// request.
+		s.resolveAuto(&req)
 		err = req.normalize()
 	}
 	if err != nil {
@@ -221,8 +239,9 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, errorStatus(err), err)
 		return
 	}
-	if ri != nil {
-		req.RequestID = ri.id
+	if req.Advice != nil {
+		w.Header().Set("X-Advised-Solver", req.Advice.Solver)
+		w.Header().Set("X-Advise-Basis", req.Advice.Basis)
 	}
 	mode := "sync"
 	if r.URL.Query().Get("mode") == "async" {

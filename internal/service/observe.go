@@ -170,6 +170,15 @@ func (s *Service) refreshGauges() {
 		s.met.Set("stream.subscribers", float64(s.bcast.Subscribers()))
 		s.met.Set("stream.dropped", float64(s.bcast.Dropped()))
 	}
+	if s.arch != nil {
+		ast := s.arch.StoreStats()
+		s.met.Set("archive.index_records", float64(ast.Records))
+		s.met.Set("archive.pending", float64(ast.Pending))
+		s.met.Set("archive.dropped", float64(ast.Dropped))
+		s.met.Set("archive.disk_bytes", float64(ast.DiskBytes))
+		s.met.Set("archive.segments", float64(ast.Segments))
+	}
+	s.met.Set("uptime_seconds", s.clock.Now().Sub(s.start).Seconds())
 
 	// Go runtime health, so a scrape sees goroutine leaks and heap/GC
 	// pressure next to the service's own gauges. ReadMemStats is a brief

@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nocdeploy/internal/archive"
 	"nocdeploy/internal/cache"
 	"nocdeploy/internal/core"
 	"nocdeploy/internal/engine"
@@ -42,6 +43,12 @@ const (
 	SolverAnneal    = "anneal"
 	SolverOptimal   = "optimal"
 	SolverPortfolio = "portfolio"
+
+	// SolverAuto asks the archive advisor to pick the solver from this
+	// instance's history (see resolveAuto). It is resolved to a concrete
+	// solver before normalization, so it never reaches the cache key or
+	// the solver switch.
+	SolverAuto = "auto"
 )
 
 // ValidSolver reports whether name is an accepted solver selection.
@@ -95,6 +102,17 @@ type Config struct {
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// HTTP request (id, route, status, stage timings).
 	AccessLog io.Writer
+
+	// Archive, when non-nil, records every non-cached solve into the
+	// persistent solve archive and enables GET /v1/archive and
+	// solver=auto (see internal/archive). The Service takes ownership:
+	// Close drains and closes the store. Archiving is write-only — solver
+	// output is byte-identical with and without it.
+	Archive *archive.Store
+
+	// Clock is the service's time source for uptime accounting; nil
+	// means the wall clock. Injected so tests pin uptime_seconds.
+	Clock obs.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -147,6 +165,12 @@ type SolveRequest struct {
 	// Deliberately excluded from the cache key — identity never changes
 	// a solution.
 	RequestID string
+
+	// Advice is the advisor decision that resolved solver=auto into the
+	// fields above; nil for explicit solver selections. Excluded from the
+	// cache key (the resolved options already determine the answer) and
+	// recorded on the archived solve, closing the advisor feedback loop.
+	Advice *archive.Decision
 }
 
 // normalize fills defaults and validates, wrapping failures in
@@ -201,13 +225,14 @@ func (r *SolveRequest) coreOptions(tr *obs.Trace) core.Options {
 // hash plus every solver option that changes the answer. The timeout is
 // deliberately excluded — a deadline changes when a solve stops, not what
 // a completed solve returns, and truncated (cancelled) results are never
-// stored.
-func (r *SolveRequest) cacheKey() (string, error) {
+// stored. The bare instance hash is returned alongside so the archive
+// records it without re-hashing.
+func (r *SolveRequest) cacheKey() (key, hash string, err error) {
 	h, err := r.Instance.CanonicalHash()
 	if err != nil {
-		return "", fmt.Errorf("%w: %v", ErrBadRequest, err)
+		return "", "", fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	key := h + "|solver=" + r.Solver + "|obj=" + r.Objective + "|seed=" + strconv.FormatInt(r.Seed, 10)
+	key = h + "|solver=" + r.Solver + "|obj=" + r.Objective + "|seed=" + strconv.FormatInt(r.Seed, 10)
 	if r.Solver == SolverPortfolio {
 		// Engine options select different search trajectories, hence
 		// different (all valid) answers: no cross-engine cache hits.
@@ -215,7 +240,7 @@ func (r *SolveRequest) cacheKey() (string, error) {
 			"|rounds=" + strconv.Itoa(r.EngineRounds) +
 			"|budget=" + strconv.Itoa(r.EngineBudget)
 	}
-	return key, nil
+	return key, h, nil
 }
 
 // SolveResult is the outcome of one underlying solve, as cached and as
@@ -241,6 +266,10 @@ type Service struct {
 	ring   *obs.RingSink      // recent-event retention for trace endpoints; may be nil
 	bcast  *obs.BroadcastSink // live fan-out behind the SSE endpoints; may be nil
 	alog   *accessLogger      // may be nil
+	arch   *archive.Store     // persistent solve archive; may be nil
+	coll   *archive.Collector // trajectory folding for the archive; may be nil
+	clock  obs.Clock
+	start  time.Time // service start, per clock — uptime_seconds epoch
 	reqSeq atomic.Int64
 	solves atomic.Int64 // underlying solver invocations (cache misses that ran)
 	closed atomic.Bool
@@ -261,7 +290,10 @@ func New(cfg Config) *Service {
 		cache: cache.New[*SolveResult](cfg.CacheSize),
 		jobs:  newJobTable(cfg.MaxJobs),
 		alog:  newAccessLogger(cfg.AccessLog),
+		arch:  cfg.Archive,
+		clock: cfg.Clock,
 	}
+	s.start = s.clock.Now()
 	var sinks []obs.Sink
 	if cfg.TraceBuffer >= 0 {
 		capacity := cfg.TraceBuffer
@@ -272,11 +304,21 @@ func New(cfg Config) *Service {
 		s.bcast = obs.NewBroadcastSink()
 		sinks = append(sinks, s.ring, s.bcast)
 	}
+	if s.arch != nil {
+		// The collector folds each request's incumbent trajectory and
+		// operator stats for its archive record. Registered as a sink so
+		// folding rides the existing emission path — archiving observes
+		// the solve, it never participates in it.
+		s.coll = archive.NewCollector(0, 0)
+		sinks = append(sinks, s.coll)
+	}
 	sinks = append(sinks, cfg.TraceSinks...)
 	// Fold solver events into the metrics registry so per-operator engine
 	// counters (and bb.*/lp.* work counters) surface through /metrics.
 	sinks = append(sinks, obs.NewMetricsSink(cfg.Metrics))
 	s.trace = obs.New(sinks...)
+	s.arch.AttachTrace(s.trace)
+	s.setBuildInfo()
 	return s
 }
 
@@ -291,6 +333,9 @@ func (s *Service) Close() {
 	// All emitters have stopped; flush file-backed trace sinks. Errors
 	// have nowhere useful to go — the service is already down.
 	_ = s.trace.Close()
+	// Drain the archive writer last: every recorded solve is durable
+	// before Close returns, so a restart recovers the full history.
+	_ = s.arch.Close()
 }
 
 // SolveRuns reports how many underlying solver invocations have happened —
@@ -334,10 +379,11 @@ func (s *Service) solve(ctx context.Context, req SolveRequest, ri *reqInfo) (*So
 	if s.closed.Load() {
 		return nil, cache.Miss, ErrClosed
 	}
+	s.resolveAuto(&req) // idempotent: the HTTP layer may already have
 	if err := req.normalize(); err != nil {
 		return nil, cache.Miss, err
 	}
-	key, err := req.cacheKey()
+	key, hash, err := req.cacheKey()
 	if err != nil {
 		return nil, cache.Miss, err
 	}
@@ -380,6 +426,13 @@ func (s *Service) solve(ctx context.Context, req SolveRequest, ri *reqInfo) (*So
 	store := err == nil && out != nil && !out.Cancelled
 	s.cache.Finish(flight, out, err, store)
 	s.met.Observe("solve.seconds", time.Since(start).Seconds())
+	// Archive the solve after the flight is settled — recording is
+	// write-only and off the waiters' path.
+	s.recordSolve(req, hash, out, err, solveStages{
+		queue: queueWait,
+		solve: solveDur,
+		e2e:   time.Since(start),
+	})
 	return out, outcome, err
 }
 

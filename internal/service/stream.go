@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"nocdeploy/internal/obs"
@@ -159,10 +160,24 @@ func (s *Service) streamEvents(w http.ResponseWriter, r *http.Request, reqID str
 		_ = rc.Flush()
 	}
 
+	// A reconnecting client (deployctl watch retries dropped streams)
+	// sends the standard Last-Event-ID header with the last trace
+	// sequence number it saw; the replay below skips everything at or
+	// before it, so reconnects resume instead of re-playing.
+	var resume int64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.ParseInt(v, 10, 64); err == nil && n > 0 {
+			resume = n
+		}
+	}
+
 	// Replay the retained prefix for late joiners, under the same kind
 	// filter the live subscription applies.
-	var maxSeq int64
+	maxSeq := resume
 	for _, e := range s.ring.ForRequest(reqID) {
+		if e.Seq > 0 && e.Seq <= resume {
+			continue // the client already has it from before the drop
+		}
 		if e.Seq > maxSeq {
 			maxSeq = e.Seq
 		}
